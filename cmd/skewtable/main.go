@@ -1,0 +1,39 @@
+// Command skewtable prints the paper's Table 1 (global clock skew across
+// process generations) together with this repository's Monte-Carlo skew
+// estimates, and optionally sweeps the tree model's parameters.
+//
+// Examples:
+//
+//	skewtable
+//	skewtable -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"galsim/internal/clocktree"
+	"galsim/internal/experiments"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "also sweep buffer-variation sigma in the tree model")
+	flag.Parse()
+
+	experiments.Table1Skew().Render(os.Stdout)
+
+	if *sweep {
+		fmt.Println("Monte-Carlo H-tree skew vs per-buffer delay variation (8 levels, 50ps buffers):")
+		for _, sigma := range []float64{0.01, 0.02, 0.04, 0.08, 0.12} {
+			cfg := clocktree.DefaultTree()
+			cfg.SigmaFrac = sigma
+			mean, worst, err := clocktree.Estimate(cfg, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "skewtable:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  sigma %4.0f%%: mean %6.1f ps, worst %6.1f ps\n", sigma*100, mean, worst)
+		}
+	}
+}

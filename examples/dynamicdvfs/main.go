@@ -1,0 +1,51 @@
+// Dynamicdvfs: the paper's concluding direction, realized. §5.2 picks each
+// benchmark's slowdowns by hand after "studying the application's
+// characteristics"; the conclusion anticipates "application-driven,
+// multiple-domain dynamic clock/voltage scaling". This example turns on the
+// online controller — which watches each execution domain's issue-queue
+// occupancy and slows domains with idle queues — and shows that it finds,
+// by itself, roughly the configurations the paper chose manually (e.g. the
+// FP cluster at 1/3 speed for integer codes).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"galsim"
+)
+
+func main() {
+	const n = 150_000
+
+	fmt.Printf("online per-domain DVFS vs full-speed machines, %d instructions\n\n", n)
+	fmt.Printf("%-10s %10s %10s %10s %9s %22s\n",
+		"benchmark", "rel-perf", "rel-energy", "rel-power", "retunes", "final int/fp/mem clock")
+
+	for _, bench := range []string{"perl", "gcc", "ijpeg", "swim", "fpppp"} {
+		base, err := galsim.Run(galsim.Options{Benchmark: bench, Machine: galsim.Base, Instructions: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyn, err := galsim.Run(galsim.Options{
+			Benchmark:    bench,
+			Machine:      galsim.GALS,
+			Instructions: n,
+			DynamicDVFS:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.3f %10.3f %10.3f %9d %10.2f/%.2f/%.2f\n",
+			bench,
+			base.RelativePerformance(dyn),
+			dyn.EnergyJoules/base.EnergyJoules,
+			dyn.PowerWatts/base.PowerWatts,
+			dyn.Retunes,
+			dyn.FinalSlowdowns["int"], dyn.FinalSlowdowns["fp"], dyn.FinalSlowdowns["mem"])
+	}
+
+	fmt.Println("\nFor integer benchmarks the controller converges on a slow FP cluster —")
+	fmt.Println("the configuration the paper reached by hand (Figure 13's gals-2) — while")
+	fmt.Println("FP-heavy codes keep their FP clock fast. No per-application tuning involved.")
+}

@@ -1,0 +1,52 @@
+// Linkstyles: quantify the paper's §3.2 design argument. Two asynchronous
+// communication mechanisms were on the table for GALS systems: stretchable
+// clocks (an arbiter pauses both clocks for each handshake) and mixed-clock
+// FIFOs (Chelcea & Nowick). The paper chose FIFOs because "transactions
+// occur practically during every cycle — stretching the clock every cycle
+// would lead to a situation where the effective clock frequency is
+// determined not by the clock generator but by the rate of communication."
+// This example runs the same machine with both mechanisms and shows the gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"galsim"
+)
+
+func main() {
+	const bench = "compress"
+	const n = 100_000
+
+	base, err := galsim.Run(galsim.Options{Benchmark: bench, Machine: galsim.Base, Instructions: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d instructions — GALS communication mechanism comparison\n\n", bench, n)
+	fmt.Printf("%-28s %10s %8s %10s\n", "machine", "rel-perf", "ipc", "slip(ns)")
+	fmt.Printf("%-28s %10.3f %8.2f %10.1f\n", "base (synchronous)", 1.0, base.IPC, base.AvgSlipNs)
+
+	for _, style := range []struct{ name, opt string }{
+		{"gals (mixed-clock FIFOs)", "fifo"},
+		{"gals (stretchable clocks)", "stretch"},
+	} {
+		r, err := galsim.Run(galsim.Options{
+			Benchmark:    bench,
+			Machine:      galsim.GALS,
+			Instructions: n,
+			LinkStyle:    style.opt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10.3f %8.2f %10.1f\n",
+			style.name, base.RelativePerformance(r), r.IPC, r.AvgSlipNs)
+	}
+
+	fmt.Println("\npaper §3.2: in a processor pipeline, transactions occur practically every")
+	fmt.Println("cycle; a stretchable-clock interface serializes them, so the effective clock")
+	fmt.Println("frequency becomes the handshake rate. The FIFO interface keeps streaming")
+	fmt.Println("throughput and pays only latency — which is why the paper adopted it.")
+}

@@ -1,0 +1,64 @@
+// Powerbreakdown: the paper's Figure 10 through the public API — where does
+// the energy go in the base and GALS machines? The GALS design eliminates
+// the global clock grid but pays for mixed-clock FIFOs, longer runtimes
+// (more cycles of local grids and idle blocks) and extra speculative work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"galsim"
+)
+
+func main() {
+	const bench = "compress"
+	const n = 100_000
+
+	base, err := galsim.Run(galsim.Options{Benchmark: bench, Machine: galsim.Base, Instructions: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gals, err := galsim.Run(galsim.Options{Benchmark: bench, Machine: galsim.GALS, Instructions: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blocks := make([]string, 0, len(base.EnergyBreakdown))
+	for b := range base.EnergyBreakdown {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		return base.EnergyBreakdown[blocks[i]] > base.EnergyBreakdown[blocks[j]]
+	})
+
+	total := base.EnergyJoules * 1e12 // pJ
+	fmt.Printf("energy breakdown for %s, normalized to the base machine's total\n\n", bench)
+	fmt.Printf("%-14s %8s %8s\n", "block", "base", "gals")
+	for _, b := range blocks {
+		bv := base.EnergyBreakdown[b] / total
+		gv := gals.EnergyBreakdown[b] / total
+		if bv == 0 && gv == 0 {
+			continue
+		}
+		fmt.Printf("%-14s %8.3f %8.3f%s\n", b, bv, gv, marker(b, bv, gv))
+	}
+	fmt.Printf("%-14s %8.3f %8.3f\n", "TOTAL", 1.0, gals.EnergyJoules/base.EnergyJoules)
+
+	fmt.Println("\npaper (Figure 10): the power gained by eliminating the global clock is")
+	fmt.Println("offset by the increased consumption of the other blocks.")
+}
+
+func marker(block string, base, gals float64) string {
+	switch {
+	case block == "global-clock":
+		return "   <- eliminated in GALS"
+	case block == "fifos":
+		return "   <- GALS-only cost"
+	case gals > base*1.05:
+		return "   (+)"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: compare the fully synchronous processor against the
+// 5-clock-domain GALS processor on one benchmark — the paper's headline
+// experiment in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"galsim"
+)
+
+func main() {
+	const bench = "gcc"
+	const n = 100_000
+
+	base, err := galsim.Run(galsim.Options{Benchmark: bench, Machine: galsim.Base, Instructions: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gals, err := galsim.Run(galsim.Options{Benchmark: bench, Machine: galsim.GALS, Instructions: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, %d instructions\n\n", bench, n)
+	fmt.Printf("%-22s %12s %12s\n", "", "base", "gals")
+	fmt.Printf("%-22s %11.1fus %11.1fus\n", "runtime", base.SimSeconds*1e6, gals.SimSeconds*1e6)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "IPC", base.IPC, gals.IPC)
+	fmt.Printf("%-22s %11.1fns %11.1fns\n", "avg slip", base.AvgSlipNs, gals.AvgSlipNs)
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "wrong-path fetched",
+		100*base.MisspeculationFrac, 100*gals.MisspeculationFrac)
+	fmt.Printf("%-22s %11.2fW %11.2fW\n", "average power", base.PowerWatts, gals.PowerWatts)
+	fmt.Printf("%-22s %11.3fmJ %11.3fmJ\n", "total energy", base.EnergyJoules*1e3, gals.EnergyJoules*1e3)
+
+	fmt.Printf("\nGALS relative performance: %.3f (paper: 0.85-0.95)\n", base.RelativePerformance(gals))
+	fmt.Printf("GALS relative energy:      %.3f (paper: ~1.01 — no free lunch from removing the global clock)\n",
+		gals.EnergyJoules/base.EnergyJoules)
+}

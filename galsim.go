@@ -1,0 +1,337 @@
+// Package galsim is a cycle-accurate power/performance simulator for
+// Globally Asynchronous Locally Synchronous (GALS) superscalar processors:
+// a from-scratch reproduction of Iyer & Marculescu, "Power and Performance
+// Evaluation of Globally Asynchronous Locally Synchronous Processors"
+// (ISCA 2002).
+//
+// The package simulates a 4-wide out-of-order machine in two variants — a
+// fully synchronous baseline and a 5-clock-domain GALS design communicating
+// through mixed-clock FIFOs — over synthetic Spec95/Mediabench-like
+// workloads, with Wattch-style energy accounting and per-domain dynamic
+// voltage/frequency scaling.
+//
+// Quick start:
+//
+//	base, _ := galsim.Run(galsim.Options{Benchmark: "gcc", Machine: galsim.Base})
+//	gals, _ := galsim.Run(galsim.Options{Benchmark: "gcc", Machine: galsim.GALS})
+//	fmt.Printf("relative performance: %.3f\n", base.SimSeconds/gals.SimSeconds)
+//
+// Per-domain frequency scaling with automatic voltage selection (the
+// paper's multiple-clock, multiple-voltage experiments):
+//
+//	r, _ := galsim.Run(galsim.Options{
+//	    Benchmark: "gcc",
+//	    Machine:   galsim.GALS,
+//	    Slowdowns: map[string]float64{"fetch": 1.1, "fp": 3.0},
+//	})
+package galsim
+
+import (
+	"fmt"
+
+	"galsim/internal/isa"
+	"galsim/internal/pipeline"
+	"galsim/internal/power"
+	"galsim/internal/workload"
+)
+
+// Machine selects the processor variant.
+type Machine string
+
+// Machine variants.
+const (
+	// Base is the fully synchronous processor: one global clock, a
+	// hierarchical clock distribution network (global grid + five local
+	// grids), and ordinary pipe stages between logic blocks.
+	Base Machine = "base"
+	// GALS is the globally asynchronous locally synchronous processor: five
+	// independent clock domains (fetch, decode, integer, FP, memory) joined
+	// by mixed-clock FIFOs; no global clock grid.
+	GALS Machine = "gals"
+)
+
+// DomainNames lists the clock domain names accepted by Options.Slowdowns,
+// in pipeline order.
+func DomainNames() []string {
+	return []string{"fetch", "decode", "int", "fp", "mem"}
+}
+
+// Benchmarks returns the available synthetic benchmark names (stand-ins for
+// the paper's Spec95 and Mediabench workloads).
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkInfo describes one benchmark's statistical profile.
+type BenchmarkInfo struct {
+	Name        string
+	Suite       string
+	BranchFrac  float64
+	FPFrac      float64
+	MemFrac     float64
+	CodeBytes   int
+	DataBytes   int
+	Description string
+}
+
+// Describe returns a benchmark's profile summary.
+func Describe(name string) (BenchmarkInfo, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return BenchmarkInfo{}, err
+	}
+	return BenchmarkInfo{
+		Name:       p.Name,
+		Suite:      p.Suite,
+		BranchFrac: p.Mix.Branch,
+		FPFrac:     p.Mix.FPFrac(),
+		MemFrac:    p.Mix.MemFrac(),
+		CodeBytes:  p.CodeFootprint,
+		DataBytes:  p.DataWorkingSet,
+		Description: fmt.Sprintf("%s (%s): %.0f%% branches, %.0f%% FP, %.0f%% memory",
+			p.Name, p.Suite, 100*p.Mix.Branch, 100*p.Mix.FPFrac(), 100*p.Mix.MemFrac()),
+	}, nil
+}
+
+// Options configures one simulation run. Zero values select defaults: the
+// base machine, 100 000 instructions, full-speed clocks, voltage scaling
+// enabled.
+type Options struct {
+	// Benchmark is the workload name (required; see Benchmarks).
+	Benchmark string
+	// Machine is the processor variant (default Base).
+	Machine Machine
+	// Instructions is the number committed before the run ends (default
+	// 100000).
+	Instructions uint64
+	// Slowdowns stretches named clock domains: 1.1 = 10% slower clock, 3 =
+	// one-third frequency. Keys are DomainNames entries. The base machine
+	// accepts only a uniform slowdown under the key "all".
+	Slowdowns map[string]float64
+	// DisableVoltageScaling keeps every domain at nominal supply voltage
+	// even when slowed (frequency-only scaling); by default a slowed
+	// domain's voltage is reduced per the paper's Equation 1.
+	DisableVoltageScaling bool
+	// WorkloadSeed seeds the synthetic instruction stream (default 42).
+	WorkloadSeed int64
+	// PhaseSeed seeds the random starting phases of the GALS local clocks
+	// (default 1).
+	PhaseSeed int64
+	// MemoryOrdering selects the load/store disambiguation policy:
+	// "perfect" (default; the study's oracle model), "conservative" (loads
+	// wait for all older stores' addresses), or "addr-match" (loads wait
+	// only on same-address older stores).
+	MemoryOrdering string
+	// LinkStyle selects the GALS inter-domain communication mechanism:
+	// "fifo" (default; Chelcea-Nowick mixed-clock FIFOs) or "stretch"
+	// (stretchable-clock handshakes, the §3.2 alternative).
+	LinkStyle string
+	// DynamicDVFS enables the online per-domain frequency/voltage controller
+	// (GALS only): every few thousand cycles, execution domains with nearly
+	// empty issue queues are slowed (and their voltage dropped), bottleneck
+	// domains sped back up — the application-driven dynamic scaling the
+	// paper's conclusion anticipates.
+	DynamicDVFS bool
+	// OnCommit, when non-nil, is invoked for every committed instruction in
+	// program order — a tracing hook.
+	OnCommit func(CommitEvent)
+}
+
+// CommitEvent describes one committed instruction for tracing.
+type CommitEvent struct {
+	Seq          uint64
+	PC           uint64
+	Class        string
+	FetchTimeNs  float64
+	IssueTimeNs  float64
+	CommitTimeNs float64
+	SlipNs       float64
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Benchmark string
+	Machine   Machine
+
+	// Instruction counts.
+	Committed        uint64
+	Fetched          uint64
+	WrongPathFetched uint64
+
+	// Performance.
+	SimSeconds float64 // simulated wall-clock time
+	IPC        float64 // committed instructions per decode-domain cycle
+	MIPS       float64 // committed instructions per simulated microsecond
+
+	// Latency analysis (paper Figures 6-7).
+	AvgSlipNs     float64 // mean fetch-to-commit latency
+	FIFOSlipShare float64 // share of slip spent in inter-stage links
+
+	// Speculation (paper Figure 8).
+	MisspeculationFrac   float64 // wrong-path fraction of all fetched
+	BranchMispredictRate float64 // mispredictions per correct-path branch
+
+	// Energy and power (paper Figures 9-10).
+	EnergyJoules    float64
+	PowerWatts      float64
+	EnergyBreakdown map[string]float64 // pJ by macro-block name
+
+	// Structure occupancies.
+	IntRATOccupancy float64
+	FPRATOccupancy  float64
+	ROBOccupancy    float64
+
+	// Cache hit rates.
+	L1IHitRate float64
+	L1DHitRate float64
+	L2HitRate  float64
+
+	// Dynamic DVFS activity (zero unless Options.DynamicDVFS).
+	Retunes        uint64
+	FinalSlowdowns map[string]float64 // domain name -> final clock slowdown
+}
+
+// RelativePerformance returns other's speed normalized to r (values < 1
+// mean other is slower), assuming equal instruction counts.
+func (r Result) RelativePerformance(other Result) float64 {
+	return r.SimSeconds / other.SimSeconds
+}
+
+// Run executes one simulation.
+func Run(o Options) (Result, error) {
+	if o.Benchmark == "" {
+		return Result{}, fmt.Errorf("galsim: Options.Benchmark is required (one of %v)", Benchmarks())
+	}
+	prof, err := workload.ByName(o.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	if o.Machine == "" {
+		o.Machine = Base
+	}
+	var kind pipeline.Kind
+	switch o.Machine {
+	case Base:
+		kind = pipeline.Base
+	case GALS:
+		kind = pipeline.GALS
+	default:
+		return Result{}, fmt.Errorf("galsim: unknown machine %q (want %q or %q)", o.Machine, Base, GALS)
+	}
+	if o.Instructions == 0 {
+		o.Instructions = 100_000
+	}
+
+	cfg := pipeline.DefaultConfig(kind)
+	cfg.AutoVoltage = !o.DisableVoltageScaling
+	if o.WorkloadSeed != 0 {
+		cfg.WorkloadSeed = o.WorkloadSeed
+	}
+	if o.PhaseSeed != 0 {
+		cfg.PhaseSeed = o.PhaseSeed
+	}
+	if err := applySlowdowns(&cfg, o); err != nil {
+		return Result{}, err
+	}
+	switch o.MemoryOrdering {
+	case "", "perfect":
+		cfg.MemDisambig = pipeline.DisambigPerfect
+	case "conservative":
+		cfg.MemDisambig = pipeline.DisambigConservative
+	case "addr-match":
+		cfg.MemDisambig = pipeline.DisambigAddrMatch
+	default:
+		return Result{}, fmt.Errorf("galsim: unknown memory ordering %q (want perfect, conservative or addr-match)", o.MemoryOrdering)
+	}
+	switch o.LinkStyle {
+	case "", "fifo":
+		cfg.LinkStyle = pipeline.LinkFIFO
+	case "stretch":
+		cfg.LinkStyle = pipeline.LinkStretch
+	default:
+		return Result{}, fmt.Errorf("galsim: unknown link style %q (want fifo or stretch)", o.LinkStyle)
+	}
+	if o.DynamicDVFS {
+		cfg.DynamicDVFS = pipeline.DefaultDynamicDVFS()
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	core := pipeline.NewCore(cfg, prof)
+	if o.OnCommit != nil {
+		hook := o.OnCommit
+		core.OnCommit(func(in *isa.Instr) {
+			hook(CommitEvent{
+				Seq:          uint64(in.Seq),
+				PC:           in.PC,
+				Class:        in.Class.String(),
+				FetchTimeNs:  in.FetchTime.Nanoseconds(),
+				IssueTimeNs:  in.IssueTime.Nanoseconds(),
+				CommitTimeNs: in.CommitTime.Nanoseconds(),
+				SlipNs:       in.Slip().Nanoseconds(),
+			})
+		})
+	}
+	st := core.Run(o.Instructions)
+	return resultFrom(o, st), nil
+}
+
+func applySlowdowns(cfg *pipeline.Config, o Options) error {
+	domains := map[string]pipeline.DomainID{
+		"fetch": pipeline.DomFetch, "decode": pipeline.DomDecode,
+		"int": pipeline.DomInt, "fp": pipeline.DomFP, "mem": pipeline.DomMem,
+	}
+	for name, s := range o.Slowdowns {
+		if s < 1 {
+			return fmt.Errorf("galsim: slowdown %q = %v must be >= 1", name, s)
+		}
+		if name == "all" {
+			cfg.SetUniformSlowdown(s)
+			continue
+		}
+		d, ok := domains[name]
+		if !ok {
+			return fmt.Errorf("galsim: unknown clock domain %q (want one of %v or \"all\")", name, DomainNames())
+		}
+		if o.Machine == Base {
+			return fmt.Errorf("galsim: the base machine has a single clock; use Slowdowns[%q]", "all")
+		}
+		cfg.Slowdowns[d] = s
+	}
+	return nil
+}
+
+func resultFrom(o Options, st pipeline.Stats) Result {
+	breakdown := map[string]float64{}
+	for _, b := range power.Blocks() {
+		breakdown[b.String()] = st.EnergyBreakdown[b]
+	}
+	finalSlow := map[string]float64{}
+	for d := pipeline.DomainID(0); d < pipeline.NumDomains; d++ {
+		finalSlow[d.String()] = st.FinalSlowdowns[d]
+	}
+	return Result{
+		Benchmark:            o.Benchmark,
+		Machine:              o.Machine,
+		Committed:            st.Committed,
+		Fetched:              st.Fetched,
+		WrongPathFetched:     st.WrongPathFetched,
+		SimSeconds:           st.SimTime.Seconds(),
+		IPC:                  st.IPC(),
+		MIPS:                 st.InstrPerSecond() / 1e6,
+		AvgSlipNs:            st.AvgSlip().Nanoseconds(),
+		FIFOSlipShare:        st.FIFOSlipShare(),
+		MisspeculationFrac:   st.MisspeculationFrac(),
+		BranchMispredictRate: st.MispredictRate(),
+		EnergyJoules:         st.EnergyJoules(),
+		PowerWatts:           st.AvgPowerWatts(),
+		EnergyBreakdown:      breakdown,
+		IntRATOccupancy:      st.AvgIntRAT,
+		FPRATOccupancy:       st.AvgFPRAT,
+		ROBOccupancy:         st.ROB.AvgOccupancy,
+		L1IHitRate:           st.L1I.HitRate(),
+		L1DHitRate:           st.L1D.HitRate(),
+		L2HitRate:            st.L2.HitRate(),
+		Retunes:              st.Retunes,
+		FinalSlowdowns:       finalSlow,
+	}
+}

@@ -1,0 +1,188 @@
+package galsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	r, err := Run(Options{Benchmark: "compress", Instructions: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Machine != Base {
+		t.Errorf("default machine = %q", r.Machine)
+	}
+	if r.Committed != 15_000 {
+		t.Errorf("committed = %d", r.Committed)
+	}
+	if r.SimSeconds <= 0 || r.IPC <= 0 || r.MIPS <= 0 {
+		t.Error("performance metrics not populated")
+	}
+	if r.EnergyJoules <= 0 || r.PowerWatts <= 0 {
+		t.Error("energy metrics not populated")
+	}
+	if len(r.EnergyBreakdown) < 15 {
+		t.Errorf("breakdown has %d blocks", len(r.EnergyBreakdown))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Options{
+		{},                                   // missing benchmark
+		{Benchmark: "nope"},                  // unknown benchmark
+		{Benchmark: "gcc", Machine: "weird"}, // unknown machine
+		{Benchmark: "gcc", Machine: GALS, Slowdowns: map[string]float64{"warp": 2}},
+		{Benchmark: "gcc", Machine: GALS, Slowdowns: map[string]float64{"fp": 0.5}},
+		{Benchmark: "gcc", Machine: Base, Slowdowns: map[string]float64{"fp": 2}},
+	}
+	for i, o := range cases {
+		if _, err := Run(o); err == nil {
+			t.Errorf("case %d: no error for %+v", i, o)
+		}
+	}
+}
+
+func TestGALSSlower(t *testing.T) {
+	base, err := Run(Options{Benchmark: "li", Machine: Base, Instructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gals, err := Run(Options{Benchmark: "li", Machine: GALS, Instructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := base.RelativePerformance(gals)
+	if rel >= 1 || rel < 0.75 {
+		t.Errorf("relative performance = %.3f, want (0.75, 1)", rel)
+	}
+	if gals.EnergyBreakdown["global-clock"] != 0 {
+		t.Error("GALS burned global clock energy")
+	}
+	if base.EnergyBreakdown["global-clock"] <= 0 {
+		t.Error("base burned no global clock energy")
+	}
+}
+
+func TestUniformBaseSlowdown(t *testing.T) {
+	fast, _ := Run(Options{Benchmark: "compress", Instructions: 10_000})
+	slow, err := Run(Options{Benchmark: "compress", Instructions: 10_000,
+		Slowdowns: map[string]float64{"all": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := slow.SimSeconds / fast.SimSeconds
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("uniform 2x slowdown changed runtime by %.2fx", ratio)
+	}
+	if slow.EnergyJoules >= fast.EnergyJoules {
+		t.Error("uniform slowdown with voltage scaling did not save energy")
+	}
+}
+
+func TestVoltageScalingToggle(t *testing.T) {
+	o := Options{Benchmark: "perl", Machine: GALS, Instructions: 10_000,
+		Slowdowns: map[string]float64{"fp": 3}}
+	dvs, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DisableVoltageScaling = true
+	freqOnly, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dvs.EnergyJoules >= freqOnly.EnergyJoules {
+		t.Error("voltage scaling did not reduce energy")
+	}
+	if dvs.SimSeconds != freqOnly.SimSeconds {
+		t.Error("voltage scaling changed timing")
+	}
+}
+
+func TestBenchmarksAndDescribe(t *testing.T) {
+	names := Benchmarks()
+	if len(names) < 12 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+	for _, n := range names {
+		info, err := Describe(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Name != n || info.Suite == "" || info.Description == "" {
+			t.Errorf("incomplete info for %s: %+v", n, info)
+		}
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Error("Describe accepted unknown benchmark")
+	}
+	fp, _ := Describe("fpppp")
+	if !strings.Contains(fp.Description, "fpppp") || fp.BranchFrac > 0.03 {
+		t.Errorf("fpppp info wrong: %+v", fp)
+	}
+}
+
+func TestMemoryOrderingOptions(t *testing.T) {
+	for _, mode := range []string{"perfect", "conservative", "addr-match"} {
+		r, err := Run(Options{Benchmark: "vortex", Instructions: 8_000, MemoryOrdering: mode})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if r.Committed != 8_000 {
+			t.Errorf("%s committed %d", mode, r.Committed)
+		}
+	}
+	if _, err := Run(Options{Benchmark: "gcc", MemoryOrdering: "psychic"}); err == nil {
+		t.Error("unknown memory ordering accepted")
+	}
+}
+
+func TestLinkStyleOptions(t *testing.T) {
+	fifo, err := Run(Options{Benchmark: "compress", Machine: GALS, Instructions: 10_000, LinkStyle: "fifo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretch, err := Run(Options{Benchmark: "compress", Machine: GALS, Instructions: 10_000, LinkStyle: "stretch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stretch.SimSeconds <= fifo.SimSeconds {
+		t.Errorf("stretch (%.2gs) not slower than fifo (%.2gs)", stretch.SimSeconds, fifo.SimSeconds)
+	}
+	if _, err := Run(Options{Benchmark: "gcc", LinkStyle: "telepathy"}); err == nil {
+		t.Error("unknown link style accepted")
+	}
+}
+
+func TestOnCommitTracing(t *testing.T) {
+	var events []CommitEvent
+	r, err := Run(Options{
+		Benchmark:    "li",
+		Instructions: 2_000,
+		OnCommit:     func(e CommitEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != r.Committed {
+		t.Fatalf("hook saw %d events, committed %d", len(events), r.Committed)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatal("commit events out of program order")
+		}
+	}
+	for _, e := range events[:10] {
+		if e.CommitTimeNs < e.FetchTimeNs || e.SlipNs <= 0 || e.Class == "" {
+			t.Fatalf("malformed event %+v", e)
+		}
+	}
+}
+
+func TestDomainNames(t *testing.T) {
+	names := DomainNames()
+	if len(names) != 5 || names[0] != "fetch" || names[4] != "mem" {
+		t.Errorf("DomainNames = %v", names)
+	}
+}

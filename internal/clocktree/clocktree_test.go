@@ -1,0 +1,99 @@
+package clocktree
+
+import "testing"
+
+func TestTable1Data(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// Published values, verbatim from the paper.
+	if rows[0].Design != "Alpha 21064" || rows[0].SkewPS != 200 || rows[0].CycleNS != 5.0 {
+		t.Errorf("21064 row wrong: %+v", rows[0])
+	}
+	if rows[3].SkewPS != 28 {
+		t.Errorf("deskewed Itanium skew = %v, want 28", rows[3].SkewPS)
+	}
+}
+
+func TestSkewFractionGrowsAcrossGenerations(t *testing.T) {
+	rows := Table1()
+	// The undeskewed trend: 21064 (200/5000=4%) -> Itanium projected
+	// (110/1250=8.8%) — skew eats a growing share of the cycle.
+	first := rows[0].SkewFraction()
+	lastRaw := rows[4].SkewFraction()
+	if lastRaw <= first {
+		t.Errorf("skew fraction did not grow: %.3f -> %.3f", first, lastRaw)
+	}
+	if lastRaw < 0.085 || lastRaw > 0.09 {
+		t.Errorf("projected Itanium skew fraction = %.4f, want ~0.088 (almost 10%% of cycle)", lastRaw)
+	}
+}
+
+func TestEstimateSane(t *testing.T) {
+	mean, worst, err := Estimate(DefaultTree(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || worst < mean {
+		t.Errorf("mean %v, worst %v", mean, worst)
+	}
+	// 8 levels at 50ps with 4% sigma: skew should be tens of ps.
+	if mean < 5 || mean > 200 {
+		t.Errorf("mean skew %v ps implausible", mean)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	m1, w1, _ := Estimate(DefaultTree(), 7)
+	m2, w2, _ := Estimate(DefaultTree(), 7)
+	if m1 != m2 || w1 != w2 {
+		t.Error("estimate not deterministic for fixed seed")
+	}
+}
+
+func TestMoreVariationMoreSkew(t *testing.T) {
+	low := DefaultTree()
+	low.SigmaFrac = 0.01
+	high := DefaultTree()
+	high.SigmaFrac = 0.08
+	ml, _, _ := Estimate(low, 3)
+	mh, _, _ := Estimate(high, 3)
+	if mh <= ml {
+		t.Errorf("higher buffer sigma did not raise skew: %.1f vs %.1f", mh, ml)
+	}
+}
+
+func TestScaleForGeneration(t *testing.T) {
+	// Smaller technology: deeper trees, more variation.
+	old := ScaleForGeneration(0.8)
+	next := ScaleForGeneration(0.18)
+	if next.Depth <= old.Depth {
+		t.Errorf("depth did not grow: %d -> %d", old.Depth, next.Depth)
+	}
+	if next.SigmaFrac <= old.SigmaFrac {
+		t.Error("sigma did not grow with scaling")
+	}
+	// The paper's §2 argument (and Table 1's data): absolute skew may even
+	// fall, but as a FRACTION of the shrinking cycle time it grows. The
+	// 0.8µm part cycled at 5ns, the 0.18µm part at 1.25ns.
+	mo, _, _ := Estimate(old, 5)
+	mn, _, _ := Estimate(next, 5)
+	if mn/1250 <= mo/5000 {
+		t.Errorf("modeled skew fraction did not worsen across generations: %.4f -> %.4f",
+			mo/5000, mn/1250)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultTree()
+	bad.Depth = 0
+	if _, _, err := Estimate(bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad = DefaultTree()
+	bad.SigmaFrac = 2
+	if _, _, err := Estimate(bad, 1); err == nil {
+		t.Error("invalid sigma accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package event implements the general-purpose event-driven simulation
+// engine described in §4.2 of Iyer & Marculescu (ISCA 2002).
+//
+// The engine is deliberately faithful to the paper's design: an event queue
+// ordered by scheduled time, where each entry carries
+//
+//   - a function to call at each occurrence of the event,
+//   - a parameter to call the function with,
+//   - a time at which the event is scheduled to occur,
+//   - a priority number to break ties between events scheduled for the same
+//     time instant, and
+//   - for periodic events, a time period of repetition (used to simulate
+//     clocked systems).
+//
+// To simulate a clocked system one inserts one periodic event per clock
+// domain; when the engine processes a periodic event it schedules the next
+// instance, representing the next cycle of that clock (paper Figure 4).
+//
+// The queue is a binary heap rather than the paper's singly linked list —
+// an implementation detail that changes complexity, not semantics. A
+// monotonically increasing insertion sequence number provides a stable,
+// deterministic order for events with equal time and equal priority.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+
+	"galsim/internal/simtime"
+)
+
+// Func is the action invoked when an event fires. now is the current
+// simulated time and param is the value supplied when the event was
+// scheduled.
+type Func func(now simtime.Time, param any)
+
+// Event is a scheduled occurrence inside the engine. Events are owned by the
+// engine once scheduled; callers hold *Event only to cancel or inspect.
+type Event struct {
+	fn       Func
+	param    any
+	when     simtime.Time
+	priority int
+	period   simtime.Duration // 0 for one-shot events
+	seq      uint64           // insertion order, for deterministic ties
+	index    int              // heap index, -1 when not queued
+	canceled bool
+	name     string
+}
+
+// When returns the next scheduled firing time.
+func (e *Event) When() simtime.Time { return e.when }
+
+// Period returns the repetition period (0 for one-shot events).
+func (e *Event) Period() simtime.Duration { return e.period }
+
+// Priority returns the tie-break priority (lower fires first).
+func (e *Event) Priority() int { return e.priority }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// String implements fmt.Stringer for diagnostics.
+func (e *Event) String() string {
+	kind := "once"
+	if e.period > 0 {
+		kind = fmt.Sprintf("every %v", e.period)
+	}
+	return fmt.Sprintf("event %q at %v (prio %d, %s)", e.name, e.when, e.priority, kind)
+}
+
+// eventHeap orders events by (time, priority, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event-driven simulation core: a clock-independent scheduler
+// that drives any mixture of asynchronous and clocked components.
+//
+// Engine is not safe for concurrent use; the whole simulator is
+// single-threaded by design so that results are exactly reproducible.
+type Engine struct {
+	queue     eventHeap
+	now       simtime.Time
+	seq       uint64
+	processed uint64
+	running   bool
+	stopped   bool
+}
+
+// NewEngine returns an engine with an empty queue at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time: the timestamp of the event being
+// processed, or of the last processed event when the engine is idle.
+func (g *Engine) Now() simtime.Time { return g.now }
+
+// Len returns the number of pending events (canceled events may still be
+// counted until they reach the head of the queue).
+func (g *Engine) Len() int { return len(g.queue) }
+
+// Processed returns the total number of events executed so far.
+func (g *Engine) Processed() uint64 { return g.processed }
+
+// Schedule inserts a one-shot event. It panics if when precedes the current
+// time, since time travel would silently corrupt causality.
+func (g *Engine) Schedule(when simtime.Time, priority int, name string, fn Func, param any) *Event {
+	return g.schedule(when, priority, 0, name, fn, param)
+}
+
+// SchedulePeriodic inserts a periodic event: the paper's mechanism for
+// simulating a clock domain. start is the first firing time (the clock's
+// initial phase) and period the repetition interval; period must be > 0.
+func (g *Engine) SchedulePeriodic(start simtime.Time, period simtime.Duration, priority int, name string, fn Func, param any) *Event {
+	if period <= 0 {
+		panic(fmt.Sprintf("event: periodic event %q requires positive period, got %v", name, period))
+	}
+	return g.schedule(start, priority, period, name, fn, param)
+}
+
+func (g *Engine) schedule(when simtime.Time, priority int, period simtime.Duration, name string, fn Func, param any) *Event {
+	if fn == nil {
+		panic(fmt.Sprintf("event: nil function for event %q", name))
+	}
+	if when < g.now {
+		panic(fmt.Sprintf("event: cannot schedule %q at %v, now is %v", name, when, g.now))
+	}
+	e := &Event{
+		fn:       fn,
+		param:    param,
+		when:     when,
+		priority: priority,
+		period:   period,
+		seq:      g.seq,
+		name:     name,
+	}
+	g.seq++
+	heap.Push(&g.queue, e)
+	return e
+}
+
+// Cancel removes an event from future processing. Canceling an already
+// canceled or already fired one-shot event is a harmless no-op. A canceled
+// periodic event never fires again.
+func (g *Engine) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&g.queue, e.index)
+	}
+}
+
+// SetPeriod changes the repetition period of a periodic event, taking effect
+// at its next rescheduling. This is the hook dynamic frequency scaling uses
+// to retune a clock domain mid-run.
+func (g *Engine) SetPeriod(e *Event, period simtime.Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("event: SetPeriod(%q) requires positive period, got %v", e.name, period))
+	}
+	if e.period == 0 {
+		panic(fmt.Sprintf("event: SetPeriod on one-shot event %q", e.name))
+	}
+	e.period = period
+}
+
+// Stop makes the engine return from Run/RunUntil after the current event
+// completes. Pending events remain queued.
+func (g *Engine) Stop() { g.stopped = true }
+
+// step processes exactly one event. It reports false when the queue is empty.
+func (g *Engine) step(limit simtime.Time) bool {
+	for len(g.queue) > 0 {
+		head := g.queue[0]
+		if head.when > limit {
+			return false
+		}
+		heap.Pop(&g.queue)
+		if head.canceled {
+			continue
+		}
+		g.now = head.when
+		g.processed++
+		// Reschedule periodic events before invoking the handler so the
+		// handler may Cancel or SetPeriod its own event.
+		if head.period > 0 && !head.canceled {
+			head.when += head.period
+			head.seq = g.seq
+			g.seq++
+			heap.Push(&g.queue, head)
+		}
+		head.fn(g.now, head.param)
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or Stop is called. It is the
+// paper's process_event_queue(). Returns the final simulated time.
+func (g *Engine) Run() simtime.Time {
+	return g.RunUntil(simtime.Never)
+}
+
+// RunUntil processes events with timestamps <= limit, stopping earlier if
+// Stop is called or the queue drains. Time is left at the last processed
+// event (or advanced to limit if nothing remained to process at or before
+// it and limit is not Never).
+func (g *Engine) RunUntil(limit simtime.Time) simtime.Time {
+	if g.running {
+		panic("event: RunUntil called re-entrantly from an event handler")
+	}
+	g.running = true
+	g.stopped = false
+	defer func() { g.running = false }()
+	for !g.stopped {
+		if !g.step(limit) {
+			break
+		}
+	}
+	if !g.stopped && limit != simtime.Never && limit > g.now {
+		g.now = limit
+	}
+	return g.now
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// simtime.Never when the queue is empty. Canceled events at the head are
+// skipped over without being removed.
+func (g *Engine) NextEventTime() simtime.Time {
+	for len(g.queue) > 0 {
+		if !g.queue[0].canceled {
+			return g.queue[0].when
+		}
+		heap.Pop(&g.queue)
+	}
+	return simtime.Never
+}

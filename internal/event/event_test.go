@@ -1,0 +1,371 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"galsim/internal/simtime"
+)
+
+func TestOneShotOrdering(t *testing.T) {
+	g := NewEngine()
+	var got []int
+	rec := func(id int) Func {
+		return func(now simtime.Time, _ any) { got = append(got, id) }
+	}
+	g.Schedule(30, 0, "c", rec(3), nil)
+	g.Schedule(10, 0, "a", rec(1), nil)
+	g.Schedule(20, 0, "b", rec(2), nil)
+	g.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if g.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", g.Now())
+	}
+}
+
+func TestPriorityTieBreak(t *testing.T) {
+	g := NewEngine()
+	var got []string
+	g.Schedule(5, 2, "low", func(simtime.Time, any) { got = append(got, "low") }, nil)
+	g.Schedule(5, 1, "high", func(simtime.Time, any) { got = append(got, "high") }, nil)
+	g.Schedule(5, 3, "lowest", func(simtime.Time, any) { got = append(got, "lowest") }, nil)
+	g.Run()
+	if len(got) != 3 || got[0] != "high" || got[1] != "low" || got[2] != "lowest" {
+		t.Errorf("priority order = %v", got)
+	}
+}
+
+func TestEqualTimePriorityStableBySeq(t *testing.T) {
+	g := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Schedule(7, 0, "x", func(simtime.Time, any) { got = append(got, i) }, nil)
+	}
+	g.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("insertion order not preserved: %v", got)
+		}
+	}
+}
+
+func TestPeriodicEvent(t *testing.T) {
+	g := NewEngine()
+	var times []simtime.Time
+	ev := g.SchedulePeriodic(500, 2000, 0, "clock", func(now simtime.Time, _ any) {
+		times = append(times, now)
+	}, nil)
+	g.RunUntil(10_000)
+	want := []simtime.Time{500, 2500, 4500, 6500, 8500}
+	if len(times) != len(want) {
+		t.Fatalf("fired %d times (%v), want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+	if ev.When() != 10_500 {
+		t.Errorf("next firing %v, want 10500", ev.When())
+	}
+	g.Cancel(ev)
+	g.RunUntil(100_000)
+	if len(times) != len(want) {
+		t.Error("canceled periodic event still fired")
+	}
+}
+
+func TestThreeClockFigure4(t *testing.T) {
+	// Reproduces Figure 4 of the paper: clocks with periods 2ns, 3ns, 2.5ns
+	// and phases 0.5ns, 1.0ns, 0ns. Check the first several firing times.
+	g := NewEngine()
+	type tick struct {
+		clock int
+		at    simtime.Time
+	}
+	var ticks []tick
+	ns := simtime.Nanosecond
+	g.SchedulePeriodic(ns/2, 2*ns, 1, "clock1", func(now simtime.Time, _ any) {
+		ticks = append(ticks, tick{1, now})
+	}, nil)
+	g.SchedulePeriodic(ns, 3*ns, 2, "clock2", func(now simtime.Time, _ any) {
+		ticks = append(ticks, tick{2, now})
+	}, nil)
+	g.SchedulePeriodic(0, 5*ns/2, 3, "clock3", func(now simtime.Time, _ any) {
+		ticks = append(ticks, tick{3, now})
+	}, nil)
+	g.RunUntil(6 * ns)
+	want := []tick{
+		{3, 0}, {1, ns / 2}, {2, ns}, {1, 5 * ns / 2}, {3, 5 * ns / 2},
+		{2, 4 * ns}, {1, 9 * ns / 2}, {3, 5 * ns},
+	}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(ticks), ticks, len(want))
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d = %+v, want %+v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestScheduleInPast(t *testing.T) {
+	g := NewEngine()
+	g.Schedule(100, 0, "a", func(simtime.Time, any) {}, nil)
+	g.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	g.Schedule(50, 0, "past", func(simtime.Time, any) {}, nil)
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	g := NewEngine()
+	var fired []string
+	g.Schedule(10, 0, "first", func(now simtime.Time, _ any) {
+		fired = append(fired, "first")
+		g.Schedule(now+5, 0, "chained", func(simtime.Time, any) {
+			fired = append(fired, "chained")
+		}, nil)
+	}, nil)
+	g.Run()
+	if len(fired) != 2 || fired[1] != "chained" {
+		t.Errorf("fired = %v", fired)
+	}
+	if g.Now() != 15 {
+		t.Errorf("Now() = %v, want 15", g.Now())
+	}
+}
+
+func TestZeroDelaySelfSchedule(t *testing.T) {
+	// An event may schedule another event at the same timestamp; it must run
+	// in the same pass, after the current one.
+	g := NewEngine()
+	n := 0
+	var chain Func
+	chain = func(now simtime.Time, _ any) {
+		n++
+		if n < 5 {
+			g.Schedule(now, 0, "chain", chain, nil)
+		}
+	}
+	g.Schedule(0, 0, "chain", chain, nil)
+	g.Run()
+	if n != 5 {
+		t.Errorf("chain ran %d times, want 5", n)
+	}
+}
+
+func TestStop(t *testing.T) {
+	g := NewEngine()
+	n := 0
+	g.SchedulePeriodic(0, 10, 0, "clk", func(now simtime.Time, _ any) {
+		n++
+		if n == 3 {
+			g.Stop()
+		}
+	}, nil)
+	g.Run()
+	if n != 3 {
+		t.Errorf("ran %d ticks, want 3", n)
+	}
+	if g.Len() == 0 {
+		t.Error("pending events dropped by Stop")
+	}
+}
+
+func TestSetPeriod(t *testing.T) {
+	g := NewEngine()
+	var times []simtime.Time
+	var ev *Event
+	ev = g.SchedulePeriodic(0, 10, 0, "clk", func(now simtime.Time, _ any) {
+		times = append(times, now)
+		if now == 20 {
+			g.SetPeriod(ev, 25) // frequency scaling kicks in after this tick
+		}
+	}, nil)
+	g.RunUntil(100)
+	// Note: the tick at 20 was rescheduled (with old period 10) before the
+	// handler ran, so the new period takes effect from the tick at 30.
+	want := []simtime.Time{0, 10, 20, 30, 55, 80}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestCancelOneShot(t *testing.T) {
+	g := NewEngine()
+	fired := false
+	ev := g.Schedule(10, 0, "x", func(simtime.Time, any) { fired = true }, nil)
+	g.Cancel(ev)
+	g.Cancel(ev) // double cancel is a no-op
+	g.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false")
+	}
+}
+
+func TestRunUntilAdvancesTime(t *testing.T) {
+	g := NewEngine()
+	g.Schedule(10, 0, "x", func(simtime.Time, any) {}, nil)
+	end := g.RunUntil(100)
+	if end != 100 || g.Now() != 100 {
+		t.Errorf("RunUntil = %v, Now = %v, want 100", end, g.Now())
+	}
+}
+
+func TestRunUntilDoesNotOverrun(t *testing.T) {
+	g := NewEngine()
+	var times []simtime.Time
+	g.SchedulePeriodic(0, 7, 0, "clk", func(now simtime.Time, _ any) {
+		times = append(times, now)
+	}, nil)
+	g.RunUntil(20)
+	if len(times) != 3 { // 0, 7, 14
+		t.Fatalf("ticks %v", times)
+	}
+	g.RunUntil(30) // resumes: 21, 28
+	if len(times) != 5 || times[3] != 21 || times[4] != 28 {
+		t.Fatalf("resumed ticks %v", times)
+	}
+}
+
+func TestParamDelivery(t *testing.T) {
+	g := NewEngine()
+	got := ""
+	g.Schedule(1, 0, "p", func(_ simtime.Time, param any) { got = param.(string) }, "hello")
+	g.Run()
+	if got != "hello" {
+		t.Errorf("param = %q", got)
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	g := NewEngine()
+	if g.NextEventTime() != simtime.Never {
+		t.Error("empty queue should report Never")
+	}
+	e1 := g.Schedule(50, 0, "a", func(simtime.Time, any) {}, nil)
+	g.Schedule(70, 0, "b", func(simtime.Time, any) {}, nil)
+	if g.NextEventTime() != 50 {
+		t.Errorf("NextEventTime = %v, want 50", g.NextEventTime())
+	}
+	g.Cancel(e1)
+	if g.NextEventTime() != 70 {
+		t.Errorf("after cancel NextEventTime = %v, want 70", g.NextEventTime())
+	}
+}
+
+// Property: for any set of (time, priority) pairs, execution order is the
+// sorted order by (time, priority, insertion index).
+func TestOrderingProperty(t *testing.T) {
+	type key struct {
+		when uint16
+		prio uint8
+		idx  int
+	}
+	f := func(whens []uint16, prios []uint8) bool {
+		n := len(whens)
+		if len(prios) < n {
+			n = len(prios)
+		}
+		if n == 0 {
+			return true
+		}
+		g := NewEngine()
+		var got []key
+		keys := make([]key, n)
+		for i := 0; i < n; i++ {
+			k := key{whens[i], prios[i], i}
+			keys[i] = k
+			g.Schedule(simtime.Time(k.when), int(k.prio), "k", func(_ simtime.Time, p any) {
+				got = append(got, p.(key))
+			}, k)
+		}
+		g.Run()
+		sort.SliceStable(keys, func(a, b int) bool {
+			if keys[a].when != keys[b].when {
+				return keys[a].when < keys[b].when
+			}
+			if keys[a].prio != keys[b].prio {
+				return keys[a].prio < keys[b].prio
+			}
+			return keys[a].idx < keys[b].idx
+		})
+		if len(got) != n {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a periodic event fires exactly floor((limit-start)/period)+1
+// times within [start, limit].
+func TestPeriodicCountProperty(t *testing.T) {
+	f := func(startRaw, periodRaw uint16, limitRaw uint32) bool {
+		start := simtime.Time(startRaw)
+		period := simtime.Duration(periodRaw%5000) + 1
+		limit := simtime.Time(limitRaw % 1_000_000)
+		if limit < start {
+			start, limit = limit, start
+		}
+		g := NewEngine()
+		n := 0
+		g.SchedulePeriodic(start, period, 0, "clk", func(simtime.Time, any) { n++ }, nil)
+		g.RunUntil(limit)
+		want := int((limit-start)/period) + 1
+		return n == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyRandomEventsDrainInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewEngine()
+	last := simtime.Time(-1)
+	ok := true
+	for i := 0; i < 5000; i++ {
+		when := simtime.Time(rng.Intn(1_000_000))
+		g.Schedule(when, rng.Intn(8), "r", func(now simtime.Time, _ any) {
+			if now < last {
+				ok = false
+			}
+			last = now
+		}, nil)
+	}
+	g.Run()
+	if !ok {
+		t.Error("events executed out of time order")
+	}
+	if g.Processed() != 5000 {
+		t.Errorf("processed %d, want 5000", g.Processed())
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationLinkStyleStretchLoses(t *testing.T) {
+	tbl := AblationLinkStyle(smallCfg(), "gcc")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	basePerf := parseF(t, tbl.Rows[0][1])
+	fifoPerf := parseF(t, tbl.Rows[1][1])
+	stretchPerf := parseF(t, tbl.Rows[2][1])
+	if basePerf != 1.0 {
+		t.Errorf("base relative performance = %v", basePerf)
+	}
+	// The paper's §3.2 argument quantified: the stretch-clocked machine must
+	// be clearly worse than the FIFO machine.
+	if stretchPerf >= fifoPerf {
+		t.Errorf("stretch (%.3f) should underperform FIFO (%.3f)", stretchPerf, fifoPerf)
+	}
+	if stretchPerf > 0.85 {
+		t.Errorf("stretch relative performance %.3f suspiciously good", stretchPerf)
+	}
+}
+
+func TestAblationSyncEdgesMonotone(t *testing.T) {
+	tbl := AblationSyncEdges(smallCfg(), "compress")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	p1 := parseF(t, tbl.Rows[0][1])
+	p3 := parseF(t, tbl.Rows[2][1])
+	if p3 >= p1 {
+		t.Errorf("3-flop sync (%.3f) should cost performance vs 1-flop (%.3f)", p3, p1)
+	}
+}
+
+func TestAblationFIFOCapacityHelpsThenSaturates(t *testing.T) {
+	tbl := AblationFIFOCapacity(smallCfg(), "swim")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	p4 := parseF(t, tbl.Rows[0][1])
+	p16 := parseF(t, tbl.Rows[2][1])
+	if p16 <= p4 {
+		t.Errorf("capacity 16 (%.3f) should beat capacity 4 (%.3f) on a streaming benchmark", p16, p4)
+	}
+}
+
+func TestAblationClockPhases(t *testing.T) {
+	tbl := AblationClockPhases(smallCfg(), "li")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	random := parseF(t, tbl.Rows[0][1])
+	aligned := parseF(t, tbl.Rows[1][1])
+	// Aligned clocks pay the full 2-edge latency each crossing.
+	if aligned >= random {
+		t.Errorf("aligned (%.3f) should not beat random phases (%.3f)", aligned, random)
+	}
+}
+
+func TestDynamicDVFSDemo(t *testing.T) {
+	tbl := DynamicDVFSDemo(smallCfg())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		energy := parseF(t, row[2])
+		if energy > 1.1 {
+			t.Errorf("%s: dynamic DVFS energy %.3f far above base", row[0], energy)
+		}
+	}
+	// perl (no FP) must save energy relative to base.
+	if e := parseF(t, tbl.Rows[0][2]); e >= 1.0 {
+		t.Errorf("perl dynamic DVFS energy %.3f not below base", e)
+	}
+}
+
+func TestAblationPredictor(t *testing.T) {
+	tbl := AblationPredictor(smallCfg(), "gcc")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	gshareIPC := parseF(t, tbl.Rows[0][1])
+	notTakenIPC := parseF(t, tbl.Rows[3][1])
+	if gshareIPC <= notTakenIPC {
+		t.Errorf("gshare IPC (%.2f) should beat static not-taken (%.2f)", gshareIPC, notTakenIPC)
+	}
+	gshareRate := parseF(t, tbl.Rows[0][2])
+	notTakenRate := parseF(t, tbl.Rows[3][2])
+	if gshareRate >= notTakenRate {
+		t.Errorf("gshare mispredict rate (%v%%) should be below not-taken (%v%%)", gshareRate, notTakenRate)
+	}
+}

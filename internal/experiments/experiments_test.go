@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps test runtime modest while preserving the paper's shapes.
+func smallCfg(benchmarks ...string) Config {
+	cfg := DefaultConfig()
+	cfg.Instructions = 25_000
+	cfg.Benchmarks = benchmarks
+	return cfg
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	c := RunCorpus(smallCfg("gcc", "fpppp", "compress"))
+	for _, b := range c.Benchmarks() {
+		rel := c.Pair(b).RelPerformance()
+		if rel >= 1.0 {
+			t.Errorf("%s: GALS not slower (rel %.3f)", b, rel)
+		}
+		if rel < 0.75 {
+			t.Errorf("%s: GALS unreasonably slow (rel %.3f)", b, rel)
+		}
+	}
+	if c.Pair("fpppp").RelPerformance() <= c.Pair("gcc").RelPerformance() {
+		t.Error("fpppp should be less affected than gcc (Figure 5)")
+	}
+	tbl := Fig5Performance(c)
+	if len(tbl.Rows) != 4 { // 3 benchmarks + average
+		t.Errorf("Fig5 rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "AVERAGE") {
+		t.Error("Fig5 missing average row")
+	}
+}
+
+func TestFig6SlipGrows(t *testing.T) {
+	c := RunCorpus(smallCfg("gcc", "ijpeg", "swim"))
+	for _, b := range c.Benchmarks() {
+		p := c.Pair(b)
+		if p.GALS.AvgSlip() <= p.Base.AvgSlip() {
+			t.Errorf("%s: GALS slip %v not above base %v", b, p.GALS.AvgSlip(), p.Base.AvgSlip())
+		}
+	}
+	tbl := Fig6Slip(c)
+	if len(tbl.Rows) != 4 {
+		t.Errorf("Fig6 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig7FIFOShareGrows(t *testing.T) {
+	c := RunCorpus(smallCfg("gcc", "compress"))
+	for _, b := range c.Benchmarks() {
+		p := c.Pair(b)
+		if p.GALS.FIFOSlipShare() <= p.Base.FIFOSlipShare() {
+			t.Errorf("%s: GALS FIFO share %.3f not above base %.3f",
+				b, p.GALS.FIFOSlipShare(), p.Base.FIFOSlipShare())
+		}
+		// The paper's point: FIFO residency alone cannot account for the
+		// whole slip increase.
+		fifoGrowth := float64(p.GALS.FIFOSlipSum - p.Base.FIFOSlipSum)
+		slipGrowth := float64(p.GALS.SlipSum - p.Base.SlipSum)
+		if slipGrowth <= fifoGrowth {
+			t.Errorf("%s: slip growth fully explained by FIFO residency; paper says it is not", b)
+		}
+	}
+	Fig7RelativeSlip(c) // render without panic
+}
+
+func TestFig8MisspeculationGrows(t *testing.T) {
+	c := RunCorpus(smallCfg("gcc", "compress", "li"))
+	for _, b := range c.Benchmarks() {
+		p := c.Pair(b)
+		if p.GALS.MisspeculationFrac() <= p.Base.MisspeculationFrac() {
+			t.Errorf("%s: GALS misspeculation %.3f not above base %.3f",
+				b, p.GALS.MisspeculationFrac(), p.Base.MisspeculationFrac())
+		}
+	}
+	tbl := Fig8Speculation(c)
+	if !strings.Contains(tbl.String(), "INT-AVERAGE") {
+		t.Error("Fig8 missing integer average")
+	}
+}
+
+func TestFig9EnergyNearUnityPowerBelow(t *testing.T) {
+	c := RunCorpus(smallCfg("gcc", "compress", "fpppp", "ijpeg"))
+	sumE, sumP := 0.0, 0.0
+	for _, b := range c.Benchmarks() {
+		p := c.Pair(b)
+		sumE += p.RelEnergy()
+		sumP += p.RelPower()
+	}
+	n := float64(len(c.Benchmarks()))
+	avgE, avgP := sumE/n, sumP/n
+	// Paper: energy ~+1% (GALS is NOT a net energy win); power below 1
+	// because the run stretches.
+	if avgE < 0.92 || avgE > 1.12 {
+		t.Errorf("average relative energy %.3f outside [0.92, 1.12]", avgE)
+	}
+	if avgP >= 1.0 {
+		t.Errorf("average relative power %.3f not below 1", avgP)
+	}
+	Fig9EnergyPower(c)
+}
+
+func TestFig10Breakdown(t *testing.T) {
+	cfg := smallCfg()
+	tbl := Fig10Breakdown(cfg, "compress")
+	if len(tbl.Rows) != 18 { // 17 block rows + total
+		t.Fatalf("Fig10 rows = %d", len(tbl.Rows))
+	}
+	s := tbl.String()
+	for _, want := range []string{"global clock", "fifos", "integer issue window", "TOTAL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig10 missing row %q", want)
+		}
+	}
+	// GALS has zero global clock energy and nonzero FIFO energy.
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "global clock":
+			if row[2] != "0.000" {
+				t.Errorf("GALS global clock energy %s, want 0", row[2])
+			}
+			if row[1] == "0.000" {
+				t.Error("base global clock energy is zero")
+			}
+		case "fifos":
+			if row[1] != "0.000" {
+				t.Errorf("base FIFO energy %s, want 0", row[1])
+			}
+			if row[2] == "0.000" {
+				t.Error("GALS FIFO energy is zero")
+			}
+		}
+	}
+}
+
+func TestFig11SelectiveSlowdown(t *testing.T) {
+	tbl := Fig11SelectiveSlowdown(smallCfg())
+	if len(tbl.Rows) != 4 { // perl, ijpeg, gcc generic + perl FP/3
+		t.Fatalf("Fig11 rows = %d", len(tbl.Rows))
+	}
+	// All cases lose performance and save power vs base.
+	for _, row := range tbl.Rows {
+		if row[1] >= "1.000" {
+			t.Errorf("%s: relative performance %s not below 1", row[0], row[1])
+		}
+	}
+}
+
+func TestFig12IjpegSweepMonotonic(t *testing.T) {
+	tbl := Fig12IjpegSweep(smallCfg())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Fig12 rows = %d", len(tbl.Rows))
+	}
+	// Deeper memory slowdown must not improve performance.
+	var prevPerf string
+	for i, row := range tbl.Rows {
+		if i > 0 && row[1] > prevPerf {
+			t.Errorf("performance improved with deeper memory slowdown: %s -> %s", prevPerf, row[1])
+		}
+		prevPerf = row[1]
+	}
+}
+
+func TestFig13GccIdealComparison(t *testing.T) {
+	tbl := Fig13GccSlowdown(smallCfg())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("Fig13 rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] >= "1.000" {
+			t.Errorf("%s: energy %s not reduced by FP slowdown + DVS", row[0], row[2])
+		}
+	}
+}
+
+func TestPhaseSensitivitySmall(t *testing.T) {
+	cfg := smallCfg()
+	tbl := PhaseSensitivity(cfg, "li", 4)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Ratios should hover near 1 (paper: ~0.5% sensitivity).
+	for _, row := range tbl.Rows {
+		if row[2] < "0.9" || row[2] > "1.1" {
+			t.Errorf("phase seed %s ratio %s implausible", row[0], row[2])
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl := Table1Skew()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Table1 rows = %d", len(tbl.Rows))
+	}
+	s := tbl.String()
+	for _, want := range []string{"Alpha 21064", "Itanium", "active deskewing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}

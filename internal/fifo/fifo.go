@@ -1,0 +1,326 @@
+// Package fifo implements the communication fabric between pipeline stages:
+// the synchronous pipe stages of the base processor and the mixed-clock
+// asynchronous FIFOs (after Chelcea & Nowick) that replace them between
+// clock domains in the GALS processor (paper §3.2, Figure 2).
+//
+// Both implementations satisfy the same Link interface, so the pipeline is
+// wired identically for the two machines and only the link factory differs —
+// exactly the paper's methodology ("in the synchronous version,
+// communication between successive logic blocks is done using regular pipe
+// stages; in the GALS model, asynchronous FIFOs have been used").
+//
+// Synchronization model. The Chelcea–Nowick FIFO exposes an empty flag
+// synchronized into the consumer's clock and a full flag synchronized into
+// the producer's clock, each through a two-flop synchronizer. We model that
+// as visibility latency:
+//
+//   - an item enqueued at time t can first be observed (and dequeued) by
+//     the consumer at the SyncEdges-th consumer clock edge strictly after t;
+//   - the space freed by a dequeue at time t can first be observed by the
+//     producer at the SyncEdges-th producer clock edge strictly after t.
+//
+// With SyncEdges = 2 (the default, a two-flop synchronizer) a crossing costs
+// between one and two consumer cycles depending on clock alignment — low
+// latency and full throughput in the steady state, matching the behaviour
+// the paper reports for this design, while still charging the latency that
+// produces the GALS performance gap.
+//
+// Squash. When a branch misprediction is repaired, in-flight wrong-path
+// entries must be discarded. FlushYoungerThan removes every entry younger
+// than a sequence number. Space freed by a flush is made visible to the
+// producer immediately: in hardware the squash signal resets the FIFO
+// pointers, and the producer is itself stalled/redirected during recovery,
+// so modeling an extra synchronizer delay here would change nothing
+// observable.
+package fifo
+
+import (
+	"fmt"
+
+	"galsim/internal/clock"
+	"galsim/internal/isa"
+	"galsim/internal/simtime"
+)
+
+// Link is a unidirectional, capacity-bounded, order-preserving channel
+// between two pipeline stages. Implementations are not safe for concurrent
+// use; the simulator is single-threaded.
+type Link[T any] interface {
+	// Name returns the link's diagnostic name.
+	Name() string
+	// CanPut reports whether the producer, observing at time now, sees room
+	// for one more item.
+	CanPut(now simtime.Time) bool
+	// Put enqueues an item carrying the given sequence number. It panics if
+	// CanPut(now) is false — producers must check first, as hardware does.
+	Put(now simtime.Time, seq isa.Seq, item T)
+	// CanGet reports whether the consumer, observing at time now, sees at
+	// least one item.
+	CanGet(now simtime.Time) bool
+	// Peek returns the head item without removing it; ok is false when
+	// CanGet(now) is false.
+	Peek(now simtime.Time) (item T, ok bool)
+	// Get removes and returns the head item. wait is the time the item spent
+	// in the link (now − enqueue time); ok is false when CanGet(now) is false.
+	Get(now simtime.Time) (item T, wait simtime.Duration, ok bool)
+	// FlushYoungerThan discards every entry with sequence number > seq and
+	// returns the number discarded.
+	FlushYoungerThan(seq isa.Seq) int
+	// FlushMatching discards every entry whose payload matches the
+	// predicate and returns the number discarded. Squash logic uses this
+	// with a wrong-path predicate, since post-recovery correct-path entries
+	// can carry sequence numbers above the squashing branch's.
+	FlushMatching(doomed func(T) bool) int
+	// Len returns the number of physically present entries (independent of
+	// synchronized visibility).
+	Len() int
+	// Stats returns the link's activity counters.
+	Stats() Stats
+}
+
+// Stats counts link activity; the power model charges energy per Put/Get
+// and the slip analysis aggregates TotalWait.
+type Stats struct {
+	Puts      uint64
+	Gets      uint64
+	Flushed   uint64
+	TotalWait simtime.Duration // summed over all Gets
+	// OccupancySum accumulates Len() sampled at each Put and Get, for a
+	// cheap occupancy estimate: OccupancySum / (Puts+Gets).
+	OccupancySum uint64
+}
+
+// AvgWait returns the mean residency of dequeued items.
+func (s Stats) AvgWait() simtime.Duration {
+	if s.Gets == 0 {
+		return 0
+	}
+	return s.TotalWait / simtime.Duration(s.Gets)
+}
+
+type entry[T any] struct {
+	item      T
+	seq       isa.Seq
+	enqueued  simtime.Time
+	visibleAt simtime.Time
+}
+
+// queue is the storage shared by both Link implementations.
+type queue[T any] struct {
+	name    string
+	cap     int
+	entries []entry[T]
+	stats   Stats
+}
+
+func (q *queue[T]) Name() string { return q.name }
+func (q *queue[T]) Len() int     { return len(q.entries) }
+func (q *queue[T]) Stats() Stats { return q.stats }
+
+func (q *queue[T]) headVisible(now simtime.Time) bool {
+	return len(q.entries) > 0 && q.entries[0].visibleAt <= now
+}
+
+func (q *queue[T]) push(e entry[T]) {
+	q.entries = append(q.entries, e)
+	q.stats.Puts++
+	q.stats.OccupancySum += uint64(len(q.entries))
+}
+
+func (q *queue[T]) pop(now simtime.Time) (T, simtime.Duration, bool) {
+	var zero T
+	if !q.headVisible(now) {
+		return zero, 0, false
+	}
+	e := q.entries[0]
+	// Shift rather than reslice so the backing array does not grow without
+	// bound over a long simulation.
+	copy(q.entries, q.entries[1:])
+	q.entries = q.entries[:len(q.entries)-1]
+	wait := now - e.enqueued
+	q.stats.Gets++
+	q.stats.TotalWait += wait
+	q.stats.OccupancySum += uint64(len(q.entries))
+	return e.item, wait, true
+}
+
+func (q *queue[T]) flushYoungerThan(seq isa.Seq) int {
+	return q.flushMatchingEntry(func(e entry[T]) bool { return e.seq > seq })
+}
+
+func (q *queue[T]) flushMatching(doomed func(T) bool) int {
+	return q.flushMatchingEntry(func(e entry[T]) bool { return doomed(e.item) })
+}
+
+func (q *queue[T]) flushMatchingEntry(doomed func(entry[T]) bool) int {
+	kept := q.entries[:0]
+	flushed := 0
+	for _, e := range q.entries {
+		if doomed(e) {
+			flushed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so flushed payloads do not pin memory.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = entry[T]{}
+	}
+	q.entries = kept
+	q.stats.Flushed += uint64(flushed)
+	return flushed
+}
+
+// SyncLatch is the base machine's link: a clocked pipe-stage queue. An item
+// written at one clock edge is readable at the next edge of the same clock;
+// occupancy is visible to the producer immediately (same-clock full logic).
+type SyncLatch[T any] struct {
+	queue[T]
+	clk *clock.Domain
+}
+
+// NewSyncLatch builds a synchronous pipe stage of the given capacity on clk.
+func NewSyncLatch[T any](name string, clk *clock.Domain, capacity int) *SyncLatch[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fifo: latch %q capacity %d must be positive", name, capacity))
+	}
+	return &SyncLatch[T]{queue: queue[T]{name: name, cap: capacity}, clk: clk}
+}
+
+// CanPut implements Link.
+func (l *SyncLatch[T]) CanPut(now simtime.Time) bool { return len(l.entries) < l.cap }
+
+// Put implements Link.
+func (l *SyncLatch[T]) Put(now simtime.Time, seq isa.Seq, item T) {
+	if !l.CanPut(now) {
+		panic(fmt.Sprintf("fifo: latch %q overflow at %v", l.name, now))
+	}
+	l.push(entry[T]{item: item, seq: seq, enqueued: now, visibleAt: l.clk.EdgeAfter(now)})
+}
+
+// CanGet implements Link.
+func (l *SyncLatch[T]) CanGet(now simtime.Time) bool { return l.headVisible(now) }
+
+// Peek implements Link.
+func (l *SyncLatch[T]) Peek(now simtime.Time) (T, bool) {
+	var zero T
+	if !l.headVisible(now) {
+		return zero, false
+	}
+	return l.entries[0].item, true
+}
+
+// Get implements Link.
+func (l *SyncLatch[T]) Get(now simtime.Time) (T, simtime.Duration, bool) { return l.pop(now) }
+
+// FlushYoungerThan implements Link.
+func (l *SyncLatch[T]) FlushYoungerThan(seq isa.Seq) int { return l.flushYoungerThan(seq) }
+
+// FlushMatching implements Link.
+func (l *SyncLatch[T]) FlushMatching(doomed func(T) bool) int { return l.flushMatching(doomed) }
+
+// MixedClockFIFO is the GALS machine's link: the Chelcea–Nowick style
+// mixed-timing FIFO with synchronized full/empty flags.
+type MixedClockFIFO[T any] struct {
+	queue[T]
+	producer  *clock.Domain
+	consumer  *clock.Domain
+	syncEdges int64
+	// freeAt holds, for each dequeue/flush not yet visible to the producer,
+	// the producer-clock time at which the freed slot becomes visible.
+	freeAt []simtime.Time
+}
+
+// NewMixedClockFIFO builds a mixed-clock FIFO between the producer's and
+// consumer's clock domains. syncEdges is the depth of the flag
+// synchronizers in destination-clock edges (2 = two-flop, the default used
+// by the paper's experiments; 1 models an aggressive single-flop design).
+func NewMixedClockFIFO[T any](name string, producer, consumer *clock.Domain, capacity, syncEdges int) *MixedClockFIFO[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("fifo: fifo %q capacity %d must be positive", name, capacity))
+	}
+	if syncEdges < 1 {
+		panic(fmt.Sprintf("fifo: fifo %q syncEdges %d must be >= 1", name, syncEdges))
+	}
+	if producer == nil || consumer == nil {
+		panic(fmt.Sprintf("fifo: fifo %q requires both clock domains", name))
+	}
+	return &MixedClockFIFO[T]{
+		queue:     queue[T]{name: name, cap: capacity},
+		producer:  producer,
+		consumer:  consumer,
+		syncEdges: int64(syncEdges),
+	}
+}
+
+// perceivedLen returns the occupancy as the producer sees it at time now:
+// physically present entries plus freed slots whose release has not yet
+// crossed the full-flag synchronizer.
+func (f *MixedClockFIFO[T]) perceivedLen(now simtime.Time) int {
+	// Prune frees that have become visible.
+	kept := f.freeAt[:0]
+	for _, t := range f.freeAt {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	f.freeAt = kept
+	return len(f.entries) + len(f.freeAt)
+}
+
+// CanPut implements Link.
+func (f *MixedClockFIFO[T]) CanPut(now simtime.Time) bool {
+	return f.perceivedLen(now) < f.cap
+}
+
+// Put implements Link.
+func (f *MixedClockFIFO[T]) Put(now simtime.Time, seq isa.Seq, item T) {
+	if !f.CanPut(now) {
+		panic(fmt.Sprintf("fifo: fifo %q overflow at %v", f.name, now))
+	}
+	f.push(entry[T]{
+		item:      item,
+		seq:       seq,
+		enqueued:  now,
+		visibleAt: f.consumer.NthEdgeAfter(now, f.syncEdges),
+	})
+}
+
+// CanGet implements Link.
+func (f *MixedClockFIFO[T]) CanGet(now simtime.Time) bool { return f.headVisible(now) }
+
+// Peek implements Link.
+func (f *MixedClockFIFO[T]) Peek(now simtime.Time) (T, bool) {
+	var zero T
+	if !f.headVisible(now) {
+		return zero, false
+	}
+	return f.entries[0].item, true
+}
+
+// Get implements Link.
+func (f *MixedClockFIFO[T]) Get(now simtime.Time) (T, simtime.Duration, bool) {
+	item, wait, ok := f.pop(now)
+	if ok {
+		f.freeAt = append(f.freeAt, f.producer.NthEdgeAfter(now, f.syncEdges))
+	}
+	return item, wait, ok
+}
+
+// FlushYoungerThan implements Link. Freed space is visible to the producer
+// immediately (pointer reset; see package comment).
+func (f *MixedClockFIFO[T]) FlushYoungerThan(seq isa.Seq) int {
+	return f.flushYoungerThan(seq)
+}
+
+// FlushMatching implements Link. Freed space is visible to the producer
+// immediately, as with FlushYoungerThan.
+func (f *MixedClockFIFO[T]) FlushMatching(doomed func(T) bool) int {
+	return f.flushMatching(doomed)
+}
+
+// Compile-time interface checks.
+var (
+	_ Link[int] = (*SyncLatch[int])(nil)
+	_ Link[int] = (*MixedClockFIFO[int])(nil)
+)

@@ -1,0 +1,129 @@
+package fifo
+
+import (
+	"fmt"
+
+	"galsim/internal/clock"
+	"galsim/internal/isa"
+	"galsim/internal/simtime"
+)
+
+// StretchLink models the stretchable-clock communication scheme the paper
+// discusses (and rejects) in §3.2: an arbiter inside the loop of each ring
+// oscillator stretches one phase of *both* clocks while a handshake and
+// data transfer take place. The scheme is elegant and fail-safe but
+// serializes communication — "stretching the clock every cycle would lead
+// to a situation where the effective clock frequency is determined not by
+// the clock generator but by the rate of communication with other
+// synchronous modules".
+//
+// The model: the link is a rendezvous of configurable width (the number of
+// items one stretched transaction can carry). Each transaction occupies the
+// channel for a handshake duration during which no further transfer may
+// begin, and the transferred items become visible to the consumer only when
+// the handshake completes. This captures the property that matters at the
+// architecture level: throughput is bounded by the handshake rate rather
+// than by either clock. (The induced stall of the two synchronous blocks is
+// reflected in the transfer serialization rather than by actually modulating
+// the clock events, whose periods are closed-form; see DESIGN.md.)
+type StretchLink[T any] struct {
+	queue[T]
+	producer  *clock.Domain
+	consumer  *clock.Domain
+	handshake simtime.Duration
+	busyUntil simtime.Time
+	width     int
+	inFlight  int // items carried by the current (incomplete) transaction
+}
+
+// NewStretchLink builds a stretchable-clock channel. handshake is the
+// duration of one stretched transaction; width is the number of items it
+// can carry (its "bus width" in items).
+func NewStretchLink[T any](name string, producer, consumer *clock.Domain, handshake simtime.Duration, width int) *StretchLink[T] {
+	if handshake <= 0 {
+		panic(fmt.Sprintf("fifo: stretch link %q handshake %v must be positive", name, handshake))
+	}
+	if width <= 0 {
+		panic(fmt.Sprintf("fifo: stretch link %q width %d must be positive", name, width))
+	}
+	if producer == nil || consumer == nil {
+		panic(fmt.Sprintf("fifo: stretch link %q requires both clock domains", name))
+	}
+	return &StretchLink[T]{
+		queue:     queue[T]{name: name, cap: width},
+		producer:  producer,
+		consumer:  consumer,
+		handshake: handshake,
+		width:     width,
+	}
+}
+
+// CanPut implements Link: a new item may join the current transaction if
+// the channel is idle or the in-progress transaction still has width left.
+func (s *StretchLink[T]) CanPut(now simtime.Time) bool {
+	if now < s.busyUntil {
+		return s.inFlight > 0 && s.inFlight < s.width
+	}
+	return len(s.entries) < s.cap
+}
+
+// Put implements Link. The first item of a transaction starts the
+// handshake; all items of one transaction become visible together at the
+// first consumer edge at or after handshake completion.
+func (s *StretchLink[T]) Put(now simtime.Time, seq isa.Seq, item T) {
+	if !s.CanPut(now) {
+		panic(fmt.Sprintf("fifo: stretch link %q busy at %v", s.name, now))
+	}
+	if now >= s.busyUntil {
+		// Start a new transaction.
+		s.busyUntil = now + s.handshake
+		s.inFlight = 0
+	}
+	s.inFlight++
+	s.push(entry[T]{
+		item:      item,
+		seq:       seq,
+		enqueued:  now,
+		visibleAt: s.consumer.EdgeAtOrAfter(s.busyUntil),
+	})
+}
+
+// CanGet implements Link.
+func (s *StretchLink[T]) CanGet(now simtime.Time) bool { return s.headVisible(now) }
+
+// Peek implements Link.
+func (s *StretchLink[T]) Peek(now simtime.Time) (T, bool) {
+	var zero T
+	if !s.headVisible(now) {
+		return zero, false
+	}
+	return s.entries[0].item, true
+}
+
+// Get implements Link.
+func (s *StretchLink[T]) Get(now simtime.Time) (T, simtime.Duration, bool) {
+	return s.pop(now)
+}
+
+// FlushYoungerThan implements Link.
+func (s *StretchLink[T]) FlushYoungerThan(seq isa.Seq) int {
+	n := s.flushYoungerThan(seq)
+	s.resetIfEmpty()
+	return n
+}
+
+// FlushMatching implements Link.
+func (s *StretchLink[T]) FlushMatching(doomed func(T) bool) int {
+	n := s.flushMatching(doomed)
+	s.resetIfEmpty()
+	return n
+}
+
+func (s *StretchLink[T]) resetIfEmpty() {
+	if len(s.entries) == 0 {
+		s.busyUntil = 0
+		s.inFlight = 0
+	}
+}
+
+var _ Link[int] = (*StretchLink[int])(nil)

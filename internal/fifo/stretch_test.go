@@ -1,0 +1,120 @@
+package fifo
+
+import (
+	"testing"
+
+	"galsim/internal/clock"
+	"galsim/internal/isa"
+	"galsim/internal/simtime"
+)
+
+func stretchPair() (*clock.Domain, *clock.Domain) {
+	p := clock.NewDomain("p", ns, 0, 1.65)
+	c := clock.NewDomain("c", ns, 300*simtime.Picosecond, 1.65)
+	return p, c
+}
+
+func TestStretchTransactionLatency(t *testing.T) {
+	p, c := stretchPair()
+	l := NewStretchLink[int]("s", p, c, 1500*simtime.Picosecond, 4)
+	l.Put(0, 1, 42)
+	// Handshake completes at 1.5ns; first consumer edge at/after: 2.3ns.
+	if l.CanGet(1300 * simtime.Picosecond) {
+		t.Error("item visible before the handshake completed")
+	}
+	if !l.CanGet(2300 * simtime.Picosecond) {
+		t.Error("item not visible after handshake completion")
+	}
+	v, _, ok := l.Get(2300 * simtime.Picosecond)
+	if !ok || v != 42 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+}
+
+func TestStretchSerializesTransactions(t *testing.T) {
+	p, c := stretchPair()
+	l := NewStretchLink[int]("s", p, c, 1500*simtime.Picosecond, 2)
+	l.Put(0, 1, 1)
+	if !l.CanPut(0) {
+		t.Fatal("second item of the same transaction refused")
+	}
+	l.Put(0, 2, 2)
+	// Transaction full: nothing more until the channel drains.
+	if l.CanPut(1000 * simtime.Picosecond) {
+		t.Error("third item accepted mid-handshake beyond width")
+	}
+	at := 2300 * simtime.Picosecond
+	l.Get(at)
+	l.Get(at)
+	if !l.CanPut(at) {
+		t.Error("drained channel refused a new transaction")
+	}
+}
+
+func TestStretchThroughputBoundedByHandshake(t *testing.T) {
+	// The paper's §3.2 argument: with per-cycle communication, effective
+	// frequency is set by the handshake rate, not the clock. With a 1.5ns
+	// handshake and width 1, at most ~666 items can cross per microsecond
+	// even though both clocks run at 1 GHz.
+	p, c := stretchPair()
+	l := NewStretchLink[int]("s", p, c, 1500*simtime.Picosecond, 1)
+	var delivered int
+	for now := simtime.Time(0); now < simtime.Microsecond; now += 100 * simtime.Picosecond {
+		if l.CanGet(now) {
+			l.Get(now)
+			delivered++
+		}
+		if l.CanPut(now) {
+			l.Put(now, isa.Seq(delivered), delivered)
+		}
+	}
+	if delivered > 700 {
+		t.Errorf("delivered %d items/us, handshake should cap near 666", delivered)
+	}
+	if delivered < 300 {
+		t.Errorf("delivered only %d items/us; channel nearly dead", delivered)
+	}
+}
+
+func TestStretchFlushResets(t *testing.T) {
+	p, c := stretchPair()
+	l := NewStretchLink[int]("s", p, c, 1500*simtime.Picosecond, 2)
+	l.Put(0, 10, 1)
+	l.Put(0, 11, 2)
+	if n := l.FlushYoungerThan(9); n != 2 {
+		t.Fatalf("flushed %d", n)
+	}
+	if !l.CanPut(100) {
+		t.Error("flushed channel still busy")
+	}
+}
+
+func TestStretchValidation(t *testing.T) {
+	p, c := stretchPair()
+	for name, fn := range map[string]func(){
+		"handshake": func() { NewStretchLink[int]("s", p, c, 0, 1) },
+		"width":     func() { NewStretchLink[int]("s", p, c, ns, 0) },
+		"clocks":    func() { NewStretchLink[int]("s", nil, c, ns, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStretchOverflowPanics(t *testing.T) {
+	p, c := stretchPair()
+	l := NewStretchLink[int]("s", p, c, ns, 1)
+	l.Put(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("mid-handshake Put did not panic")
+		}
+	}()
+	l.Put(100, 2, 2)
+}

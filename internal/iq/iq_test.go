@@ -1,0 +1,182 @@
+package iq
+
+import (
+	"testing"
+
+	"galsim/internal/isa"
+)
+
+func mk(seq isa.Seq, srcs ...int) *isa.Instr {
+	in := isa.NewInstr(seq, 0, isa.ClassIntALU)
+	for i, s := range srcs {
+		in.PhysSrc[i] = s
+	}
+	return in
+}
+
+func allReady(int) bool { return true }
+
+func TestInsertSelect(t *testing.T) {
+	q := New("int", 4)
+	q.Insert(mk(1))
+	q.Insert(mk(2))
+	got := q.SelectReady(4, allReady)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("selected %v", got)
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d after draining", q.Len())
+	}
+}
+
+func TestOldestFirstSelection(t *testing.T) {
+	q := New("int", 8)
+	for i := 1; i <= 6; i++ {
+		q.Insert(mk(isa.Seq(i)))
+	}
+	got := q.SelectReady(2, allReady)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("width-limited selection picked %v, want oldest two", got)
+	}
+	if q.Len() != 4 {
+		t.Errorf("len = %d, want 4", q.Len())
+	}
+}
+
+func TestReadinessGating(t *testing.T) {
+	q := New("int", 8)
+	q.Insert(mk(1, 10))     // waits on phys 10
+	q.Insert(mk(2, -1, -1)) // no operands: always ready
+	q.Insert(mk(3, 11))     // waits on phys 11
+	ready := func(p int) bool { return p < 0 || p == 11 }
+	got := q.SelectReady(4, ready)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Errorf("selected %v, want seqs 2,3", got)
+	}
+	// Entry 1 remains, preserving order for later selection.
+	got = q.SelectReady(4, allReady)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("leftover = %v", got)
+	}
+}
+
+func TestBothOperandsMustBeReady(t *testing.T) {
+	q := New("int", 4)
+	q.Insert(mk(1, 5, 6))
+	ready := func(p int) bool { return p != 6 }
+	if got := q.SelectReady(4, ready); len(got) != 0 {
+		t.Errorf("selected %v with an unready operand", got)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	q := New("int", 1)
+	q.Insert(mk(1))
+	if !q.Full() {
+		t.Error("Full() = false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	q.Insert(mk(2))
+}
+
+func TestFlushWrongPath(t *testing.T) {
+	q := New("int", 8)
+	for i := 1; i <= 6; i++ {
+		in := mk(isa.Seq(i))
+		in.WrongPath = i > 3
+		q.Insert(in)
+	}
+	n := q.FlushWrongPath(func(in *isa.Instr) bool { return in.WrongPath })
+	if n != 3 || q.Len() != 3 {
+		t.Errorf("flushed %d, len %d", n, q.Len())
+	}
+	got := q.SelectReady(8, allReady)
+	for i, in := range got {
+		if in.Seq != isa.Seq(i+1) {
+			t.Errorf("survivor %d has seq %d", i, in.Seq)
+		}
+	}
+}
+
+func TestStatsAndOccupancy(t *testing.T) {
+	q := New("int", 8)
+	q.Insert(mk(1))
+	q.Insert(mk(2))
+	q.Tick() // occupancy 2
+	q.SelectReady(1, allReady)
+	q.Tick() // occupancy 1
+	st := q.Stats()
+	if st.Inserts != 2 || st.Issues != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AvgOccupancy != 1.5 {
+		t.Errorf("avg occupancy = %v, want 1.5", st.AvgOccupancy)
+	}
+}
+
+func TestScanOrderingState(t *testing.T) {
+	q := New("mem", 8)
+	mk2 := func(seq isa.Seq, cls isa.Class) *isa.Instr {
+		in := isa.NewInstr(seq, 0, cls)
+		in.PhysSrc = [2]int{-1, -1}
+		return in
+	}
+	q.Insert(mk2(1, isa.ClassLoad))
+	q.Insert(mk2(2, isa.ClassStore))
+	q.Insert(mk2(3, isa.ClassLoad))
+	// Policy: loads after an unready store stay queued.
+	storeSeen := false
+	got := q.Scan(4, func(in *isa.Instr) bool {
+		if in.Class == isa.ClassStore {
+			storeSeen = true
+			return false // store not ready
+		}
+		return !storeSeen
+	})
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("scan selected %v, want only seq 1", got)
+	}
+	if q.Len() != 2 {
+		t.Errorf("len = %d, want 2", q.Len())
+	}
+	// Remaining entries stay in program order.
+	rest := q.Scan(4, func(*isa.Instr) bool { return true })
+	if len(rest) != 2 || rest[0].Seq != 2 || rest[1].Seq != 3 {
+		t.Errorf("remaining = %v", rest)
+	}
+}
+
+func TestScanWidthLimit(t *testing.T) {
+	q := New("x", 8)
+	for i := 1; i <= 5; i++ {
+		q.Insert(mk(isa.Seq(i)))
+	}
+	got := q.Scan(2, func(*isa.Instr) bool { return true })
+	if len(got) != 2 || got[0].Seq != 1 {
+		t.Errorf("scan = %v", got)
+	}
+	if got := q.Scan(0, func(*isa.Instr) bool { return true }); got != nil {
+		t.Errorf("width 0 scan = %v", got)
+	}
+}
+
+func TestZeroWidthSelection(t *testing.T) {
+	q := New("int", 4)
+	q.Insert(mk(1))
+	if got := q.SelectReady(0, allReady); got != nil {
+		t.Errorf("width 0 selected %v", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	New("x", 0)
+}

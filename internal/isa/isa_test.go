@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"galsim/internal/simtime"
+)
+
+func TestClassPartition(t *testing.T) {
+	// Every class belongs to exactly one execution cluster.
+	for c := Class(0); c < Class(NumClasses); c++ {
+		n := 0
+		if c.IsInt() {
+			n++
+		}
+		if c.IsFP() {
+			n++
+		}
+		if c.IsMem() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("class %v belongs to %d clusters, want 1", c, n)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < Class(NumClasses); c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("class %d has empty or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if Class(200).String() != "class(200)" {
+		t.Errorf("unknown class name = %q", Class(200).String())
+	}
+}
+
+func TestExecLatencies(t *testing.T) {
+	cases := map[Class]int{
+		ClassNop:    1,
+		ClassIntALU: 1,
+		ClassBranch: 1,
+		ClassIntMul: 3,
+		ClassFPAdd:  2,
+		ClassFPMul:  4,
+		ClassFPDiv:  12,
+		ClassLoad:   1,
+		ClassStore:  1,
+	}
+	for c, want := range cases {
+		if got := c.ExecLatency(); got != want {
+			t.Errorf("%v latency = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestRegs(t *testing.T) {
+	if !ZeroReg.IsZero() || !ZeroReg.Valid() {
+		t.Error("ZeroReg misclassified")
+	}
+	r := Reg{File: RegInt, Index: 5}
+	if r.IsZero() || !r.Valid() {
+		t.Error("r5 misclassified")
+	}
+	if (Reg{}).Valid() {
+		t.Error("zero Reg should be invalid")
+	}
+	if r.String() != "r5" {
+		t.Errorf("r5 String = %q", r.String())
+	}
+	if (Reg{File: RegFP, Index: 3}).String() != "f3" {
+		t.Error("f3 String wrong")
+	}
+	if (Reg{}).String() != "-" {
+		t.Error("none String wrong")
+	}
+}
+
+func TestNewInstr(t *testing.T) {
+	in := NewInstr(42, 0x1000, ClassLoad)
+	if in.Seq != 42 || in.PC != 0x1000 || in.Class != ClassLoad {
+		t.Error("identity fields wrong")
+	}
+	if in.PhysDest != -1 || in.PhysSrc[0] != -1 || in.PhysSrc[1] != -1 || in.OldPhys != -1 {
+		t.Error("physical registers should start unmapped")
+	}
+	for name, ts := range map[string]simtime.Time{
+		"fetch": in.FetchTime, "decode": in.DecodeTime, "dispatch": in.DispatchTime,
+		"issue": in.IssueTime, "complete": in.CompleteTime, "commit": in.CommitTime,
+	} {
+		if ts != simtime.Never {
+			t.Errorf("%s timestamp initialized to %v, want Never", name, ts)
+		}
+	}
+}
+
+func TestSlip(t *testing.T) {
+	in := NewInstr(1, 0, ClassIntALU)
+	in.FetchTime = 100
+	in.CommitTime = 900
+	if s := in.Slip(); s != 800 {
+		t.Errorf("Slip = %v, want 800", s)
+	}
+}
+
+func TestSlipPanicsUncommitted(t *testing.T) {
+	in := NewInstr(1, 0, ClassIntALU)
+	in.FetchTime = 100
+	defer func() {
+		if recover() == nil {
+			t.Error("Slip of uncommitted instruction did not panic")
+		}
+	}()
+	_ = in.Slip()
+}
+
+func TestSlipProperty(t *testing.T) {
+	f := func(fetch uint32, extra uint16) bool {
+		in := NewInstr(0, 0, ClassIntALU)
+		in.FetchTime = simtime.Time(fetch)
+		in.CommitTime = in.FetchTime + simtime.Time(extra)
+		return in.Slip() == simtime.Duration(extra)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

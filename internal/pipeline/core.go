@@ -1,0 +1,544 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"galsim/internal/bpred"
+	"galsim/internal/cache"
+	"galsim/internal/clock"
+	"galsim/internal/event"
+	"galsim/internal/fifo"
+	"galsim/internal/iq"
+	"galsim/internal/isa"
+	"galsim/internal/power"
+	"galsim/internal/rename"
+	"galsim/internal/rob"
+	"galsim/internal/simtime"
+	"galsim/internal/workload"
+)
+
+// wakeTag is the payload of a cross-domain wakeup FIFO: a completed physical
+// register's identity, with enough provenance to discard stale wrong-path
+// tags.
+type wakeTag struct {
+	phys      int
+	seq       isa.Seq
+	wrongPath bool
+	wpid      uint64
+}
+
+// inflightOp is an issued instruction awaiting completion in an execution
+// domain.
+type inflightOp struct {
+	in     *isa.Instr
+	doneAt simtime.Time
+}
+
+// execUnit is the per-execution-domain machinery: issue queue, functional
+// units, and in-flight operations.
+type execUnit struct {
+	dom         DomainID
+	queue       *iq.Queue
+	fuBusyUntil []simtime.Time
+	inflight    []inflightOp
+}
+
+// execDomains lists the three execution domains.
+var execDomains = []DomainID{DomInt, DomFP, DomMem}
+
+// Core is one simulated machine (base or GALS) bound to one workload.
+type Core struct {
+	cfg  Config
+	eng  *event.Engine
+	gen  *workload.Generator
+	pred *bpred.Predictor
+	mem  *cache.Hierarchy
+	mtr  *power.Meter
+	rat  *rename.Table
+	rob  *rob.ROB
+
+	clocks [NumDomains]*clock.Domain // base: all entries alias one domain
+
+	// Links. decodeToRename is always a same-domain pipe latch; the rest are
+	// latches in base and mixed-clock FIFOs in GALS.
+	fetchToDecode  fifo.Link[*isa.Instr]
+	decodeToRename fifo.Link[*isa.Instr]
+	dispatch       [NumDomains]fifo.Link[*isa.Instr] // int/fp/mem slots used
+	complete       [NumDomains]fifo.Link[*isa.Instr] // int/fp/mem slots used
+	wakeIntToMem   fifo.Link[wakeTag]
+	wakeFPToMem    fifo.Link[wakeTag]
+	wakeMemToInt   fifo.Link[wakeTag]
+	wakeMemToFP    fifo.Link[wakeTag]
+
+	// readyAt[d][p] is the local time at or after which execution domain d
+	// may issue a consumer of physical register p.
+	readyAt [NumDomains][]simtime.Time
+
+	exec [NumDomains]*execUnit // int/fp/mem slots used
+
+	// Fetch state.
+	nextSeq       isa.Seq
+	inWrongPath   bool
+	currentWPID   uint64
+	icacheStallTo simtime.Time
+	lastFetchLine uint64
+	l1iLineShift  uint
+	histSnapshot  uint64 // gshare history at wrong-path entry, restored at redirect
+
+	// Squash state: at most one unresolved misprediction exists at a time.
+	sq struct {
+		active   bool
+		seq      isa.Seq
+		time     simtime.Time
+		observed [NumDomains]bool
+	}
+	resolvedWPID uint64
+
+	// Run control.
+	targetCommits uint64
+	done          bool
+	started       bool
+	decodeCycles  uint64
+	lastProgress  uint64 // decodeCycles value at the last commit
+
+	commitHook func(*isa.Instr)
+
+	// Dynamic DVFS controller state and the periodic tick events it retunes.
+	dvfs       dvfsState
+	tickEvents [NumDomains]*event.Event
+
+	stats Stats
+}
+
+// OnCommit registers a hook invoked for every committed instruction, after
+// its timestamps are final. Used for tracing and invariant checking; must
+// be set before Run.
+func (c *Core) OnCommit(fn func(*isa.Instr)) {
+	if c.started {
+		panic("pipeline: OnCommit after Run")
+	}
+	c.commitHook = fn
+}
+
+// NewCore builds a machine for the given configuration and benchmark.
+func NewCore(cfg Config, prof workload.Profile) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		cfg:  cfg,
+		eng:  event.NewEngine(),
+		gen:  workload.NewGenerator(prof, cfg.WorkloadSeed),
+		pred: bpred.New(cfg.Bpred),
+		mem:  cache.NewHierarchy(cfg.Caches),
+		mtr:  power.NewMeter(cfg.Power),
+		rat:  rename.New(cfg.PhysInt, cfg.PhysFP),
+		rob:  rob.New(cfg.ROBSize),
+	}
+	c.stats.Kind = cfg.Kind
+	c.stats.Benchmark = prof.Name
+	c.lastFetchLine = ^uint64(0)
+	for l := cfg.Caches.L1I.LineBytes; l > 1; l >>= 1 {
+		c.l1iLineShift++
+	}
+
+	c.buildClocks()
+	c.buildLinks()
+
+	for d := range c.readyAt {
+		c.readyAt[d] = make([]simtime.Time, c.rat.NumPhys())
+	}
+	c.exec[DomInt] = &execUnit{dom: DomInt, queue: iq.New("int-iq", cfg.IntIQSize),
+		fuBusyUntil: make([]simtime.Time, cfg.IntIssueWidth)}
+	c.exec[DomFP] = &execUnit{dom: DomFP, queue: iq.New("fp-iq", cfg.FPIQSize),
+		fuBusyUntil: make([]simtime.Time, cfg.FPIssueWidth)}
+	c.exec[DomMem] = &execUnit{dom: DomMem, queue: iq.New("mem-iq", cfg.MemIQSize),
+		fuBusyUntil: make([]simtime.Time, cfg.MemIssueWidth)}
+	return c
+}
+
+// buildClocks creates the clock domains, applies slowdowns and (optionally)
+// the DVFS voltages, and computes per-domain energy scale factors.
+func (c *Core) buildClocks() {
+	vnom := c.cfg.DVFS.VNominal
+	if c.cfg.Kind == Base {
+		d := clock.NewDomain("core", c.cfg.NominalPeriod, 0, vnom)
+		if s := c.cfg.Slowdowns[0]; s != 1 {
+			d.SetSlowdown(s)
+			if c.cfg.AutoVoltage {
+				d.SetVoltage(c.cfg.DVFS.VoltageForSlowdown(s))
+			}
+		}
+		for i := range c.clocks {
+			c.clocks[i] = d
+		}
+		return
+	}
+	var periods [NumDomains]simtime.Duration
+	tmp := [NumDomains]*clock.Domain{}
+	for i := range tmp {
+		d := clock.NewDomain(DomainID(i).String(), c.cfg.NominalPeriod, 0, vnom)
+		if s := c.cfg.Slowdowns[i]; s != 1 {
+			d.SetSlowdown(s)
+			if c.cfg.AutoVoltage {
+				d.SetVoltage(c.cfg.DVFS.VoltageForSlowdown(s))
+			}
+		}
+		periods[i] = d.Period()
+		tmp[i] = d
+	}
+	phases := c.cfg.randomPhases(periods)
+	for i, d := range tmp {
+		d.SetPhase(phases[i])
+		c.clocks[i] = d
+	}
+}
+
+// buildLinks creates the communication fabric: latches for base, mixed-clock
+// FIFOs for GALS. decodeToRename never crosses a domain boundary, so it is a
+// latch in both variants.
+func (c *Core) buildLinks() {
+	edges := func(class int) int {
+		if c.cfg.debugEdges != nil {
+			return c.cfg.debugEdges[class]
+		}
+		return c.cfg.FIFOSyncEdges
+	}
+	handshake := c.cfg.StretchHandshake
+	if handshake == 0 {
+		handshake = c.cfg.NominalPeriod + c.cfg.NominalPeriod/2
+	}
+	stretchWidth := c.cfg.StretchWidth
+	if stretchWidth == 0 {
+		stretchWidth = 4
+	}
+	instrLink := func(name string, from, to DomainID, class int) fifo.Link[*isa.Instr] {
+		switch {
+		case c.cfg.Kind == Base:
+			return fifo.NewSyncLatch[*isa.Instr](name, c.clocks[0], c.cfg.LatchCapacity)
+		case c.cfg.LinkStyle == LinkStretch:
+			return fifo.NewStretchLink[*isa.Instr](name, c.clocks[from], c.clocks[to],
+				handshake, stretchWidth)
+		default:
+			return fifo.NewMixedClockFIFO[*isa.Instr](name, c.clocks[from], c.clocks[to],
+				c.cfg.FIFOCapacity, edges(class))
+		}
+	}
+	wakeLink := func(name string, from, to DomainID) fifo.Link[wakeTag] {
+		switch {
+		case c.cfg.Kind == Base:
+			return fifo.NewSyncLatch[wakeTag](name, c.clocks[0], 2*c.cfg.FIFOCapacity)
+		case c.cfg.LinkStyle == LinkStretch:
+			return fifo.NewStretchLink[wakeTag](name, c.clocks[from], c.clocks[to],
+				handshake, stretchWidth)
+		default:
+			return fifo.NewMixedClockFIFO[wakeTag](name, c.clocks[from], c.clocks[to],
+				2*c.cfg.FIFOCapacity, edges(3))
+		}
+	}
+
+	c.fetchToDecode = instrLink("fetch->decode", DomFetch, DomDecode, 0)
+	c.decodeToRename = fifo.NewSyncLatch[*isa.Instr]("decode->rename", c.clocks[DomDecode], c.cfg.LatchCapacity)
+	for _, d := range execDomains {
+		c.dispatch[d] = instrLink(fmt.Sprintf("dispatch->%v", d), DomDecode, d, 1)
+		c.complete[d] = instrLink(fmt.Sprintf("complete<-%v", d), d, DomDecode, 2)
+	}
+	c.wakeIntToMem = wakeLink("wake int->mem", DomInt, DomMem)
+	c.wakeFPToMem = wakeLink("wake fp->mem", DomFP, DomMem)
+	c.wakeMemToInt = wakeLink("wake mem->int", DomMem, DomInt)
+	c.wakeMemToFP = wakeLink("wake mem->fp", DomMem, DomFP)
+}
+
+// doomed reports whether an instruction belongs to an already-resolved
+// wrong-path excursion and must be discarded wherever it is found.
+func (c *Core) doomed(in *isa.Instr) bool {
+	return in.WrongPath && in.WPID <= c.resolvedWPID
+}
+
+func (c *Core) doomedTag(t wakeTag) bool {
+	return t.wrongPath && t.wpid <= c.resolvedWPID
+}
+
+// execDomainOf maps an instruction class to its execution domain.
+func execDomainOf(cl isa.Class) DomainID {
+	switch {
+	case cl.IsFP():
+		return DomFP
+	case cl.IsMem():
+		return DomMem
+	default:
+		return DomInt
+	}
+}
+
+// iqBlock maps an execution domain to its issue-window power block.
+func iqBlock(d DomainID) power.Block {
+	switch d {
+	case DomInt:
+		return power.BlockIntIQ
+	case DomFP:
+		return power.BlockFPIQ
+	case DomMem:
+		return power.BlockMemIQ
+	default:
+		panic(fmt.Sprintf("pipeline: no issue queue in domain %v", d))
+	}
+}
+
+// gridBlock maps a domain to its local clock grid block.
+func gridBlock(d DomainID) power.Block {
+	switch d {
+	case DomFetch:
+		return power.BlockFetchClock
+	case DomDecode:
+		return power.BlockDecodeClock
+	case DomInt:
+		return power.BlockIntClock
+	case DomFP:
+		return power.BlockFPClock
+	case DomMem:
+		return power.BlockMemClock
+	default:
+		panic(fmt.Sprintf("pipeline: no grid for domain %v", d))
+	}
+}
+
+// activityBlocks lists the non-clock blocks owned by each domain.
+func activityBlocks(d DomainID) []power.Block {
+	switch d {
+	case DomFetch:
+		return []power.Block{power.BlockICache, power.BlockBPred}
+	case DomDecode:
+		return []power.Block{power.BlockRename, power.BlockRegfile}
+	case DomInt:
+		return []power.Block{power.BlockIntIQ, power.BlockALUs}
+	case DomFP:
+		return []power.Block{power.BlockFPIQ, power.BlockFPALUs}
+	case DomMem:
+		return []power.Block{power.BlockMemIQ, power.BlockDCache, power.BlockL2}
+	default:
+		panic(fmt.Sprintf("pipeline: unknown domain %v", d))
+	}
+}
+
+// postSquash is called by the integer domain when a mispredicted
+// correct-path branch resolves: it broadcasts the squash and flushes the
+// resolving domain's own structures immediately.
+func (c *Core) postSquash(br *isa.Instr, now simtime.Time) {
+	if c.sq.active {
+		panic(fmt.Sprintf("pipeline: overlapping squash at %v (branch %d over %d)", now, br.Seq, c.sq.seq))
+	}
+	c.sq.active = true
+	c.sq.seq = br.Seq
+	c.sq.time = now
+	c.sq.observed = [NumDomains]bool{}
+	c.resolvedWPID = br.WPID
+	c.stats.Recoveries++
+	c.doObserve(DomInt, now)
+}
+
+// observeSquash lets domain d act on a pending squash once its synchronized
+// copy of the signal has arrived (the resolving domain sees it immediately;
+// others after one edge in base, FIFOSyncEdges edges in GALS).
+func (c *Core) observeSquash(d DomainID, now simtime.Time) {
+	if !c.sq.active || c.sq.observed[d] {
+		return
+	}
+	edges := int64(1)
+	if c.cfg.Kind == GALS {
+		edges = int64(c.cfg.FIFOSyncEdges)
+	}
+	if now < c.clocks[d].NthEdgeAfter(c.sq.time, edges) {
+		return
+	}
+	c.doObserve(d, now)
+}
+
+// doObserve performs domain d's squash actions.
+func (c *Core) doObserve(d DomainID, now simtime.Time) {
+	c.sq.observed[d] = true
+	switch d {
+	case DomFetch:
+		// Redirect: abandon the wrong path and resume the correct one. The
+		// speculative gshare history bits inserted by wrong-path lookups are
+		// rolled back to the checkpoint taken at the misprediction.
+		if c.gen.InWrongPath() {
+			c.gen.EndWrongPath()
+		}
+		c.pred.RestoreHistory(c.histSnapshot)
+		c.inWrongPath = false
+		c.lastFetchLine = ^uint64(0)
+		c.icacheStallTo = 0
+	case DomDecode:
+		c.fetchToDecode.FlushMatching(c.doomed)
+		c.decodeToRename.FlushMatching(c.doomed)
+		for _, ed := range execDomains {
+			c.complete[ed].FlushMatching(c.doomed)
+		}
+		n := c.rob.SquashTail(c.doomed, func(in *isa.Instr) { c.rat.Undo(in) })
+		c.stats.SquashedROB += uint64(n)
+	case DomInt:
+		c.exec[DomInt].queue.FlushWrongPath(c.doomed)
+		c.dispatch[DomInt].FlushMatching(c.doomed)
+		c.wakeMemToInt.FlushMatching(c.doomedTag)
+	case DomFP:
+		c.exec[DomFP].queue.FlushWrongPath(c.doomed)
+		c.dispatch[DomFP].FlushMatching(c.doomed)
+		c.wakeMemToFP.FlushMatching(c.doomedTag)
+	case DomMem:
+		c.exec[DomMem].queue.FlushWrongPath(c.doomed)
+		c.dispatch[DomMem].FlushMatching(c.doomed)
+		c.wakeIntToMem.FlushMatching(c.doomedTag)
+		c.wakeFPToMem.FlushMatching(c.doomedTag)
+	}
+	for i := range c.sq.observed {
+		if !c.sq.observed[i] {
+			return
+		}
+	}
+	c.sq.active = false
+}
+
+// resetReady marks a freshly allocated physical register not-ready in every
+// execution domain.
+func (c *Core) resetReady(phys int) {
+	for _, d := range execDomains {
+		c.readyAt[d][phys] = simtime.Never
+	}
+}
+
+// endCycle closes one cycle of domain d: activity blocks plus the domain's
+// local clock grid, at the domain's current voltage (read live, since
+// dynamic DVFS may change it mid-run).
+func (c *Core) endCycle(d DomainID) {
+	scale := c.clocks[d].EnergyScale()
+	c.mtr.EndCycle(activityBlocks(d), scale)
+	c.mtr.EndClockCycle(gridBlock(d), scale)
+	c.stats.Cycles[d]++
+}
+
+// tickHandler returns the tick function for a domain (used both at Run and
+// when dynamic DVFS replaces a domain's periodic event).
+func (c *Core) tickHandler(d DomainID) func(simtime.Time) {
+	switch d {
+	case DomFetch:
+		return c.tickFetchDomain
+	case DomDecode:
+		return c.tickDecodeDomain
+	default:
+		return func(now simtime.Time) { c.tickExecDomain(d, now) }
+	}
+}
+
+// Run simulates until n instructions have committed and returns the
+// statistics. Run may be called once per Core.
+func (c *Core) Run(n uint64) Stats {
+	if c.started {
+		panic("pipeline: Run called twice")
+	}
+	if n == 0 {
+		panic("pipeline: Run of zero instructions")
+	}
+	c.started = true
+	c.targetCommits = n
+
+	for i := range c.clocks {
+		if !c.clocks[i].Started() {
+			c.clocks[i].MarkStarted()
+		}
+	}
+
+	if c.cfg.Kind == Base {
+		d := c.clocks[0]
+		c.eng.SchedulePeriodic(d.Phase(), d.Period(), 0, "core-clock",
+			func(now simtime.Time, _ any) { c.tickBase(now) }, nil)
+	} else {
+		// Priorities order simultaneous edges commit-side first; any fixed
+		// order is legal for truly asynchronous clocks.
+		prio := [NumDomains]int{DomDecode: 0, DomInt: 1, DomFP: 2, DomMem: 3, DomFetch: 4}
+		for d := DomainID(0); d < NumDomains; d++ {
+			h := c.tickHandler(d)
+			c.tickEvents[d] = c.eng.SchedulePeriodic(c.clocks[d].Phase(), c.clocks[d].Period(), prio[d],
+				d.String()+"-clock", func(now simtime.Time, _ any) { h(now) }, nil)
+		}
+	}
+
+	c.eng.Run()
+	c.finalize()
+	return c.stats
+}
+
+// tickBase executes one cycle of the fully synchronous machine: all stages
+// in reverse pipeline order, then one energy cycle for every block plus the
+// global and local clock grids.
+func (c *Core) tickBase(now simtime.Time) {
+	for d := DomainID(0); d < NumDomains; d++ {
+		c.observeSquash(d, now)
+	}
+	c.watchdogAndSamples()
+	c.stageCommit(now)
+	c.stageDrainCompletions(now)
+	for _, d := range execDomains {
+		c.stageComplete(d, now)
+		c.stageDrainWakeups(d, now)
+		c.stageDrainDispatch(d, now)
+		c.stageIssue(d, now)
+	}
+	c.stageRenameDispatch(now)
+	c.stageDecode(now)
+	c.stageFetch(now)
+
+	for d := DomainID(0); d < NumDomains; d++ {
+		c.endCycle(d)
+	}
+	c.mtr.EndClockCycle(power.BlockGlobalClock, c.clocks[0].EnergyScale())
+}
+
+// tickFetchDomain is domain 1's clock edge (GALS).
+func (c *Core) tickFetchDomain(now simtime.Time) {
+	c.maybeRetune(DomFetch, now)
+	c.observeSquash(DomFetch, now)
+	c.stageFetch(now)
+	c.endCycle(DomFetch)
+}
+
+// tickDecodeDomain is domain 2's clock edge (GALS): commit, writeback
+// collection, rename/dispatch and decode, in reverse pipeline order.
+func (c *Core) tickDecodeDomain(now simtime.Time) {
+	c.observeSquash(DomDecode, now)
+	c.watchdogAndSamples()
+	c.dvfsController()
+	c.stageCommit(now)
+	c.stageDrainCompletions(now)
+	c.stageRenameDispatch(now)
+	c.stageDecode(now)
+	c.endCycle(DomDecode)
+}
+
+// tickExecDomain is an execution domain's clock edge (GALS).
+func (c *Core) tickExecDomain(d DomainID, now simtime.Time) {
+	c.maybeRetune(d, now)
+	c.observeSquash(d, now)
+	c.stageComplete(d, now)
+	c.stageDrainWakeups(d, now)
+	c.stageDrainDispatch(d, now)
+	c.stageIssue(d, now)
+	c.endCycle(d)
+}
+
+// watchdogAndSamples advances the decode-cycle counter, samples occupancy
+// statistics, and aborts on commit starvation (a structural deadlock would
+// otherwise spin forever).
+func (c *Core) watchdogAndSamples() {
+	c.decodeCycles++
+	c.rat.Sample()
+	c.rob.Tick()
+	if c.decodeCycles-c.lastProgress > uint64(c.cfg.MaxStallCycles) {
+		panic(fmt.Sprintf(
+			"pipeline: no commit in %d cycles (%s/%s): committed=%d rob=%d/%d head=%v iqs=%d/%d/%d sqActive=%v",
+			c.cfg.MaxStallCycles, c.stats.Kind, c.stats.Benchmark,
+			c.stats.Committed, c.rob.Len(), c.rob.Cap(), c.rob.Head(),
+			c.exec[DomInt].queue.Len(), c.exec[DomFP].queue.Len(), c.exec[DomMem].queue.Len(),
+			c.sq.active))
+	}
+}

@@ -1,0 +1,203 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"galsim/internal/simtime"
+)
+
+// DynamicDVFSConfig parameterizes the online per-domain frequency/voltage
+// controller: the "application-driven, multiple-domain dynamic
+// clock/voltage scaling" the paper's conclusion identifies as the eventual
+// payoff of GALS design (realized contemporaneously by Semeraro et al.,
+// HPCA 2002, via offline profiling; here as a simple online utilization
+// controller).
+//
+// Every IntervalCycles decode cycles the controller inspects each execution
+// domain's issue-queue occupancy over the elapsed interval. A nearly empty
+// queue means the domain drains faster than work arrives — slack that can
+// be traded for energy by slowing its clock (and dropping its voltage per
+// Equation 1). A filling queue means the domain is a bottleneck and is sped
+// back up. Occupancy feedback is self-stabilizing: slowing a domain raises
+// its queue occupancy, so an over-slowed domain recovers — the reason
+// queue-based control (as in Semeraro et al.) beats raw utilization.
+// Changes take effect at the target domain's next clock edge — a local
+// decision applied locally, which only a GALS machine can do.
+type DynamicDVFSConfig struct {
+	Enable         bool
+	IntervalCycles uint64  // controller period in decode cycles
+	LowOcc         float64 // slow a domain whose IQ occupancy fraction is below this
+	HighOcc        float64 // speed up a domain whose IQ occupancy fraction is above this
+	Step           float64 // multiplicative frequency step (> 1)
+	MaxSlowdown    float64 // slowest allowed clock, as a factor of nominal
+
+	// MaxStepPerfLoss is the probe guard: each slowdown step is a probe,
+	// and if the machine's IPC falls by more than this fraction over the
+	// following interval the step is reverted and the domain frozen for
+	// FreezeIntervals. This is what keeps the controller from walking into
+	// Figure 12's trap — a near-empty memory queue whose few operations are
+	// all critical.
+	MaxStepPerfLoss float64
+	FreezeIntervals int
+}
+
+// DefaultDynamicDVFS returns the controller settings used by the dynamic
+// scaling demo: 2000-cycle intervals, slow below 5% queue occupancy,
+// recover above 25%, 1.26x steps (two steps per octave) up to 3x.
+func DefaultDynamicDVFS() DynamicDVFSConfig {
+	return DynamicDVFSConfig{
+		Enable:          true,
+		IntervalCycles:  4000,
+		LowOcc:          0.05,
+		HighOcc:         0.25,
+		Step:            1.26,
+		MaxSlowdown:     3.0,
+		MaxStepPerfLoss: 0.02,
+		FreezeIntervals: 8,
+	}
+}
+
+// Validate reports an error for malformed controller settings.
+func (c DynamicDVFSConfig) Validate() error {
+	if !c.Enable {
+		return nil
+	}
+	switch {
+	case c.IntervalCycles < 100:
+		return fmt.Errorf("pipeline: dvfs interval %d cycles too short", c.IntervalCycles)
+	case c.LowOcc < 0 || c.HighOcc <= c.LowOcc || c.HighOcc > 1:
+		return fmt.Errorf("pipeline: dvfs thresholds low=%v high=%v malformed", c.LowOcc, c.HighOcc)
+	case c.Step <= 1:
+		return fmt.Errorf("pipeline: dvfs step %v must exceed 1", c.Step)
+	case c.MaxSlowdown < 1:
+		return fmt.Errorf("pipeline: dvfs max slowdown %v below 1", c.MaxSlowdown)
+	case c.MaxStepPerfLoss < 0 || c.MaxStepPerfLoss > 0.5:
+		return fmt.Errorf("pipeline: dvfs per-step perf-loss guard %v outside [0, 0.5]", c.MaxStepPerfLoss)
+	case c.FreezeIntervals < 0:
+		return fmt.Errorf("pipeline: dvfs freeze intervals %d negative", c.FreezeIntervals)
+	}
+	return nil
+}
+
+// scalableDomains are the domains the controller may retune: the three
+// execution domains, whose issue queues provide the feedback signal. The
+// fetch and decode domains stay at full speed (they host the machine's
+// serialization points and have no issue queue to observe).
+var scalableDomains = []DomainID{DomInt, DomFP, DomMem}
+
+// dvfsState is the controller's bookkeeping inside Core.
+type dvfsState struct {
+	lastCheck  uint64 // decodeCycles at the last interval boundary
+	lastOccSum [NumDomains]uint64
+	lastTicks  [NumDomains]uint64
+	target     [NumDomains]float64 // desired slowdown per domain
+	pending    [NumDomains]bool    // retune awaiting the domain's next edge
+
+	lastCommitted uint64
+	probeDomain   DomainID // domain slowed by the last probe
+	probeActive   bool
+	probeIPC      float64 // interval IPC before the probe
+	frozen        [NumDomains]int
+}
+
+// dvfsController runs on the decode domain's clock: at each interval
+// boundary it computes per-domain issue-queue occupancy and posts retune
+// requests.
+func (c *Core) dvfsController() {
+	ctl := c.cfg.DynamicDVFS
+	if !ctl.Enable || c.decodeCycles-c.dvfs.lastCheck < ctl.IntervalCycles {
+		return
+	}
+	c.dvfs.lastCheck = c.decodeCycles
+
+	// Interval IPC, the probe guard's signal.
+	intervalIPC := float64(c.stats.Committed-c.dvfs.lastCommitted) / float64(ctl.IntervalCycles)
+	c.dvfs.lastCommitted = c.stats.Committed
+
+	// Judge the outstanding probe: revert and freeze the domain if the last
+	// slowdown step cost more performance than it is allowed to.
+	if c.dvfs.probeActive {
+		c.dvfs.probeActive = false
+		d := c.dvfs.probeDomain
+		if intervalIPC < c.dvfs.probeIPC*(1-ctl.MaxStepPerfLoss) {
+			c.dvfs.target[d] = c.dvfs.target[d] / ctl.Step
+			if c.dvfs.target[d] < 1 {
+				c.dvfs.target[d] = 1
+			}
+			c.dvfs.pending[d] = true
+			c.dvfs.frozen[d] = ctl.FreezeIntervals
+		}
+	}
+
+	// Pick at most one domain to slow this interval (so a performance drop
+	// is attributable), preferring the emptiest queue; speed-ups are applied
+	// unconditionally.
+	slowCand := DomainID(255)
+	slowOcc := 1.0
+	for _, d := range scalableDomains {
+		occSum, ticks := c.exec[d].queue.OccupancyCounters()
+		dSum := occSum - c.dvfs.lastOccSum[d]
+		dTicks := ticks - c.dvfs.lastTicks[d]
+		c.dvfs.lastOccSum[d] = occSum
+		c.dvfs.lastTicks[d] = ticks
+		if dTicks == 0 {
+			continue
+		}
+		if c.dvfs.frozen[d] > 0 {
+			c.dvfs.frozen[d]--
+			continue
+		}
+		occFrac := float64(dSum) / (float64(dTicks) * float64(c.exec[d].queue.Cap()))
+		cur := c.dvfs.target[d]
+		if cur == 0 {
+			cur = c.clocks[d].Slowdown()
+			c.dvfs.target[d] = cur
+		}
+		switch {
+		case occFrac > ctl.HighOcc && cur > 1:
+			next := cur / ctl.Step
+			if next < 1 {
+				next = 1
+			}
+			c.dvfs.target[d] = next
+			c.dvfs.pending[d] = true
+		case occFrac < ctl.LowOcc && cur*ctl.Step <= ctl.MaxSlowdown && occFrac < slowOcc:
+			slowCand = d
+			slowOcc = occFrac
+		}
+	}
+	if slowCand != DomainID(255) {
+		c.dvfs.target[slowCand] *= ctl.Step
+		c.dvfs.pending[slowCand] = true
+		c.dvfs.probeActive = true
+		c.dvfs.probeDomain = slowCand
+		c.dvfs.probeIPC = intervalIPC
+	}
+}
+
+// maybeRetune applies a pending frequency/voltage change to domain d at one
+// of its own clock edges (now). The periodic tick event is rescheduled to
+// the new period, and the clock itself is rebased so that edge arithmetic
+// (FIFO synchronizers, squash observation) follows the new regime.
+func (c *Core) maybeRetune(d DomainID, now simtime.Time) {
+	if !c.dvfs.pending[d] {
+		return
+	}
+	c.dvfs.pending[d] = false
+	slow := c.dvfs.target[d]
+	volt := 0.0
+	if c.cfg.AutoVoltage {
+		volt = c.cfg.DVFS.VoltageForSlowdown(slow)
+	}
+	c.clocks[d].Retune(now, slow, volt)
+	c.stats.Retunes++
+
+	// Replace the domain's tick event: the old one was already rescheduled
+	// with the previous period when it fired.
+	if ev := c.tickEvents[d]; ev != nil {
+		c.eng.Cancel(ev)
+		handler := c.tickHandler(d)
+		c.tickEvents[d] = c.eng.SchedulePeriodic(now+c.clocks[d].Period(), c.clocks[d].Period(),
+			ev.Priority(), ev.Name(), func(t simtime.Time, _ any) { handler(t) }, nil)
+	}
+}

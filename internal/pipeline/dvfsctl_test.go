@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"testing"
+
+	"galsim/internal/workload"
+)
+
+// runDyn runs perl (no FP instructions at all) with and without the dynamic
+// controller: the FP domain should be detected idle and slowed to the
+// configured maximum, saving energy at minimal performance cost.
+func TestDynamicDVFSSlowsIdleDomain(t *testing.T) {
+	prof, _ := workload.ByName("perl")
+
+	static := NewCore(DefaultConfig(GALS), prof).Run(80_000)
+
+	cfg := DefaultConfig(GALS)
+	cfg.DynamicDVFS = DefaultDynamicDVFS()
+	dyn := NewCore(cfg, prof).Run(80_000)
+
+	if dyn.Retunes == 0 {
+		t.Fatal("controller never retuned a domain")
+	}
+	// The probe-and-revert guard is conservative, so the exact endpoint
+	// varies; the idle FP cluster must end clearly below full speed while
+	// the busy int/mem domains stay at (or near) it.
+	if got := dyn.FinalSlowdowns[DomFP]; got < 1.25 {
+		t.Errorf("FP domain final slowdown %.2f; controller should have slowed the idle FP cluster", got)
+	}
+	if got := dyn.FinalSlowdowns[DomInt]; got > 1.7 {
+		t.Errorf("int domain slowed to %.2f on an int benchmark", got)
+	}
+	if dyn.EnergyPJ >= static.EnergyPJ {
+		t.Errorf("dynamic DVFS energy %.3g not below static GALS %.3g", dyn.EnergyPJ, static.EnergyPJ)
+	}
+	perfLoss := dyn.SimTime.Seconds()/static.SimTime.Seconds() - 1
+	if perfLoss > 0.10 {
+		t.Errorf("dynamic DVFS cost %.1f%% performance on a no-FP benchmark", 100*perfLoss)
+	}
+}
+
+// A busy domain must not be slowed into the ground: on an FP-heavy
+// benchmark the controller should keep the FP domain near full speed.
+func TestDynamicDVFSKeepsBusyDomainFast(t *testing.T) {
+	prof, _ := workload.ByName("swim")
+	cfg := DefaultConfig(GALS)
+	cfg.DynamicDVFS = DefaultDynamicDVFS()
+	dyn := NewCore(cfg, prof).Run(40_000)
+	if got := dyn.FinalSlowdowns[DomFP]; got > 1.7 {
+		t.Errorf("FP domain slowed to %.2f on an FP-heavy benchmark", got)
+	}
+
+	// And the run completes with commit order intact (Retune rebases clock
+	// edges; this checks nothing desynchronized).
+	if dyn.Committed != 40_000 {
+		t.Errorf("committed %d", dyn.Committed)
+	}
+}
+
+func TestDynamicDVFSRejectedOnBase(t *testing.T) {
+	cfg := DefaultConfig(Base)
+	cfg.DynamicDVFS = DefaultDynamicDVFS()
+	if err := cfg.Validate(); err == nil {
+		t.Error("dynamic DVFS accepted on the base machine")
+	}
+}
+
+func TestDynamicDVFSConfigValidation(t *testing.T) {
+	bad := []DynamicDVFSConfig{
+		{Enable: true, IntervalCycles: 10, LowOcc: 0.1, HighOcc: 0.5, Step: 1.3, MaxSlowdown: 3},
+		{Enable: true, IntervalCycles: 2000, LowOcc: 0.5, HighOcc: 0.2, Step: 1.3, MaxSlowdown: 3},
+		{Enable: true, IntervalCycles: 2000, LowOcc: 0.1, HighOcc: 0.5, Step: 1.0, MaxSlowdown: 3},
+		{Enable: true, IntervalCycles: 2000, LowOcc: 0.1, HighOcc: 0.5, Step: 1.3, MaxSlowdown: 0.5},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if (DynamicDVFSConfig{}).Validate() != nil {
+		t.Error("disabled controller should validate")
+	}
+	if DefaultDynamicDVFS().Validate() != nil {
+		t.Error("default controller config invalid")
+	}
+}
+
+// Determinism must survive retuning (events are replaced mid-run).
+func TestDynamicDVFSDeterministic(t *testing.T) {
+	prof, _ := workload.ByName("perl")
+	runIt := func() Stats {
+		cfg := DefaultConfig(GALS)
+		cfg.DynamicDVFS = DefaultDynamicDVFS()
+		return NewCore(cfg, prof).Run(20_000)
+	}
+	a, b := runIt(), runIt()
+	if a.SimTime != b.SimTime || a.EnergyPJ != b.EnergyPJ || a.Retunes != b.Retunes {
+		t.Errorf("dynamic DVFS nondeterministic: %v/%v, %g/%g, %d/%d",
+			a.SimTime, b.SimTime, a.EnergyPJ, b.EnergyPJ, a.Retunes, b.Retunes)
+	}
+}

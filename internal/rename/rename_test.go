@@ -1,0 +1,220 @@
+package rename
+
+import (
+	"math/rand"
+	"testing"
+
+	"galsim/internal/isa"
+)
+
+func intReg(i uint8) isa.Reg { return isa.Reg{File: isa.RegInt, Index: i} }
+func fpReg(i uint8) isa.Reg  { return isa.Reg{File: isa.RegFP, Index: i} }
+
+func mkInstr(seq isa.Seq, dest isa.Reg, srcs ...isa.Reg) *isa.Instr {
+	in := isa.NewInstr(seq, 0, isa.ClassIntALU)
+	in.Dest = dest
+	for i, s := range srcs {
+		in.Src[i] = s
+	}
+	return in
+}
+
+func TestInitialMapping(t *testing.T) {
+	tb := New(72, 72)
+	if tb.NumPhys() != 144 {
+		t.Errorf("NumPhys = %d", tb.NumPhys())
+	}
+	if tb.FreeInt() != 72-32 || tb.FreeFP() != 72-32 {
+		t.Errorf("free = %d int, %d fp; want 40 each", tb.FreeInt(), tb.FreeFP())
+	}
+	if tb.Lookup(intReg(5)) != 5 {
+		t.Errorf("r5 -> %d, want 5", tb.Lookup(intReg(5)))
+	}
+	if tb.Lookup(fpReg(5)) != 72+5 {
+		t.Errorf("f5 -> %d, want 77", tb.Lookup(fpReg(5)))
+	}
+	if tb.Lookup(isa.ZeroReg) != -1 {
+		t.Error("zero register should not be mapped")
+	}
+	if tb.Lookup(isa.Reg{}) != -1 {
+		t.Error("invalid register should not be mapped")
+	}
+	tb.CheckInvariant(nil)
+}
+
+func TestRenameRedirectsReaders(t *testing.T) {
+	tb := New(72, 72)
+	a := mkInstr(1, intReg(3), intReg(1), intReg(2))
+	tb.Rename(a)
+	if a.PhysSrc[0] != 1 || a.PhysSrc[1] != 2 {
+		t.Errorf("sources = %v", a.PhysSrc)
+	}
+	if a.PhysDest < 32 || a.OldPhys != 3 {
+		t.Errorf("dest = %d, old = %d", a.PhysDest, a.OldPhys)
+	}
+	// A consumer of r3 now reads a's physical destination.
+	b := mkInstr(2, intReg(4), intReg(3))
+	tb.Rename(b)
+	if b.PhysSrc[0] != a.PhysDest {
+		t.Errorf("consumer reads %d, want %d", b.PhysSrc[0], a.PhysDest)
+	}
+	tb.CheckInvariant(map[int]bool{a.OldPhys: false, b.OldPhys: false})
+}
+
+func TestZeroRegDestNotAllocated(t *testing.T) {
+	tb := New(72, 72)
+	in := mkInstr(1, isa.ZeroReg, intReg(1))
+	free := tb.FreeInt()
+	tb.Rename(in)
+	if in.PhysDest != -1 || tb.FreeInt() != free {
+		t.Error("zero-destination instruction allocated a register")
+	}
+}
+
+func TestUndoRestoresMapping(t *testing.T) {
+	tb := New(72, 72)
+	a := mkInstr(1, intReg(3))
+	b := mkInstr(2, intReg(3))
+	tb.Rename(a)
+	tb.Rename(b)
+	// Undo youngest first.
+	tb.Undo(b)
+	if tb.Lookup(intReg(3)) != a.PhysDest {
+		t.Error("undo of b did not restore a's mapping")
+	}
+	tb.Undo(a)
+	if tb.Lookup(intReg(3)) != 3 {
+		t.Error("undo of a did not restore initial mapping")
+	}
+	if tb.FreeInt() != 40 {
+		t.Errorf("free int = %d, want 40", tb.FreeInt())
+	}
+	tb.CheckInvariant(nil)
+}
+
+func TestOutOfOrderUndoPanics(t *testing.T) {
+	tb := New(72, 72)
+	a := mkInstr(1, intReg(3))
+	b := mkInstr(2, intReg(3))
+	tb.Rename(a)
+	tb.Rename(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("undoing a before b did not panic")
+		}
+	}()
+	tb.Undo(a)
+}
+
+func TestCommitFreesOldMapping(t *testing.T) {
+	tb := New(72, 72)
+	a := mkInstr(1, intReg(3))
+	tb.Rename(a)
+	free := tb.FreeInt()
+	tb.Commit(a)
+	if tb.FreeInt() != free+1 {
+		t.Error("commit did not free the old physical register")
+	}
+	// The new mapping persists after commit.
+	if tb.Lookup(intReg(3)) != a.PhysDest {
+		t.Error("commit disturbed the current mapping")
+	}
+	tb.CheckInvariant(nil)
+}
+
+func TestExhaustion(t *testing.T) {
+	tb := New(40, 40) // 8 free per file
+	var instrs []*isa.Instr
+	for i := 0; i < 8; i++ {
+		in := mkInstr(isa.Seq(i), intReg(uint8(i)))
+		if !tb.CanRename(in) {
+			t.Fatalf("CanRename false at %d with %d free", i, tb.FreeInt())
+		}
+		tb.Rename(in)
+		instrs = append(instrs, in)
+	}
+	if tb.CanRename(mkInstr(99, intReg(20))) {
+		t.Error("CanRename true with empty free list")
+	}
+	// FP file unaffected.
+	if !tb.CanRename(mkInstr(99, fpReg(0))) {
+		t.Error("FP rename blocked by int exhaustion")
+	}
+	// Commit one; can rename again.
+	tb.Commit(instrs[0])
+	if !tb.CanRename(mkInstr(100, intReg(21))) {
+		t.Error("CanRename false after a commit freed a register")
+	}
+}
+
+func TestOccupancySampling(t *testing.T) {
+	tb := New(72, 72)
+	tb.Sample()
+	if tb.AvgIntOccupancy() != 0 {
+		t.Error("initial occupancy not 0")
+	}
+	for i := 0; i < 10; i++ {
+		tb.Rename(mkInstr(isa.Seq(i), intReg(uint8(i))))
+	}
+	tb.Sample()
+	if got := tb.AvgIntOccupancy(); got != 5 { // (0+10)/2
+		t.Errorf("avg occupancy = %v, want 5", got)
+	}
+}
+
+// Fuzz a random rename/commit/squash workload and check the physical
+// register conservation invariant throughout.
+func TestRandomWorkloadInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tb := New(48, 48)
+	var inflight []*isa.Instr // renamed, not yet committed/undone
+	seq := isa.Seq(1)
+	for step := 0; step < 20_000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // rename
+			var dest isa.Reg
+			if rng.Intn(2) == 0 {
+				dest = intReg(uint8(rng.Intn(31)))
+			} else {
+				dest = fpReg(uint8(rng.Intn(32)))
+			}
+			in := mkInstr(seq, dest, intReg(uint8(rng.Intn(32))))
+			seq++
+			if tb.CanRename(in) {
+				tb.Rename(in)
+				inflight = append(inflight, in)
+			}
+		case op < 8: // commit oldest
+			if len(inflight) > 0 {
+				tb.Commit(inflight[0])
+				inflight = inflight[1:]
+			}
+		default: // squash a random-length tail, youngest first
+			if len(inflight) > 0 {
+				cut := rng.Intn(len(inflight))
+				for i := len(inflight) - 1; i >= cut; i-- {
+					tb.Undo(inflight[i])
+				}
+				inflight = inflight[:cut]
+			}
+		}
+		if step%500 == 0 {
+			held := map[int]bool{}
+			for _, in := range inflight {
+				if in.OldPhys >= 0 {
+					held[in.OldPhys] = true
+				}
+			}
+			tb.CheckInvariant(held)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny register file did not panic")
+		}
+	}()
+	New(32, 72)
+}

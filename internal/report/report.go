@@ -1,0 +1,88 @@
+// Package report renders experiment results as fixed-width text tables: the
+// form in which this repository regenerates each of the paper's tables and
+// figures (bar charts become labeled numeric series).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID identifies the paper artifact, e.g. "Figure 5" or "Table 1".
+	ID string
+	// Title describes the content.
+	Title string
+	// Note holds provenance or caveats printed under the table.
+	Note string
+	// Headers are the column names; the first column is the row label.
+	Headers []string
+	// Rows hold the cells; each row must have len(Headers) cells.
+	Rows [][]string
+}
+
+// AddRow appends a row, checking arity.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: table %q row has %d cells, want %d", t.ID, len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintln(w, strings.Repeat("=", total))
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// F formats a float with 3 decimal places.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F2 formats a float with 2 decimal places.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Int formats an integer.
+func Int(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "Figure X",
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1.000")
+	tbl.AddRow("beta", "0.500")
+	s := tbl.String()
+	for _, want := range []string{"Figure X", "demo", "alpha", "0.500", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+	// Columns aligned: header line and row lines have equal prefix widths.
+	lines := strings.Split(s, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+			row = lines[i+2]
+		}
+	}
+	if idxH, idxR := strings.Index(header, "value"), strings.Index(row, "1.000"); idxH != idxR {
+		t.Errorf("columns misaligned: %d vs %d", idxH, idxR)
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	tbl := &Table{ID: "t", Headers: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity did not panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if F2(1.23456) != "1.23" {
+		t.Errorf("F2 = %q", F2(1.23456))
+	}
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+	if Int(42) != "42" {
+		t.Errorf("Int = %q", Int(42))
+	}
+}

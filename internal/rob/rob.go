@@ -1,0 +1,136 @@
+// Package rob implements the reorder buffer: the in-order backbone of the
+// out-of-order core. Instructions enter at rename in program order, record
+// their completion out of order, and leave either by in-order commit from
+// the head or by a squash that discards every wrong-path entry from the
+// tail while undoing its rename mapping.
+package rob
+
+import (
+	"fmt"
+
+	"galsim/internal/isa"
+)
+
+// ROB is a bounded in-order buffer of in-flight instructions.
+type ROB struct {
+	cap     int
+	entries []*isa.Instr // index 0 is the head (oldest)
+
+	pushes   uint64
+	commits  uint64
+	squashes uint64
+	occSum   uint64
+	occTicks uint64
+}
+
+// New builds a reorder buffer with the given capacity.
+func New(capacity int) *ROB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rob: capacity %d must be positive", capacity))
+	}
+	return &ROB{cap: capacity}
+}
+
+// Len returns the number of in-flight instructions.
+func (r *ROB) Len() int { return len(r.entries) }
+
+// Cap returns the capacity.
+func (r *ROB) Cap() int { return r.cap }
+
+// Full reports whether the buffer has no free entry.
+func (r *ROB) Full() bool { return len(r.entries) >= r.cap }
+
+// Empty reports whether no instruction is in flight.
+func (r *ROB) Empty() bool { return len(r.entries) == 0 }
+
+// Push appends an instruction in program order; it panics when full and when
+// program order would be violated.
+func (r *ROB) Push(in *isa.Instr) {
+	if r.Full() {
+		panic("rob: overflow")
+	}
+	if n := len(r.entries); n > 0 && r.entries[n-1].Seq >= in.Seq {
+		panic(fmt.Sprintf("rob: out-of-order push %d after %d", in.Seq, r.entries[n-1].Seq))
+	}
+	in.ROBIndex = len(r.entries)
+	r.entries = append(r.entries, in)
+	r.pushes++
+}
+
+// Head returns the oldest in-flight instruction, or nil when empty.
+func (r *ROB) Head() *isa.Instr {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	return r.entries[0]
+}
+
+// PopHead removes the oldest instruction (its commit). It panics when empty.
+func (r *ROB) PopHead() *isa.Instr {
+	if len(r.entries) == 0 {
+		panic("rob: PopHead on empty buffer")
+	}
+	in := r.entries[0]
+	copy(r.entries, r.entries[1:])
+	r.entries[len(r.entries)-1] = nil
+	r.entries = r.entries[:len(r.entries)-1]
+	r.commits++
+	return in
+}
+
+// SquashTail removes doomed entries from the tail, youngest first, invoking
+// undo on each in reverse program order (the order rename recovery
+// requires). The doomed region must be a contiguous tail suffix — a
+// consequence of a single unresolved misprediction at a time — and this is
+// checked. Returns the number squashed.
+func (r *ROB) SquashTail(doomed func(*isa.Instr) bool, undo func(*isa.Instr)) int {
+	cut := len(r.entries)
+	for cut > 0 && doomed(r.entries[cut-1]) {
+		cut--
+	}
+	for i := 0; i < cut; i++ {
+		if doomed(r.entries[i]) {
+			panic(fmt.Sprintf("rob: doomed entry %d not in tail suffix", r.entries[i].Seq))
+		}
+	}
+	n := 0
+	for i := len(r.entries) - 1; i >= cut; i-- {
+		undo(r.entries[i])
+		r.entries[i] = nil
+		n++
+	}
+	r.entries = r.entries[:cut]
+	r.squashes += uint64(n)
+	return n
+}
+
+// Walk calls fn on every in-flight instruction from oldest to youngest.
+func (r *ROB) Walk(fn func(*isa.Instr)) {
+	for _, in := range r.entries {
+		fn(in)
+	}
+}
+
+// Tick records an occupancy sample; call once per cycle of the owning
+// domain.
+func (r *ROB) Tick() {
+	r.occTicks++
+	r.occSum += uint64(len(r.entries))
+}
+
+// Stats reports ROB activity.
+type Stats struct {
+	Pushes       uint64
+	Commits      uint64
+	Squashes     uint64
+	AvgOccupancy float64
+}
+
+// Stats returns a snapshot of the counters.
+func (r *ROB) Stats() Stats {
+	s := Stats{Pushes: r.pushes, Commits: r.commits, Squashes: r.squashes}
+	if r.occTicks > 0 {
+		s.AvgOccupancy = float64(r.occSum) / float64(r.occTicks)
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package rob
+
+import (
+	"testing"
+
+	"galsim/internal/isa"
+)
+
+func mk(seq isa.Seq, wrong bool) *isa.Instr {
+	in := isa.NewInstr(seq, 0, isa.ClassIntALU)
+	in.WrongPath = wrong
+	return in
+}
+
+func TestPushHeadPop(t *testing.T) {
+	r := New(4)
+	if !r.Empty() {
+		t.Error("new ROB not empty")
+	}
+	a, b := mk(1, false), mk(2, false)
+	r.Push(a)
+	r.Push(b)
+	if r.Head() != a {
+		t.Error("head is not oldest")
+	}
+	if got := r.PopHead(); got != a {
+		t.Error("PopHead returned wrong instruction")
+	}
+	if r.Head() != b || r.Len() != 1 {
+		t.Error("state after pop wrong")
+	}
+}
+
+func TestFullAndOverflow(t *testing.T) {
+	r := New(2)
+	r.Push(mk(1, false))
+	r.Push(mk(2, false))
+	if !r.Full() {
+		t.Error("Full() = false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	r.Push(mk(3, false))
+}
+
+func TestProgramOrderEnforced(t *testing.T) {
+	r := New(4)
+	r.Push(mk(5, false))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order push did not panic")
+		}
+	}()
+	r.Push(mk(3, false))
+}
+
+func TestSquashTailUndoesInReverseOrder(t *testing.T) {
+	r := New(8)
+	for i := 1; i <= 6; i++ {
+		r.Push(mk(isa.Seq(i), i > 3))
+	}
+	var undone []isa.Seq
+	n := r.SquashTail(
+		func(in *isa.Instr) bool { return in.WrongPath },
+		func(in *isa.Instr) { undone = append(undone, in.Seq) },
+	)
+	if n != 3 || r.Len() != 3 {
+		t.Fatalf("squashed %d, len %d", n, r.Len())
+	}
+	want := []isa.Seq{6, 5, 4}
+	for i := range want {
+		if undone[i] != want[i] {
+			t.Errorf("undo order %v, want %v", undone, want)
+		}
+	}
+	if r.Head().Seq != 1 {
+		t.Error("head disturbed by squash")
+	}
+}
+
+func TestSquashNonContiguousPanics(t *testing.T) {
+	r := New(8)
+	r.Push(mk(1, true)) // doomed but not in the tail suffix
+	r.Push(mk(2, false))
+	defer func() {
+		if recover() == nil {
+			t.Error("non-contiguous squash did not panic")
+		}
+	}()
+	r.SquashTail(func(in *isa.Instr) bool { return in.WrongPath }, func(*isa.Instr) {})
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	r := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("PopHead on empty did not panic")
+		}
+	}()
+	r.PopHead()
+}
+
+func TestWalkOrder(t *testing.T) {
+	r := New(8)
+	for i := 1; i <= 5; i++ {
+		r.Push(mk(isa.Seq(i), false))
+	}
+	var seen []isa.Seq
+	r.Walk(func(in *isa.Instr) { seen = append(seen, in.Seq) })
+	for i := range seen {
+		if seen[i] != isa.Seq(i+1) {
+			t.Fatalf("walk order %v", seen)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := New(8)
+	r.Push(mk(1, false))
+	r.Push(mk(2, true))
+	r.Tick() // occ 2
+	r.SquashTail(func(in *isa.Instr) bool { return in.WrongPath }, func(*isa.Instr) {})
+	r.PopHead()
+	r.Tick() // occ 0
+	st := r.Stats()
+	if st.Pushes != 2 || st.Commits != 1 || st.Squashes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AvgOccupancy != 1 {
+		t.Errorf("avg occupancy = %v, want 1", st.AvgOccupancy)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,526 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"galsim/internal/isa"
+)
+
+// CodeBase is the virtual address where generated code begins.
+const CodeBase uint64 = 0x0040_0000
+
+// DataBase is the virtual address where generated data begins.
+const DataBase uint64 = 0x1000_0000
+
+// branchPattern classifies a static branch's behaviour.
+type branchPattern uint8
+
+const (
+	patBiased branchPattern = iota
+	patLoop
+	patAlternating
+	patRandom
+)
+
+// staticInstr is one instruction of the lazily materialized static program.
+// A given PC always decodes to the same instruction, like real code, so the
+// branch predictor, BTB and I-cache observe self-consistent history.
+type staticInstr struct {
+	class isa.Class
+	dest  isa.Reg
+	src   [2]isa.Reg
+
+	// Branch fields.
+	pattern     branchPattern
+	target      uint64
+	biasedTaken bool // favored direction of a biased branch
+
+	// Memory fields.
+	seqStream bool // streams sequentially vs. random within the working set
+}
+
+// branchState is the dynamic ground-truth state of one static branch.
+type branchState struct {
+	loopCount int
+	lastTaken bool
+}
+
+// Generator produces the dynamic instruction stream of one benchmark run.
+// It is deterministic for a given (Profile, seed) pair.
+type Generator struct {
+	prof Profile
+	seed int64
+	rng  *rand.Rand
+	wp   *rand.Rand // separate stream for wrong-path choices
+
+	program   map[uint64]*staticInstr
+	branches  map[uint64]*branchState
+	classTile []isa.Class // class layout pattern, indexed by (pc/4) % len
+
+	// Correct-path walk state.
+	pc uint64
+
+	// Wrong-path walk state.
+	inWrongPath bool
+	wpPC        uint64
+
+	// Register recency rings for dependency-distance sampling, maintained in
+	// static creation order.
+	recentInt []isa.Reg
+	recentFP  []isa.Reg
+	destCtr   int
+	fpDestCtr int
+
+	// Data address state.
+	seqCursor uint64
+
+	generated uint64
+	wrongGen  uint64
+}
+
+// NewGenerator builds a generator for the profile. The profile is validated;
+// a bad profile panics (profiles are compiled-in data, not user input).
+func NewGenerator(p Profile, seed int64) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{
+		prof:     p,
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		wp:       rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
+		program:  make(map[uint64]*staticInstr),
+		branches: make(map[uint64]*branchState),
+		pc:       CodeBase,
+	}
+	// Seed the recency rings so early instructions have producers to name.
+	for i := 0; i < 8; i++ {
+		g.recentInt = append(g.recentInt, isa.Reg{File: isa.RegInt, Index: uint8(i)})
+		g.recentFP = append(g.recentFP, isa.Reg{File: isa.RegFP, Index: uint8(i)})
+	}
+	g.classTile = buildClassTile(p.Mix, g.rng)
+	return g
+}
+
+// tileLen is the period of the class layout pattern. Any contiguous run of
+// tileLen instructions contains the profile mix in exact proportion, so the
+// dynamic mix stays faithful even when execution concentrates in a few hot
+// loops (as it does in real programs).
+const tileLen = 256
+
+// buildClassTile lays out tileLen instruction classes in the profile's exact
+// proportions (largest-remainder rounding) and shuffles them.
+func buildClassTile(m Mix, rng *rand.Rand) []isa.Class {
+	type slot struct {
+		class isa.Class
+		frac  float64
+	}
+	slots := []slot{
+		{isa.ClassBranch, m.Branch},
+		{isa.ClassLoad, m.Load},
+		{isa.ClassStore, m.Store},
+		{isa.ClassFPAdd, m.FPAdd},
+		{isa.ClassFPMul, m.FPMul},
+		{isa.ClassFPDiv, m.FPDiv},
+		{isa.ClassIntMul, m.IntMul},
+	}
+	tile := make([]isa.Class, 0, tileLen)
+	for _, s := range slots {
+		n := int(s.frac*tileLen + 0.5)
+		for i := 0; i < n && len(tile) < tileLen; i++ {
+			tile = append(tile, s.class)
+		}
+	}
+	for len(tile) < tileLen {
+		tile = append(tile, isa.ClassIntALU)
+	}
+	rng.Shuffle(len(tile), func(i, j int) { tile[i], tile[j] = tile[j], tile[i] })
+	return tile
+}
+
+// classAt returns the instruction class at pc, from the layout tile.
+func (g *Generator) classAt(pc uint64) isa.Class {
+	return g.classTile[(pc>>2)%uint64(len(g.classTile))]
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Generated returns the number of correct-path instructions produced.
+func (g *Generator) Generated() uint64 { return g.generated }
+
+// WrongPathGenerated returns the number of wrong-path instructions produced.
+func (g *Generator) WrongPathGenerated() uint64 { return g.wrongGen }
+
+// codeEnd returns the first address past the code footprint.
+func (g *Generator) codeEnd() uint64 { return CodeBase + uint64(g.prof.CodeFootprint) }
+
+// geometric samples a dependency distance >= 1 with parameter p, capped.
+func (g *Generator) geometric(rng *rand.Rand) int {
+	d := 1
+	for d < 12 && rng.Float64() > g.prof.DepDistP {
+		d++
+	}
+	return d
+}
+
+func (g *Generator) pickRecent(rng *rand.Rand, ring []isa.Reg) isa.Reg {
+	d := g.geometric(rng)
+	if d > len(ring) {
+		d = len(ring)
+	}
+	return ring[len(ring)-d]
+}
+
+// pickRecentFar is pickRecent with the distance shifted by extra producers:
+// the named value was computed further back in the past.
+func (g *Generator) pickRecentFar(rng *rand.Rand, ring []isa.Reg, extra int) isa.Reg {
+	d := g.geometric(rng) + extra
+	if d > len(ring) {
+		d = len(ring)
+	}
+	return ring[len(ring)-d]
+}
+
+func (g *Generator) pushRecent(r isa.Reg) {
+	const window = 24
+	if r.File == isa.RegFP {
+		g.recentFP = append(g.recentFP, r)
+		if len(g.recentFP) > window {
+			g.recentFP = g.recentFP[1:]
+		}
+		return
+	}
+	g.recentInt = append(g.recentInt, r)
+	if len(g.recentInt) > window {
+		g.recentInt = g.recentInt[1:]
+	}
+}
+
+// nextIntDest allocates the next integer destination register, skipping the
+// hardwired zero register.
+func (g *Generator) nextIntDest() isa.Reg {
+	r := isa.Reg{File: isa.RegInt, Index: uint8(g.destCtr % (isa.NumArchRegs - 1))}
+	g.destCtr++
+	return r
+}
+
+func (g *Generator) nextFPDest() isa.Reg {
+	r := isa.Reg{File: isa.RegFP, Index: uint8(g.fpDestCtr % isa.NumArchRegs)}
+	g.fpDestCtr++
+	return r
+}
+
+// staticRng returns a deterministic RNG for materializing the static
+// instruction at pc. Deriving it from (seed, pc) rather than from a shared
+// stream makes the static program independent of materialization order, so
+// a wrong-path excursion (which may materialize new PCs) cannot perturb the
+// correct path's ground truth.
+func (g *Generator) staticRng(pc uint64) *rand.Rand {
+	z := uint64(g.seed) ^ (pc * 0x9E3779B97F4A7C15)
+	// splitmix64 finalizer.
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// materialize returns the static instruction at pc, creating it on first
+// visit.
+func (g *Generator) materialize(pc uint64) *staticInstr {
+	if si, ok := g.program[pc]; ok {
+		return si
+	}
+	rng := g.staticRng(pc)
+	si := &staticInstr{class: g.classAt(pc)}
+	switch si.class {
+	case isa.ClassBranch:
+		// Branch conditions (loop counters, flags) are typically computed
+		// well before the branch: shift the dependency distance so branches
+		// usually find their operand already committed and resolve quickly.
+		si.src[0] = g.pickRecentFar(rng, g.recentInt, 4)
+		x := rng.Float64()
+		pm := g.prof.Patterns
+		switch {
+		case x < pm.Biased:
+			si.pattern = patBiased
+			si.biasedTaken = rng.Float64() < 0.65
+			si.target = g.randomTarget(pc, rng)
+		case x < pm.Biased+pm.Loop:
+			si.pattern = patLoop
+			si.target = g.loopTarget(pc, rng)
+		case x < pm.Biased+pm.Loop+pm.Alternating:
+			si.pattern = patAlternating
+			si.target = g.randomTarget(pc, rng)
+		default:
+			si.pattern = patRandom
+			si.target = g.randomTarget(pc, rng)
+		}
+	case isa.ClassLoad:
+		si.src[0] = g.pickRecent(rng, g.recentInt) // address register
+		if rng.Float64() < g.prof.FPLoadFrac {
+			si.dest = g.nextFPDest()
+		} else {
+			si.dest = g.nextIntDest()
+		}
+		si.seqStream = rng.Float64() < g.prof.SeqFrac
+		g.pushRecent(si.dest)
+	case isa.ClassStore:
+		si.src[0] = g.pickRecent(rng, g.recentInt) // address register
+		if g.prof.FPLoadFrac > 0 && rng.Float64() < g.prof.FPLoadFrac {
+			si.src[1] = g.pickRecent(rng, g.recentFP)
+		} else {
+			si.src[1] = g.pickRecent(rng, g.recentInt)
+		}
+		si.seqStream = rng.Float64() < g.prof.SeqFrac
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		si.src[0] = g.pickRecent(rng, g.recentFP)
+		si.src[1] = g.pickRecent(rng, g.recentFP)
+		si.dest = g.nextFPDest()
+		g.pushRecent(si.dest)
+	default: // integer ALU / multiply
+		si.src[0] = g.pickRecent(rng, g.recentInt)
+		if rng.Float64() < 0.45 {
+			si.src[1] = g.pickRecent(rng, g.recentInt)
+		}
+		si.dest = g.nextIntDest()
+		g.pushRecent(si.dest)
+	}
+	g.program[pc] = si
+	return si
+}
+
+// branchGap returns the expected dynamic distance between branches, in
+// instructions: the scale for branch hop and loop body sizes. Keeping
+// control-transfer distances proportional to branch scarcity keeps the
+// dynamic class mix close to the static one (a small loop body would
+// otherwise over-weight its closing branch in the dynamic stream).
+func (g *Generator) branchGap() int {
+	if g.prof.Mix.Branch <= 0 {
+		return 64
+	}
+	gap := int(1 / g.prof.Mix.Branch)
+	if gap < 6 {
+		gap = 6
+	}
+	if gap > 256 {
+		gap = 256
+	}
+	return gap
+}
+
+// randomTarget picks a fixed branch target within the code footprint. All
+// non-loop targets are strictly forward (if/else hops and calls); only loop
+// branches jump backward. A backward non-loop target would form an
+// unintended tight cycle pinned on its branch, grossly over-representing
+// branch PCs in the dynamic stream.
+func (g *Generator) randomTarget(pc uint64, rng *rand.Rand) uint64 {
+	span := uint64(g.prof.CodeFootprint)
+	var hop uint64
+	if rng.Float64() < 0.85 {
+		hop = uint64(rng.Intn(2*g.branchGap())+2) * 4 // short forward hop
+	} else {
+		hop = uint64(rng.Intn(g.prof.CodeFootprint/8)+8) * 4 // long-range hop
+	}
+	t := pc + hop
+	if t >= CodeBase+span {
+		t = CodeBase + (t-CodeBase)%span // wrap: one big cycle over the code
+	}
+	if t == pc { // avoid self-loop degenerate case
+		t = pc + 4
+		if t >= CodeBase+span {
+			t = CodeBase
+		}
+	}
+	return t
+}
+
+// loopTarget picks a backward target forming a loop body.
+func (g *Generator) loopTarget(pc uint64, rng *rand.Rand) uint64 {
+	gap := g.branchGap()
+	body := uint64(rng.Intn(gap)+gap/2+1) * 4
+	if pc < CodeBase+body {
+		return CodeBase
+	}
+	return pc - body
+}
+
+// outcome computes and advances the ground-truth direction of the branch at
+// pc. Only the correct path mutates branch state.
+func (g *Generator) outcome(pc uint64, si *staticInstr) bool {
+	st := g.branches[pc]
+	if st == nil {
+		st = &branchState{}
+		g.branches[pc] = st
+	}
+	switch si.pattern {
+	case patBiased:
+		if g.rng.Float64() < 0.97 {
+			return si.biasedTaken
+		}
+		return !si.biasedTaken
+	case patLoop:
+		st.loopCount++
+		if st.loopCount >= g.prof.LoopLength {
+			st.loopCount = 0
+			return false // exit the loop
+		}
+		return true
+	case patAlternating:
+		st.lastTaken = !st.lastTaken
+		return st.lastTaken
+	default:
+		return g.rng.Float64() < g.prof.RandomTakenProb
+	}
+}
+
+// hotRegionBytes is the size of the high-locality data region (stack frames
+// and hot heap objects) that non-streaming accesses favour. Real programs
+// concentrate the bulk of their references on a cache-resident hot set; a
+// uniform draw over the working set would produce data-cache hit rates far
+// below anything Spec95 exhibits.
+const hotRegionBytes = 8 << 10
+
+// hotFraction is the probability that a non-streaming access falls in the
+// hot region.
+const hotFraction = 0.90
+
+// dataAddr produces the effective address for a memory instruction.
+func (g *Generator) dataAddr(si *staticInstr, rng *rand.Rand) uint64 {
+	ws := uint64(g.prof.DataWorkingSet)
+	if si.seqStream {
+		a := DataBase + g.seqCursor
+		g.seqCursor += uint64(g.prof.StrideBytes)
+		if g.seqCursor >= ws {
+			g.seqCursor = 0
+		}
+		return a
+	}
+	hot := uint64(hotRegionBytes)
+	if hot > ws {
+		hot = ws
+	}
+	if rng.Float64() < hotFraction {
+		// Hot region sits at the top of the address space, clear of the
+		// streaming cursors.
+		return DataBase + ws + uint64(rng.Int63n(int64(hot)))&^7
+	}
+	return DataBase + uint64(rng.Int63n(int64(ws)))&^7
+}
+
+// fill populates an instruction record from the static program entry.
+func (g *Generator) fill(in *isa.Instr, pc uint64, si *staticInstr, rng *rand.Rand) {
+	in.Src = si.src
+	in.Dest = si.dest
+	if si.class.IsMem() {
+		in.Addr = g.dataAddr(si, rng)
+	}
+}
+
+// Next produces the next correct-path instruction; the walk follows the
+// ground-truth direction of every branch.
+func (g *Generator) Next() *isa.Instr {
+	if g.inWrongPath {
+		panic("workload: Next called while in wrong-path mode")
+	}
+	pc := g.pc
+	si := g.materialize(pc)
+	in := isa.NewInstr(0, pc, si.class)
+	g.fill(in, pc, si, g.rng)
+
+	next := pc + 4
+	if si.class == isa.ClassBranch {
+		taken := g.outcome(pc, si)
+		in.Taken = taken
+		in.Target = si.target
+		if taken {
+			next = si.target
+		}
+	}
+	if next >= g.codeEnd() {
+		next = CodeBase
+	}
+	g.pc = next
+	g.generated++
+	return in
+}
+
+// StartWrongPath begins producing instructions from target (the mispredicted
+// direction's address). If target is 0 (a taken prediction with a BTB miss),
+// the walk continues from fallthrough+4 — junk fetch, as in hardware.
+func (g *Generator) StartWrongPath(target uint64) {
+	if g.inWrongPath {
+		panic("workload: StartWrongPath while already in wrong-path mode")
+	}
+	g.inWrongPath = true
+	if target < CodeBase || target >= g.codeEnd() {
+		target = CodeBase + (target % uint64(g.prof.CodeFootprint))
+		target &^= 3
+	}
+	g.wpPC = target
+}
+
+// NextWrongPath produces the next wrong-path instruction. Wrong-path
+// branches follow plausible directions (biased branches their bias, others a
+// coin flip) but never mutate ground-truth branch state.
+func (g *Generator) NextWrongPath() *isa.Instr {
+	if !g.inWrongPath {
+		panic("workload: NextWrongPath outside wrong-path mode")
+	}
+	pc := g.wpPC
+	si := g.materialize(pc)
+	in := isa.NewInstr(0, pc, si.class)
+	in.WrongPath = true
+	g.fill(in, pc, si, g.wp)
+
+	next := pc + 4
+	if si.class == isa.ClassBranch {
+		taken := si.biasedTaken
+		if si.pattern != patBiased {
+			taken = g.wp.Float64() < 0.5
+		}
+		in.Taken = taken
+		in.Target = si.target
+		if taken {
+			next = si.target
+		}
+	}
+	if next >= g.codeEnd() {
+		next = CodeBase
+	}
+	g.wpPC = next
+	g.wrongGen++
+	return in
+}
+
+// EndWrongPath returns to correct-path mode (the mispredicted branch has
+// resolved and the front end was redirected).
+func (g *Generator) EndWrongPath() {
+	if !g.inWrongPath {
+		panic("workload: EndWrongPath outside wrong-path mode")
+	}
+	g.inWrongPath = false
+}
+
+// InWrongPath reports whether the generator is producing wrong-path
+// instructions.
+func (g *Generator) InWrongPath() bool { return g.inWrongPath }
+
+// CurrentPC returns the address of the instruction the next Next (or
+// NextWrongPath) call will produce. The fetch stage uses it for the I-cache
+// access that precedes instruction delivery.
+func (g *Generator) CurrentPC() uint64 {
+	if g.inWrongPath {
+		return g.wpPC
+	}
+	return g.pc
+}
+
+// String implements fmt.Stringer.
+func (g *Generator) String() string {
+	return fmt.Sprintf("workload %s (%s): %d instrs generated, %d wrong-path",
+		g.prof.Name, g.prof.Suite, g.generated, g.wrongGen)
+}

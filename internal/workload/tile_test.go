@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"galsim/internal/isa"
+)
+
+// Property: the class tile holds each class in exact largest-remainder
+// proportion, for arbitrary (valid) mixes.
+func TestTileProportionsProperty(t *testing.T) {
+	f := func(b, l, s, fa uint8) bool {
+		mix := Mix{
+			Branch: float64(b%40) / 200, // up to 0.20
+			Load:   float64(l%60) / 200, // up to 0.30
+			Store:  float64(s%30) / 200,
+			FPAdd:  float64(fa%40) / 200,
+		}
+		if mix.Sum() > 1 {
+			return true // not a valid mix; skip
+		}
+		tile := buildClassTile(mix, rand.New(rand.NewSource(1)))
+		if len(tile) != tileLen {
+			return false
+		}
+		count := map[isa.Class]int{}
+		for _, c := range tile {
+			count[c]++
+		}
+		within := func(c isa.Class, frac float64) bool {
+			want := int(frac*tileLen + 0.5)
+			return count[c] == want
+		}
+		return within(isa.ClassBranch, mix.Branch) &&
+			within(isa.ClassLoad, mix.Load) &&
+			within(isa.ClassStore, mix.Store) &&
+			within(isa.ClassFPAdd, mix.FPAdd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any contiguous window of tileLen instructions in the dynamic
+// stream of straight-line code has the exact tile mix. (Control flow breaks
+// contiguity, so check the static layout directly.)
+func TestTileWindowExactness(t *testing.T) {
+	p, _ := ByName("gcc")
+	g := NewGenerator(p, 3)
+	for start := uint64(0); start < 4*tileLen; start += tileLen / 2 {
+		branches := 0
+		for i := uint64(0); i < tileLen; i++ {
+			if g.classAt(CodeBase+4*(start+i)) == isa.ClassBranch {
+				branches++
+			}
+		}
+		want := int(p.Mix.Branch*tileLen + 0.5)
+		if branches != want {
+			t.Errorf("window at %d: %d branches, want %d", start, branches, want)
+		}
+	}
+}
+
+// Dependency distances follow the configured geometric-ish shape: short
+// distances dominate, and a profile with larger DepDistP yields shorter
+// dependencies on average.
+func TestDependencyDistanceOrdering(t *testing.T) {
+	avgDist := func(name string) float64 {
+		p, _ := ByName(name)
+		g := NewGenerator(p, 9)
+		// Measure dynamic distance: for each int-ALU src0, how many
+		// instructions back was the named register last written?
+		lastWrite := map[isa.Reg]int{}
+		var sum float64
+		var n int
+		for i := 0; i < 40_000; i++ {
+			in := g.Next()
+			if in.Class == isa.ClassIntALU && in.Src[0].Valid() {
+				if w, ok := lastWrite[in.Src[0]]; ok {
+					sum += float64(i - w)
+					n++
+				}
+			}
+			if in.Dest.Valid() {
+				lastWrite[in.Dest] = i
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s: no measurable dependencies", name)
+		}
+		return sum / float64(n)
+	}
+	serial := avgDist("adpcm") // DepDistP 0.40: short chains
+	ilp := avgDist("fpppp")    // DepDistP 0.15: long chains
+	if serial >= ilp {
+		t.Errorf("adpcm avg dep distance %.1f should be below fpppp %.1f", serial, ilp)
+	}
+}
+
+// Suites partition the benchmarks.
+func TestSuitePartition(t *testing.T) {
+	suites := map[string]int{}
+	for _, p := range All() {
+		suites[p.Suite]++
+	}
+	if suites["spec95int"] < 6 || suites["spec95fp"] < 3 || suites["mediabench"] < 3 {
+		t.Errorf("suite sizes: %v", suites)
+	}
+}
+
+// The wrong-path stream draws from the same static program: revisiting a PC
+// on the wrong path yields the same class as on the correct path.
+func TestWrongPathSharesStaticProgram(t *testing.T) {
+	p, _ := ByName("li")
+	g := NewGenerator(p, 4)
+	classOf := map[uint64]isa.Class{}
+	for i := 0; i < 20_000; i++ {
+		in := g.Next()
+		classOf[in.PC] = in.Class
+	}
+	g.StartWrongPath(CodeBase + 0x40)
+	for i := 0; i < 5_000; i++ {
+		in := g.NextWrongPath()
+		if want, seen := classOf[in.PC]; seen && want != in.Class {
+			t.Fatalf("pc %#x decodes as %v on wrong path but %v on correct path",
+				in.PC, in.Class, want)
+		}
+	}
+	g.EndWrongPath()
+}
