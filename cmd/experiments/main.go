@@ -13,16 +13,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"galsim/internal/experiments"
-	"galsim/internal/report"
 )
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", `artifact: "all", "table1", "5".."13", "phase", "ablations", or "dvfs"`)
+		fig  = flag.String("fig", "all", fmt.Sprintf(`artifact: "all" or one of %v`, experiments.Artifacts()))
 		n    = flag.Uint64("n", 60_000, "instructions per run")
-		seed = flag.Int64("seed", 42, "workload seed")
+		seed = flag.Int64("seed", 42, "workload seed (0 selects the default, 42)")
 	)
 	flag.Parse()
 
@@ -30,73 +30,20 @@ func main() {
 	cfg.Instructions = *n
 	cfg.WorkloadSeed = *seed
 
-	needCorpus := map[string]bool{"all": true, "5": true, "6": true, "7": true, "8": true, "9": true}
-	var corpus *experiments.Corpus
-	if needCorpus[*fig] {
-		fmt.Fprintf(os.Stderr, "running corpus: %d benchmarks x 2 machines x %d instructions...\n",
-			len(benchCount(cfg)), cfg.Instructions)
-		corpus = experiments.RunCorpus(cfg)
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.Artifacts()
+		fmt.Fprintf(os.Stderr, "regenerating %s at %d instructions per run...\n",
+			strings.Join(ids, ", "), cfg.Instructions)
 	}
-
-	emit := func(t *report.Table) { t.Render(os.Stdout) }
-
-	run := func(id string) {
-		switch id {
-		case "table1":
-			emit(experiments.Table1Skew())
-		case "5":
-			emit(experiments.Fig5Performance(corpus))
-		case "6":
-			emit(experiments.Fig6Slip(corpus))
-		case "7":
-			emit(experiments.Fig7RelativeSlip(corpus))
-		case "8":
-			emit(experiments.Fig8Speculation(corpus))
-		case "9":
-			emit(experiments.Fig9EnergyPower(corpus))
-		case "10":
-			emit(experiments.Fig10Breakdown(cfg, "compress"))
-		case "11":
-			emit(experiments.Fig11SelectiveSlowdown(cfg))
-		case "12":
-			emit(experiments.Fig12IjpegSweep(cfg))
-		case "13":
-			emit(experiments.Fig13GccSlowdown(cfg))
-		case "phase":
-			emit(experiments.PhaseSensitivity(cfg, "li", 8))
-		case "dvfs":
-			emit(experiments.DynamicDVFSDemo(cfg))
-		case "ablations":
-			emit(experiments.AblationLinkStyle(cfg, "gcc"))
-			emit(experiments.AblationSyncEdges(cfg, "compress"))
-			emit(experiments.AblationFIFOCapacity(cfg, "swim"))
-			emit(experiments.AblationClockPhases(cfg, "li"))
-			emit(experiments.AblationPredictor(cfg, "gcc"))
-			emit(experiments.AblationDisambiguation(cfg, "vortex"))
-		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", id)
+	for _, id := range ids {
+		tables, err := experiments.Regenerate(cfg, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
 		}
-	}
-
-	if *fig == "all" {
-		for _, id := range []string{"table1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "phase", "ablations", "dvfs"} {
-			run(id)
+		for _, t := range tables {
+			t.Render(os.Stdout)
 		}
-		return
 	}
-	run(*fig)
-}
-
-func benchCount(cfg experiments.Config) []string {
-	if len(cfg.Benchmarks) > 0 {
-		return cfg.Benchmarks
-	}
-	// mirrors experiments.Config.benchmarks, which is unexported
-	return allBenchmarks
-}
-
-var allBenchmarks = []string{
-	"adpcm", "applu", "compress", "epic", "fpppp", "g721", "gcc", "go",
-	"ijpeg", "li", "m88ksim", "mpeg2", "perl", "swim", "vortex",
 }

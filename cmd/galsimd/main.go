@@ -1,0 +1,81 @@
+// Command galsimd serves the GALS simulator over HTTP: a long-running
+// campaign service that executes single runs, declarative sweeps, and the
+// paper's experiment drivers on a shared worker pool, memoizing every
+// completed simulation in a content-addressed cache so concurrent clients
+// asking for overlapping work pay for it once.
+//
+// Examples:
+//
+//	galsimd -addr :8080
+//	curl -s localhost:8080/benchmarks
+//	curl -s -X POST localhost:8080/run \
+//	    -d '{"benchmark":"gcc","machine":"gals","slowdowns":{"fp":3}}'
+//	curl -s -X POST localhost:8080/sweep \
+//	    -d '{"benchmarks":["gcc","perl"],"instructions":20000,
+//	         "slowdown_grid":[{},{"fp":1.5},{"fp":3}],"machines":["gals"]}'
+//	curl -s 'localhost:8080/experiments/5?format=text'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		maxUnits   = flag.Int("max-sweep-units", 4096, "reject sweeps expanding beyond this many units (0 = unlimited)")
+		gracePd    = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		rdTimeout  = flag.Duration("read-timeout", 30*time.Second, "request read timeout")
+		wrTimeout  = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
+		idleTimout = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+	)
+	flag.Parse()
+
+	engine := campaign.NewEngine(*workers)
+	srv := service.New(engine)
+	srv.MaxSweepUnits = *maxUnits
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadTimeout:       *rdTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *wrTimeout,
+		IdleTimeout:       *idleTimout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("galsimd: serving on %s with %d workers", *addr, engine.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("galsimd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("galsimd: shutting down (grace %s)", *gracePd)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePd)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("galsimd: shutdown: %v", err)
+	}
+	st := engine.Stats()
+	log.Printf("galsimd: cache at exit: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)
+}

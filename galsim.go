@@ -27,8 +27,10 @@
 package galsim
 
 import (
+	"context"
 	"fmt"
 
+	"galsim/internal/campaign"
 	"galsim/internal/isa"
 	"galsim/internal/pipeline"
 	"galsim/internal/power"
@@ -52,9 +54,7 @@ const (
 
 // DomainNames lists the clock domain names accepted by Options.Slowdowns,
 // in pipeline order.
-func DomainNames() []string {
-	return []string{"fetch", "decode", "int", "fp", "mem"}
-}
+func DomainNames() []string { return campaign.DomainNames() }
 
 // Benchmarks returns the available synthetic benchmark names (stand-ins for
 // the paper's Spec95 and Mediabench workloads).
@@ -195,72 +195,50 @@ func (r Result) RelativePerformance(other Result) float64 {
 	return r.SimSeconds / other.SimSeconds
 }
 
+// Validate reports the first problem with the options without running
+// anything: unknown benchmarks, machines, memory orderings, link styles,
+// and slowdown keys outside DomainNames all produce errors that list the
+// accepted values. Run, RunMany and the galsimd HTTP API all surface the
+// same messages.
+func (o Options) Validate() error {
+	_, err := o.spec()
+	return err
+}
+
+// spec translates the options into a canonical campaign unit.
+func (o Options) spec() (campaign.RunSpec, error) {
+	if o.Benchmark == "" {
+		return campaign.RunSpec{}, fmt.Errorf("galsim: Options.Benchmark is required (one of %v)", Benchmarks())
+	}
+	spec := campaign.RunSpec{
+		Benchmark:      o.Benchmark,
+		Machine:        string(o.Machine),
+		Instructions:   o.Instructions,
+		Slowdowns:      o.Slowdowns,
+		FreqOnly:       o.DisableVoltageScaling,
+		WorkloadSeed:   o.WorkloadSeed,
+		PhaseSeed:      o.PhaseSeed,
+		MemoryOrdering: o.MemoryOrdering,
+		LinkStyle:      o.LinkStyle,
+		DynamicDVFS:    o.DynamicDVFS,
+	}
+	if err := spec.Validate(); err != nil {
+		return campaign.RunSpec{}, err
+	}
+	return spec, nil
+}
+
 // Run executes one simulation.
 func Run(o Options) (Result, error) {
-	if o.Benchmark == "" {
-		return Result{}, fmt.Errorf("galsim: Options.Benchmark is required (one of %v)", Benchmarks())
-	}
-	prof, err := workload.ByName(o.Benchmark)
+	spec, err := o.spec()
 	if err != nil {
 		return Result{}, err
 	}
-	if o.Machine == "" {
-		o.Machine = Base
-	}
-	var kind pipeline.Kind
-	switch o.Machine {
-	case Base:
-		kind = pipeline.Base
-	case GALS:
-		kind = pipeline.GALS
-	default:
-		return Result{}, fmt.Errorf("galsim: unknown machine %q (want %q or %q)", o.Machine, Base, GALS)
-	}
-	if o.Instructions == 0 {
-		o.Instructions = 100_000
-	}
-
-	cfg := pipeline.DefaultConfig(kind)
-	cfg.AutoVoltage = !o.DisableVoltageScaling
-	if o.WorkloadSeed != 0 {
-		cfg.WorkloadSeed = o.WorkloadSeed
-	}
-	if o.PhaseSeed != 0 {
-		cfg.PhaseSeed = o.PhaseSeed
-	}
-	if err := applySlowdowns(&cfg, o); err != nil {
-		return Result{}, err
-	}
-	switch o.MemoryOrdering {
-	case "", "perfect":
-		cfg.MemDisambig = pipeline.DisambigPerfect
-	case "conservative":
-		cfg.MemDisambig = pipeline.DisambigConservative
-	case "addr-match":
-		cfg.MemDisambig = pipeline.DisambigAddrMatch
-	default:
-		return Result{}, fmt.Errorf("galsim: unknown memory ordering %q (want perfect, conservative or addr-match)", o.MemoryOrdering)
-	}
-	switch o.LinkStyle {
-	case "", "fifo":
-		cfg.LinkStyle = pipeline.LinkFIFO
-	case "stretch":
-		cfg.LinkStyle = pipeline.LinkStretch
-	default:
-		return Result{}, fmt.Errorf("galsim: unknown link style %q (want fifo or stretch)", o.LinkStyle)
-	}
-	if o.DynamicDVFS {
-		cfg.DynamicDVFS = pipeline.DefaultDynamicDVFS()
-	}
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-
-	core := pipeline.NewCore(cfg, prof)
+	var hook func(*isa.Instr)
 	if o.OnCommit != nil {
-		hook := o.OnCommit
-		core.OnCommit(func(in *isa.Instr) {
-			hook(CommitEvent{
+		user := o.OnCommit
+		hook = func(in *isa.Instr) {
+			user(CommitEvent{
 				Seq:          uint64(in.Seq),
 				PC:           in.PC,
 				Class:        in.Class.String(),
@@ -269,38 +247,51 @@ func Run(o Options) (Result, error) {
 				CommitTimeNs: in.CommitTime.Nanoseconds(),
 				SlipNs:       in.Slip().Nanoseconds(),
 			})
-		})
+		}
 	}
-	st := core.Run(o.Instructions)
+	st, err := campaign.Execute(spec, hook)
+	if err != nil {
+		return Result{}, err
+	}
 	return resultFrom(o, st), nil
 }
 
-func applySlowdowns(cfg *pipeline.Config, o Options) error {
-	domains := map[string]pipeline.DomainID{
-		"fetch": pipeline.DomFetch, "decode": pipeline.DomDecode,
-		"int": pipeline.DomInt, "fp": pipeline.DomFP, "mem": pipeline.DomMem,
+// RunMany executes the given runs concurrently on a worker pool sized to
+// GOMAXPROCS and returns their results in input order. Identical option
+// sets — within one call or across calls — are simulated only once and
+// served from an in-memory cache. Cancelling ctx stops scheduling new runs
+// promptly and returns the context's error. Options.OnCommit is not
+// supported (per-instruction tracing is inherently serial; use Run).
+func RunMany(ctx context.Context, opts []Options) ([]Result, error) {
+	if len(opts) == 0 {
+		return nil, nil
 	}
-	for name, s := range o.Slowdowns {
-		if s < 1 {
-			return fmt.Errorf("galsim: slowdown %q = %v must be >= 1", name, s)
+	specs := make([]campaign.RunSpec, len(opts))
+	for i, o := range opts {
+		if o.OnCommit != nil {
+			return nil, fmt.Errorf("galsim: RunMany does not support Options.OnCommit; use Run for traced runs")
 		}
-		if name == "all" {
-			cfg.SetUniformSlowdown(s)
-			continue
+		spec, err := o.spec()
+		if err != nil {
+			return nil, fmt.Errorf("galsim: options[%d]: %w", i, err)
 		}
-		d, ok := domains[name]
-		if !ok {
-			return fmt.Errorf("galsim: unknown clock domain %q (want one of %v or \"all\")", name, DomainNames())
-		}
-		if o.Machine == Base {
-			return fmt.Errorf("galsim: the base machine has a single clock; use Slowdowns[%q]", "all")
-		}
-		cfg.Slowdowns[d] = s
+		specs[i] = spec
 	}
-	return nil
+	stats, err := campaign.Shared().RunAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(opts))
+	for i, o := range opts {
+		results[i] = resultFrom(o, stats[i])
+	}
+	return results, nil
 }
 
 func resultFrom(o Options, st pipeline.Stats) Result {
+	if o.Machine == "" {
+		o.Machine = Base
+	}
 	breakdown := map[string]float64{}
 	for _, b := range power.Blocks() {
 		breakdown[b.String()] = st.EnergyBreakdown[b]

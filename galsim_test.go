@@ -1,6 +1,8 @@
 package galsim
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -184,5 +186,79 @@ func TestDomainNames(t *testing.T) {
 	names := DomainNames()
 	if len(names) != 5 || names[0] != "fetch" || names[4] != "mem" {
 		t.Errorf("DomainNames = %v", names)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := Options{Benchmark: "gcc", Machine: GALS, Slowdowns: map[string]float64{"fp": 2}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	bad := Options{Benchmark: "gcc", Machine: GALS, Slowdowns: map[string]float64{"warp": 2}}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	// The message must list the valid domains so callers can self-correct.
+	for _, d := range DomainNames() {
+		if !strings.Contains(err.Error(), d) {
+			t.Errorf("error %q does not list domain %q", err, d)
+		}
+	}
+}
+
+func TestRunManyMatchesRun(t *testing.T) {
+	opts := []Options{
+		{Benchmark: "gcc", Instructions: 8_000},
+		{Benchmark: "gcc", Machine: GALS, Instructions: 8_000},
+		{Benchmark: "swim", Machine: GALS, Instructions: 8_000, Slowdowns: map[string]float64{"fp": 2}},
+		{Benchmark: "gcc", Instructions: 8_000}, // duplicate of [0]: served from cache
+	}
+	many, err := RunMany(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(opts) {
+		t.Fatalf("got %d results for %d option sets", len(many), len(opts))
+	}
+	for i, o := range opts {
+		serial, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(many[i], serial) {
+			t.Errorf("results[%d] diverges from serial Run:\nparallel: %+v\nserial:   %+v", i, many[i], serial)
+		}
+	}
+	if many[0].Machine != Base || many[1].Machine != GALS {
+		t.Errorf("machines = %v, %v", many[0].Machine, many[1].Machine)
+	}
+}
+
+func TestRunManyValidation(t *testing.T) {
+	_, err := RunMany(context.Background(), []Options{
+		{Benchmark: "gcc", Instructions: 5_000},
+		{Benchmark: "nope"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "options[1]") {
+		t.Errorf("bad option set not attributed to its index: %v", err)
+	}
+	_, err = RunMany(context.Background(), []Options{
+		{Benchmark: "gcc", OnCommit: func(CommitEvent) {}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "OnCommit") {
+		t.Errorf("OnCommit not rejected: %v", err)
+	}
+	if res, err := RunMany(context.Background(), nil); err != nil || res != nil {
+		t.Errorf("empty input: %v, %v", res, err)
+	}
+}
+
+func TestRunManyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := []Options{{Benchmark: "applu", Instructions: 50_000, WorkloadSeed: 12345}}
+	if _, err := RunMany(ctx, opts); err == nil {
+		t.Error("cancelled context produced results")
 	}
 }

@@ -1,0 +1,3 @@
+module galsim
+
+go 1.24

@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// benchSweep expands to 56 units: 14 benchmarks x 2 machines x 2 phase
+// seeds, kept short so one serial pass stays in benchmark-friendly range.
+func benchSweep() Sweep {
+	return Sweep{
+		Benchmarks: []string{
+			"adpcm", "applu", "compress", "epic", "fpppp", "g721", "gcc",
+			"ijpeg", "li", "m88ksim", "mpeg2", "perl", "swim", "vortex",
+		},
+		Machines:     []string{"base", "gals"},
+		PhaseSeeds:   []int64{1, 2},
+		Instructions: 4_000,
+	}
+}
+
+// BenchmarkSweep compares a 56-unit campaign executed serially (one worker)
+// against the pooled engine. Run with -cpu 4 to see the parallel speedup the
+// engine exists for:
+//
+//	go test ./internal/campaign -bench BenchmarkSweep -cpu 4
+//
+// A fresh engine per iteration keeps the content-addressed cache cold, so
+// the benchmark measures simulation throughput, not memoization.
+func BenchmarkSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS, i.e. the -cpu value
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sweep := benchSweep()
+			units, err := sweep.Units()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(bc.workers)
+				if _, err := e.RunAll(context.Background(), units); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(units)), "units")
+		})
+	}
+}
+
+// BenchmarkSweepCached measures the memoized path: every unit after the
+// first iteration is a cache hit.
+func BenchmarkSweepCached(b *testing.B) {
+	e := NewEngine(0)
+	units, err := benchSweep().Units()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.RunAll(context.Background(), units); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunAll(context.Background(), units); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+}

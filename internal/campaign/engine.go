@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"galsim/internal/isa"
+	"galsim/internal/pipeline"
+)
+
+// Execute runs one unit directly, bypassing any cache. onCommit, when
+// non-nil, receives every committed instruction in program order. Panics
+// from the simulator core (e.g. the deadlock guard) are converted to errors
+// so a malformed unit cannot take down a whole campaign or a server.
+func Execute(spec RunSpec, onCommit func(*isa.Instr)) (st pipeline.Stats, err error) {
+	cfg, prof, err := spec.PipelineConfig()
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: run %s/%s failed: %v", spec.Machine, spec.Benchmark, r)
+		}
+	}()
+	core := pipeline.NewCore(cfg, prof)
+	if onCommit != nil {
+		core.OnCommit(onCommit)
+	}
+	return core.Run(spec.Canonical().Instructions), nil
+}
+
+// CacheStats snapshots the engine's memoization counters.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`    // runs served from the cache (or joined in flight)
+	Misses  uint64 `json:"misses"`  // runs actually simulated
+	Entries int    `json:"entries"` // completed runs currently held
+}
+
+// entry is one cached (or in-flight) run; done is closed when st/err are set.
+type entry struct {
+	done chan struct{}
+	st   pipeline.Stats
+	err  error
+}
+
+const numShards = 32
+
+// shard is one lock-striped slice of the content-addressed cache.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// Engine executes RunSpecs with bounded concurrency and memoizes every
+// completed run in a sharded in-memory cache keyed by RunSpec.Key. At most
+// `workers` simulations execute at any moment, across all concurrent Run
+// and RunAll callers. It is safe for concurrent use; concurrent requests
+// for the same key share a single simulation (singleflight).
+type Engine struct {
+	workers int
+	sem     chan struct{} // global simulation-concurrency bound
+	shards  [numShards]shard
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewEngine builds an engine with the given worker-pool width; workers <= 0
+// selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: workers, sem: make(chan struct{}, workers)}
+	for i := range e.shards {
+		e.shards[i].entries = map[string]*entry{}
+	}
+	return e
+}
+
+// Workers returns the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+var (
+	sharedOnce   sync.Once
+	sharedEngine *Engine
+)
+
+// Shared returns the process-wide default engine (GOMAXPROCS workers).
+// galsim.RunMany and the experiment drivers both execute through it, so
+// overlapping specs issued via either API are simulated exactly once per
+// process and share one result cache.
+func Shared() *Engine {
+	sharedOnce.Do(func() { sharedEngine = NewEngine(0) })
+	return sharedEngine
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() CacheStats {
+	s := CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+func (e *Engine) shardFor(key string) *shard {
+	// key is hex SHA-256: decode the leading byte (two nibbles) so the
+	// index is uniform over 0..255 rather than over the 16 hex digits.
+	return &e.shards[(hexNibble(key[0])<<4|hexNibble(key[1]))%numShards]
+}
+
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// Run executes one unit through the cache: a previously completed identical
+// spec returns instantly, an in-flight one is joined, and a new one is
+// simulated on the calling goroutine once a worker slot frees up, so
+// concurrent callers never exceed the engine's worker bound. ctx
+// cancellation abandons the wait (an already-started simulation still
+// completes and populates the cache).
+func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return pipeline.Stats{}, err
+	}
+	key := spec.Key()
+	sh := e.shardFor(key)
+	for {
+		if err := ctx.Err(); err != nil {
+			return pipeline.Stats{}, err
+		}
+		sh.mu.Lock()
+		if ent, ok := sh.entries[key]; ok {
+			sh.mu.Unlock()
+			e.hits.Add(1)
+			select {
+			case <-ent.done:
+				// The owner may have given up waiting for a worker slot
+				// because ITS context was cancelled; that must not poison
+				// a joiner whose context is still live. The failed entry
+				// was already deleted, so loop and take ownership.
+				if (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+					continue
+				}
+				return ent.st, ent.err
+			case <-ctx.Done():
+				return pipeline.Stats{}, ctx.Err()
+			}
+		}
+		ent := &entry{done: make(chan struct{})}
+		sh.entries[key] = ent
+		sh.mu.Unlock()
+
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			ent.err = ctx.Err()
+		}
+		if ent.err == nil {
+			e.misses.Add(1)
+			ent.st, ent.err = Execute(spec, nil)
+			<-e.sem
+		}
+		if ent.err != nil {
+			// Do not cache failures: a later identical request re-validates.
+			sh.mu.Lock()
+			delete(sh.entries, key)
+			sh.mu.Unlock()
+		}
+		close(ent.done)
+		return ent.st, ent.err
+	}
+}
+
+// RunAll fans specs out over the worker pool and returns their stats in
+// input order. The first error cancels the remaining units and is returned;
+// a cancelled ctx stops the pool promptly (units not yet started are never
+// simulated). Duplicate specs within one call are simulated once.
+func (e *Engine) RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]pipeline.Stats, len(specs))
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	next := make(chan int)
+	workers := min(e.workers, len(specs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				st, err := e.Run(ctx, specs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("campaign: unit %d (%s/%s): %w",
+							i, specs[i].Machine, specs[i].Benchmark, err)
+						cancel()
+					})
+					return
+				}
+				results[i] = st
+			}
+		}()
+	}
+feed:
+	for i := range specs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

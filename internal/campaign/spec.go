@@ -1,0 +1,301 @@
+// Package campaign turns the simulator into a sweep engine: a declarative
+// Sweep spec (benchmarks × machines × slowdown grids × seeds) expands into
+// deterministic RunSpec units, an Engine fans the units out over a worker
+// pool with context cancellation, and a sharded content-addressed cache
+// memoizes every completed run so identical specs — whether issued by the
+// experiment drivers, the RunMany library API, or concurrent HTTP requests
+// against cmd/galsimd — are simulated exactly once per process.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"galsim/internal/bpred"
+	"galsim/internal/pipeline"
+	"galsim/internal/workload"
+)
+
+// DomainNames lists the clock domain names accepted as Slowdowns keys, in
+// pipeline order.
+func DomainNames() []string {
+	names := make([]string, 0, int(pipeline.NumDomains))
+	for d := pipeline.DomainID(0); d < pipeline.NumDomains; d++ {
+		names = append(names, d.String())
+	}
+	return names
+}
+
+// RunSpec describes one simulation unit declaratively. It is the campaign
+// engine's unit of work and unit of caching: two specs that canonicalize to
+// the same bytes name the same deterministic run. The zero value of every
+// optional field selects the paper's default machine.
+type RunSpec struct {
+	// Benchmark is the workload name (required).
+	Benchmark string `json:"benchmark"`
+	// Machine is "base" or "gals" (default "base").
+	Machine string `json:"machine,omitempty"`
+	// Instructions is the committed-instruction budget (default 100000).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Slowdowns stretches named clock domains (keys from DomainNames, or
+	// "all" for a uniform stretch; values >= 1).
+	Slowdowns map[string]float64 `json:"slowdowns,omitempty"`
+	// FreqOnly disables the automatic voltage scaling of slowed domains.
+	FreqOnly bool `json:"freq_only,omitempty"`
+	// WorkloadSeed seeds the synthetic instruction stream (default 42).
+	WorkloadSeed int64 `json:"workload_seed,omitempty"`
+	// PhaseSeed seeds the GALS local-clock phases (default 1).
+	PhaseSeed int64 `json:"phase_seed,omitempty"`
+	// MemoryOrdering is "perfect", "conservative" or "addr-match".
+	MemoryOrdering string `json:"memory_ordering,omitempty"`
+	// LinkStyle is "fifo" or "stretch" (GALS inter-domain links).
+	LinkStyle string `json:"link_style,omitempty"`
+	// DynamicDVFS enables the online per-domain frequency/voltage controller.
+	DynamicDVFS bool `json:"dynamic_dvfs,omitempty"`
+
+	// Ablation knobs; zero selects the paper's machine.
+	FIFOSyncEdges int    `json:"fifo_sync_edges,omitempty"`
+	FIFOCapacity  int    `json:"fifo_capacity,omitempty"`
+	ZeroPhases    bool   `json:"zero_phases,omitempty"`
+	Predictor     string `json:"predictor,omitempty"` // gshare|bimodal|taken|nottaken
+}
+
+// Canonical defaults, matching galsim.Run's zero-value behaviour.
+const (
+	defaultInstructions   = 100_000
+	defaultWorkloadSeed   = 42
+	defaultPhaseSeed      = 1
+	defaultMemoryOrdering = "perfect"
+	defaultLinkStyle      = "fifo"
+	defaultPredictor      = "gshare"
+)
+
+// Canonical returns the spec with every default made explicit and
+// no-op slowdown entries (factor exactly 1) removed, so that equal runs
+// hash equally regardless of how sparsely the caller filled the struct.
+func (s RunSpec) Canonical() RunSpec {
+	if s.Machine == "" {
+		s.Machine = pipeline.Base.String()
+	}
+	if s.Instructions == 0 {
+		s.Instructions = defaultInstructions
+	}
+	if s.WorkloadSeed == 0 {
+		s.WorkloadSeed = defaultWorkloadSeed
+	}
+	if s.PhaseSeed == 0 {
+		s.PhaseSeed = defaultPhaseSeed
+	}
+	if s.MemoryOrdering == "" {
+		s.MemoryOrdering = defaultMemoryOrdering
+	}
+	if s.LinkStyle == "" {
+		s.LinkStyle = defaultLinkStyle
+	}
+	if s.Predictor == "" {
+		s.Predictor = defaultPredictor
+	}
+	if s.FIFOSyncEdges == 0 || s.Machine == pipeline.Base.String() {
+		s.FIFOSyncEdges = pipeline.DefaultConfig(pipeline.Base).FIFOSyncEdges
+	}
+	if s.FIFOCapacity == 0 || s.Machine == pipeline.Base.String() {
+		s.FIFOCapacity = pipeline.DefaultConfig(pipeline.Base).FIFOCapacity
+	}
+	if s.Machine == pipeline.Base.String() {
+		// The base machine has one clock at phase zero and no inter-domain
+		// links: phase and link settings cannot influence the run, so
+		// normalize them away to keep its cache keys collision-rich —
+		// sweeping phase seeds over both machines must simulate the base
+		// reference once, not once per seed.
+		s.PhaseSeed = defaultPhaseSeed
+		s.ZeroPhases = false
+		s.LinkStyle = defaultLinkStyle
+	}
+	var slow map[string]float64
+	for name, f := range s.Slowdowns {
+		if f == 1 {
+			continue
+		}
+		if slow == nil {
+			slow = make(map[string]float64, len(s.Slowdowns))
+		}
+		slow[name] = f
+	}
+	s.Slowdowns = slow
+	return s
+}
+
+// Key returns the spec's content address: a hex SHA-256 of its canonical
+// JSON form. encoding/json writes map keys in sorted order, so the hash is
+// stable across equal specs.
+func (s RunSpec) Key() string {
+	b, err := json.Marshal(s.Canonical())
+	if err != nil {
+		// RunSpec contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("campaign: marshaling RunSpec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Validate reports the first problem with the spec, with errors phrased for
+// end users of the library and the HTTP API alike.
+func (s RunSpec) Validate() error {
+	if s.Benchmark == "" {
+		return fmt.Errorf("campaign: benchmark is required (one of %v)", workload.Names())
+	}
+	if _, err := workload.ByName(s.Benchmark); err != nil {
+		return err
+	}
+	if _, err := s.kind(); err != nil {
+		return err
+	}
+	if err := ValidateSlowdowns(s.Machine, s.Slowdowns); err != nil {
+		return err
+	}
+	if _, err := s.disambig(); err != nil {
+		return err
+	}
+	if _, err := s.linkStyle(); err != nil {
+		return err
+	}
+	if _, err := s.predictor(); err != nil {
+		return err
+	}
+	if s.FIFOSyncEdges < 0 || s.FIFOCapacity < 0 {
+		return fmt.Errorf("campaign: FIFO sync edges (%d) and capacity (%d) must be non-negative",
+			s.FIFOSyncEdges, s.FIFOCapacity)
+	}
+	if s.DynamicDVFS && (s.Machine == "" || s.Machine == pipeline.Base.String()) {
+		return fmt.Errorf("campaign: dynamic DVFS requires the gals machine")
+	}
+	return nil
+}
+
+// ValidateSlowdowns checks a slowdown map against the machine's clock
+// structure: keys must come from DomainNames (or be "all"), factors must be
+// >= 1, and the single-clock base machine accepts only "all".
+func ValidateSlowdowns(machine string, slowdowns map[string]float64) error {
+	valid := map[string]bool{"all": true}
+	for _, d := range DomainNames() {
+		valid[d] = true
+	}
+	for name, f := range slowdowns {
+		if !valid[name] {
+			return fmt.Errorf("campaign: unknown clock domain %q in slowdowns (valid domains: %v, or \"all\" for a uniform slowdown)",
+				name, DomainNames())
+		}
+		// !(f >= 1) also rejects NaN, which would otherwise pass every
+		// comparison and blow up later in the JSON content hash.
+		if math.IsInf(f, 0) || !(f >= 1) {
+			return fmt.Errorf("campaign: slowdown %q = %v must be a finite factor >= 1 (1 = full speed, 2 = half frequency)", name, f)
+		}
+		if name != "all" && (machine == "" || machine == pipeline.Base.String()) && f != 1 {
+			return fmt.Errorf("campaign: the base machine has a single clock; only slowdowns[%q] applies (got %q)", "all", name)
+		}
+	}
+	return nil
+}
+
+func (s RunSpec) kind() (pipeline.Kind, error) {
+	switch s.Machine {
+	case "", pipeline.Base.String():
+		return pipeline.Base, nil
+	case pipeline.GALS.String():
+		return pipeline.GALS, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown machine %q (want %q or %q)",
+			s.Machine, pipeline.Base, pipeline.GALS)
+	}
+}
+
+func (s RunSpec) disambig() (pipeline.MemDisambiguation, error) {
+	switch s.MemoryOrdering {
+	case "", "perfect":
+		return pipeline.DisambigPerfect, nil
+	case "conservative":
+		return pipeline.DisambigConservative, nil
+	case "addr-match":
+		return pipeline.DisambigAddrMatch, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown memory ordering %q (want perfect, conservative or addr-match)", s.MemoryOrdering)
+	}
+}
+
+func (s RunSpec) linkStyle() (pipeline.LinkStyle, error) {
+	switch s.LinkStyle {
+	case "", "fifo":
+		return pipeline.LinkFIFO, nil
+	case "stretch":
+		return pipeline.LinkStretch, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown link style %q (want fifo or stretch)", s.LinkStyle)
+	}
+}
+
+func (s RunSpec) predictor() (bpred.Kind, error) {
+	switch s.Predictor {
+	case "", bpred.GShare.String():
+		return bpred.GShare, nil
+	case bpred.Bimodal.String():
+		return bpred.Bimodal, nil
+	case bpred.Taken.String():
+		return bpred.Taken, nil
+	case bpred.NotTaken.String():
+		return bpred.NotTaken, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown predictor %q (want gshare, bimodal, taken or nottaken)", s.Predictor)
+	}
+}
+
+// PipelineConfig translates the spec into a full machine configuration.
+func (s RunSpec) PipelineConfig() (pipeline.Config, workload.Profile, error) {
+	if err := s.Validate(); err != nil {
+		return pipeline.Config{}, workload.Profile{}, err
+	}
+	s = s.Canonical()
+	prof, err := workload.ByName(s.Benchmark)
+	if err != nil {
+		return pipeline.Config{}, workload.Profile{}, err
+	}
+	kind, _ := s.kind()
+	cfg := pipeline.DefaultConfig(kind)
+	cfg.WorkloadSeed = s.WorkloadSeed
+	cfg.PhaseSeed = s.PhaseSeed
+	cfg.AutoVoltage = !s.FreqOnly
+	cfg.ZeroPhases = s.ZeroPhases
+	cfg.FIFOSyncEdges = s.FIFOSyncEdges
+	cfg.FIFOCapacity = s.FIFOCapacity
+	cfg.MemDisambig, _ = s.disambig()
+	cfg.LinkStyle, _ = s.linkStyle()
+	cfg.Bpred.Kind, _ = s.predictor()
+	if s.DynamicDVFS {
+		cfg.DynamicDVFS = pipeline.DefaultDynamicDVFS()
+	}
+	domains := map[string]pipeline.DomainID{}
+	for d := pipeline.DomainID(0); d < pipeline.NumDomains; d++ {
+		domains[d.String()] = d
+	}
+	// Apply "all" first so a per-domain entry may refine a uniform stretch.
+	if f, ok := s.Slowdowns["all"]; ok {
+		cfg.SetUniformSlowdown(f)
+	}
+	names := make([]string, 0, len(s.Slowdowns))
+	for name := range s.Slowdowns {
+		if name != "all" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cfg.Slowdowns[domains[name]] = s.Slowdowns[name]
+	}
+	if err := cfg.Validate(); err != nil {
+		return pipeline.Config{}, workload.Profile{}, err
+	}
+	return cfg, prof, nil
+}

@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"galsim/internal/pipeline"
+	"galsim/internal/report"
+	"galsim/internal/workload"
+)
+
+// Sweep declares a grid of runs: the cross product of benchmarks, machines,
+// slowdown assignments and seeds, every point sharing the scalar settings.
+// The zero value of each scalar selects the same default as RunSpec.
+type Sweep struct {
+	// Benchmarks to run; empty means every registered benchmark.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Machines to run; empty means both "base" and "gals".
+	Machines []string `json:"machines,omitempty"`
+	// SlowdownGrid lists slowdown assignments to cross in; empty means one
+	// full-speed point. Per-domain entries apply only to GALS units;
+	// base-machine units keep just the "all" key (the base machine has a
+	// single clock), so a sweep over both machines naturally yields a
+	// full-speed base reference against each slowed GALS point.
+	SlowdownGrid []map[string]float64 `json:"slowdown_grid,omitempty"`
+	// WorkloadSeeds to cross in; empty means the default seed.
+	WorkloadSeeds []int64 `json:"workload_seeds,omitempty"`
+	// PhaseSeeds to cross in; empty means the default seed.
+	PhaseSeeds []int64 `json:"phase_seeds,omitempty"`
+
+	// Scalar settings shared by every unit (see RunSpec).
+	Instructions   uint64 `json:"instructions,omitempty"`
+	FreqOnly       bool   `json:"freq_only,omitempty"`
+	MemoryOrdering string `json:"memory_ordering,omitempty"`
+	LinkStyle      string `json:"link_style,omitempty"`
+	DynamicDVFS    bool   `json:"dynamic_dvfs,omitempty"`
+}
+
+// MaxUnits bounds a single sweep expansion: a backstop against accidental
+// cross products (a few seed lists can multiply into billions of units)
+// far above any campaign a process could actually simulate.
+const MaxUnits = 1 << 20
+
+func (s Sweep) axes() (benchmarks, machines []string, grid []map[string]float64, wseeds, pseeds []int64) {
+	benchmarks = s.Benchmarks
+	if len(benchmarks) == 0 {
+		benchmarks = Benchmarks()
+	}
+	machines = s.Machines
+	if len(machines) == 0 {
+		machines = []string{pipeline.Base.String(), pipeline.GALS.String()}
+	}
+	grid = s.SlowdownGrid
+	if len(grid) == 0 {
+		grid = []map[string]float64{nil}
+	}
+	wseeds = s.WorkloadSeeds
+	if len(wseeds) == 0 {
+		wseeds = []int64{defaultWorkloadSeed}
+	}
+	pseeds = s.PhaseSeeds
+	if len(pseeds) == 0 {
+		pseeds = []int64{defaultPhaseSeed}
+	}
+	return benchmarks, machines, grid, wseeds, pseeds
+}
+
+// NumUnits returns the sweep's expansion size without materializing it, so
+// servers can enforce limits before any allocation or validation happens.
+func (s Sweep) NumUnits() int {
+	benchmarks, machines, grid, wseeds, pseeds := s.axes()
+	n := 1
+	for _, axis := range []int{len(benchmarks), len(machines), len(grid), len(wseeds), len(pseeds)} {
+		if axis == 0 {
+			return 0
+		}
+		if n > MaxUnits/axis {
+			return MaxUnits + 1 // saturate: already over any acceptable size
+		}
+		n *= axis
+	}
+	return n
+}
+
+// Units expands the sweep into run units in deterministic order: benchmarks
+// outermost, then machines, slowdown grid points, workload seeds, phase
+// seeds. Every unit is validated before any is returned.
+func (s Sweep) Units() ([]RunSpec, error) {
+	if n := s.NumUnits(); n > MaxUnits {
+		return nil, fmt.Errorf("campaign: sweep expands to more than %d units; split it", MaxUnits)
+	}
+	benchmarks, machines, grid, wseeds, pseeds := s.axes()
+	units := make([]RunSpec, 0, len(benchmarks)*len(machines)*len(grid)*len(wseeds)*len(pseeds))
+	for _, b := range benchmarks {
+		for _, m := range machines {
+			for _, slow := range grid {
+				if m != pipeline.GALS.String() {
+					slow = uniformOnly(slow)
+				}
+				for _, ws := range wseeds {
+					for _, ps := range pseeds {
+						u := RunSpec{
+							Benchmark:      b,
+							Machine:        m,
+							Instructions:   s.Instructions,
+							Slowdowns:      slow,
+							FreqOnly:       s.FreqOnly,
+							WorkloadSeed:   ws,
+							PhaseSeed:      ps,
+							MemoryOrdering: s.MemoryOrdering,
+							LinkStyle:      s.LinkStyle,
+							DynamicDVFS:    s.DynamicDVFS && m == pipeline.GALS.String(),
+						}
+						if err := u.Validate(); err != nil {
+							return nil, fmt.Errorf("campaign: sweep unit %d: %w", len(units), err)
+						}
+						units = append(units, u)
+					}
+				}
+			}
+		}
+	}
+	return units, nil
+}
+
+// uniformOnly strips per-domain slowdown keys, keeping "all": the single
+// clock of the base machine.
+func uniformOnly(slow map[string]float64) map[string]float64 {
+	if _, ok := slow["all"]; !ok {
+		return nil
+	}
+	return map[string]float64{"all": slow["all"]}
+}
+
+// Benchmarks returns the registered benchmark names (the sweep default).
+func Benchmarks() []string { return workload.Names() }
+
+// Summary is the JSON-friendly digest of one completed unit: the headline
+// metrics of the paper's evaluation. Field order (and therefore encoded
+// byte order) is fixed, which the determinism tests rely on.
+type Summary struct {
+	Benchmark            string  `json:"benchmark"`
+	Machine              string  `json:"machine"`
+	Committed            uint64  `json:"committed"`
+	SimSeconds           float64 `json:"sim_seconds"`
+	IPC                  float64 `json:"ipc"`
+	AvgSlipNs            float64 `json:"avg_slip_ns"`
+	FIFOSlipShare        float64 `json:"fifo_slip_share"`
+	MisspeculationFrac   float64 `json:"misspeculation_frac"`
+	BranchMispredictRate float64 `json:"branch_mispredict_rate"`
+	EnergyJoules         float64 `json:"energy_joules"`
+	PowerWatts           float64 `json:"power_watts"`
+	L1IHitRate           float64 `json:"l1i_hit_rate"`
+	L1DHitRate           float64 `json:"l1d_hit_rate"`
+	L2HitRate            float64 `json:"l2_hit_rate"`
+	Retunes              uint64  `json:"retunes,omitempty"`
+}
+
+// Summarize digests one unit's stats.
+func Summarize(spec RunSpec, st pipeline.Stats) Summary {
+	spec = spec.Canonical()
+	return Summary{
+		Benchmark:            spec.Benchmark,
+		Machine:              spec.Machine,
+		Committed:            st.Committed,
+		SimSeconds:           st.SimTime.Seconds(),
+		IPC:                  st.IPC(),
+		AvgSlipNs:            st.AvgSlip().Nanoseconds(),
+		FIFOSlipShare:        st.FIFOSlipShare(),
+		MisspeculationFrac:   st.MisspeculationFrac(),
+		BranchMispredictRate: st.MispredictRate(),
+		EnergyJoules:         st.EnergyJoules(),
+		PowerWatts:           st.AvgPowerWatts(),
+		L1IHitRate:           st.L1I.HitRate(),
+		L1DHitRate:           st.L1D.HitRate(),
+		L2HitRate:            st.L2.HitRate(),
+		Retunes:              st.Retunes,
+	}
+}
+
+// UnitResult pairs a unit with its digest for aggregated output.
+type UnitResult struct {
+	Key     string  `json:"key"`
+	Spec    RunSpec `json:"spec"`
+	Summary Summary `json:"summary"`
+}
+
+// RunSweep expands the sweep, executes every unit on the engine, and
+// returns the aggregated results in expansion order.
+func (e *Engine) RunSweep(ctx context.Context, s Sweep) ([]UnitResult, error) {
+	units, err := s.Units()
+	if err != nil {
+		return nil, err
+	}
+	stats, err := e.RunAll(ctx, units)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]UnitResult, len(units))
+	for i, u := range units {
+		out[i] = UnitResult{Key: u.Key(), Spec: u.Canonical(), Summary: Summarize(u, stats[i])}
+	}
+	return out, nil
+}
+
+// Table renders aggregated sweep results as a report table, one row per
+// unit, suitable for the text, JSON and CSV encoders alike.
+func Table(results []UnitResult) *report.Table {
+	t := &report.Table{
+		ID:      "Sweep",
+		Title:   fmt.Sprintf("Campaign results (%d units)", len(results)),
+		Headers: []string{"benchmark", "machine", "slowdowns", "wseed", "pseed", "ipc", "time-us", "energy-mj", "power-w", "slip-ns", "misspec"},
+	}
+	for _, r := range results {
+		t.AddRow(
+			r.Spec.Benchmark,
+			r.Spec.Machine,
+			slowdownLabel(r.Spec.Slowdowns),
+			fmt.Sprintf("%d", r.Spec.WorkloadSeed),
+			fmt.Sprintf("%d", r.Spec.PhaseSeed),
+			report.F2(r.Summary.IPC),
+			report.F(r.Summary.SimSeconds*1e6),
+			report.F(r.Summary.EnergyJoules*1e3),
+			report.F2(r.Summary.PowerWatts),
+			report.F(r.Summary.AvgSlipNs),
+			report.Pct(r.Summary.MisspeculationFrac),
+		)
+	}
+	return t
+}
+
+func slowdownLabel(slow map[string]float64) string {
+	if len(slow) == 0 {
+		return "-"
+	}
+	label := ""
+	for _, name := range append(DomainNames(), "all") {
+		if f, ok := slow[name]; ok {
+			if label != "" {
+				label += ","
+			}
+			label += fmt.Sprintf("%s=%.2g", name, f)
+		}
+	}
+	return label
+}

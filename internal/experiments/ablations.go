@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"galsim/internal/bpred"
+	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
 	"galsim/internal/report"
 )
@@ -30,8 +31,8 @@ func AblationLinkStyle(cfg Config, bench string) *report.Table {
 	galsFIFO := runOne(cfg, pipeline.GALS, bench, nil)
 	t.AddRow("gals fifo", report.F(base.SimTime.Seconds()/galsFIFO.SimTime.Seconds()),
 		report.F2(galsFIFO.IPC()), galsFIFO.AvgSlip().String())
-	galsStretch := runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-		pc.LinkStyle = pipeline.LinkStretch
+	galsStretch := runOne(cfg, pipeline.GALS, bench, func(s *campaign.RunSpec) {
+		s.LinkStyle = "stretch"
 	})
 	t.AddRow("gals stretch", report.F(base.SimTime.Seconds()/galsStretch.SimTime.Seconds()),
 		report.F2(galsStretch.IPC()), galsStretch.AvgSlip().String())
@@ -50,8 +51,8 @@ func AblationSyncEdges(cfg Config, bench string) *report.Table {
 	}
 	base := runOne(cfg, pipeline.Base, bench, nil)
 	for _, edges := range []int{1, 2, 3} {
-		gals := runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-			pc.FIFOSyncEdges = edges
+		gals := runOne(cfg, pipeline.GALS, bench, func(s *campaign.RunSpec) {
+			s.FIFOSyncEdges = edges
 		})
 		t.AddRow(fmt.Sprintf("%d", edges),
 			report.F(base.SimTime.Seconds()/gals.SimTime.Seconds()),
@@ -72,8 +73,8 @@ func AblationFIFOCapacity(cfg Config, bench string) *report.Table {
 	}
 	base := runOne(cfg, pipeline.Base, bench, nil)
 	for _, capa := range []int{4, 8, 16, 32} {
-		gals := runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-			pc.FIFOCapacity = capa
+		gals := runOne(cfg, pipeline.GALS, bench, func(s *campaign.RunSpec) {
+			s.FIFOCapacity = capa
 		})
 		t.AddRow(fmt.Sprintf("%d", capa),
 			report.F(base.SimTime.Seconds()/gals.SimTime.Seconds()),
@@ -95,8 +96,8 @@ func AblationClockPhases(cfg Config, bench string) *report.Table {
 	base := runOne(cfg, pipeline.Base, bench, nil)
 	random := runOne(cfg, pipeline.GALS, bench, nil)
 	t.AddRow("random", report.F(base.SimTime.Seconds()/random.SimTime.Seconds()), random.AvgSlip().String())
-	aligned := runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-		pc.ZeroPhases = true
+	aligned := runOne(cfg, pipeline.GALS, bench, func(s *campaign.RunSpec) {
+		s.ZeroPhases = true
 	})
 	t.AddRow("aligned", report.F(base.SimTime.Seconds()/aligned.SimTime.Seconds()), aligned.AvgSlip().String())
 	return t
@@ -115,8 +116,8 @@ func AblationDisambiguation(cfg Config, bench string) *report.Table {
 	for _, pol := range []pipeline.MemDisambiguation{
 		pipeline.DisambigPerfect, pipeline.DisambigAddrMatch, pipeline.DisambigConservative,
 	} {
-		st := runOne(cfg, pipeline.Base, bench, func(pc *pipeline.Config) {
-			pc.MemDisambig = pol
+		st := runOne(cfg, pipeline.Base, bench, func(s *campaign.RunSpec) {
+			s.MemoryOrdering = pol.String()
 		})
 		t.AddRow(pol.String(), report.F2(st.IPC()),
 			report.Int(st.LoadsBlockedByStores), st.AvgSlip().String())
@@ -137,8 +138,8 @@ func DynamicDVFSDemo(cfg Config) *report.Table {
 	}
 	for _, bench := range []string{"perl", "gcc", "ijpeg", "swim"} {
 		base := runOne(cfg, pipeline.Base, bench, nil)
-		dyn := runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-			pc.DynamicDVFS = pipeline.DefaultDynamicDVFS()
+		dyn := runOne(cfg, pipeline.GALS, bench, func(s *campaign.RunSpec) {
+			s.DynamicDVFS = true
 		})
 		t.AddRow(bench,
 			report.F(base.SimTime.Seconds()/dyn.SimTime.Seconds()),
@@ -163,8 +164,8 @@ func AblationPredictor(cfg Config, bench string) *report.Table {
 		Note:    "gshare is the study's predictor; static schemes bound the damage",
 	}
 	for _, kind := range []bpred.Kind{bpred.GShare, bpred.Bimodal, bpred.Taken, bpred.NotTaken} {
-		st := runOne(cfg, pipeline.Base, bench, func(pc *pipeline.Config) {
-			pc.Bpred.Kind = kind
+		st := runOne(cfg, pipeline.Base, bench, func(s *campaign.RunSpec) {
+			s.Predictor = kind.String()
 		})
 		t.AddRow(kind.String(), report.F2(st.IPC()),
 			report.Pct(st.MispredictRate()), report.Pct(st.MisspeculationFrac()))

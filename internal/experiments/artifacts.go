@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"galsim/internal/report"
+	"galsim/internal/workload"
+)
+
+// Artifacts lists the regenerable artifact ids in presentation order: the
+// single registry behind both cmd/experiments and the galsimd
+// /experiments/{figure} endpoint.
+func Artifacts() []string {
+	return []string{"table1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "phase", "ablations", "dvfs"}
+}
+
+// Validate reports a config problem (currently: an unknown or empty
+// benchmark name) before any simulation starts.
+func (c Config) Validate() error {
+	for _, b := range c.Benchmarks {
+		if _, err := workload.ByName(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regenerate produces the table(s) for one artifact id. The corpus figures
+// (5–9) share the config's engine cache, so regenerating several of them in
+// one process simulates the corpus once.
+func Regenerate(cfg Config, id string) ([]*report.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	one := func(t *report.Table) ([]*report.Table, error) { return []*report.Table{t}, nil }
+	switch id {
+	case "table1":
+		return one(Table1Skew())
+	case "5":
+		return one(Fig5Performance(RunCorpus(cfg)))
+	case "6":
+		return one(Fig6Slip(RunCorpus(cfg)))
+	case "7":
+		return one(Fig7RelativeSlip(RunCorpus(cfg)))
+	case "8":
+		return one(Fig8Speculation(RunCorpus(cfg)))
+	case "9":
+		return one(Fig9EnergyPower(RunCorpus(cfg)))
+	case "10":
+		return one(Fig10Breakdown(cfg, "compress"))
+	case "11":
+		return one(Fig11SelectiveSlowdown(cfg))
+	case "12":
+		return one(Fig12IjpegSweep(cfg))
+	case "13":
+		return one(Fig13GccSlowdown(cfg))
+	case "phase":
+		return one(PhaseSensitivity(cfg, "li", 8))
+	case "dvfs":
+		return one(DynamicDVFSDemo(cfg))
+	case "ablations":
+		return []*report.Table{
+			AblationLinkStyle(cfg, "gcc"),
+			AblationSyncEdges(cfg, "compress"),
+			AblationFIFOCapacity(cfg, "swim"),
+			AblationClockPhases(cfg, "li"),
+			AblationPredictor(cfg, "gcc"),
+			AblationDisambiguation(cfg, "vortex"),
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown artifact %q (want one of %v)", id, Artifacts())
+	}
+}

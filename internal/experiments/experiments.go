@@ -6,9 +6,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"galsim/internal/campaign"
 	"galsim/internal/clocktree"
 	"galsim/internal/dvfs"
 	"galsim/internal/pipeline"
@@ -21,7 +23,10 @@ import (
 // experiment set.
 var dvfsDefault = dvfs.Default
 
-// Config parameterizes a regeneration campaign.
+// Config parameterizes a regeneration campaign. Zero values of the scalar
+// fields select the campaign defaults (100 000 instructions, workload seed
+// 42, phase seed 1) — there is no way to request a literal seed of 0, which
+// matches the public galsim.Options semantics.
 type Config struct {
 	// Instructions committed per run.
 	Instructions uint64
@@ -31,6 +36,21 @@ type Config struct {
 	PhaseSeed int64
 	// Benchmarks restricts the corpus; nil means every registered benchmark.
 	Benchmarks []string
+	// Engine executes the runs; nil selects a process-wide shared engine, so
+	// repeated figures (and concurrent galsimd requests) reuse each other's
+	// completed simulations.
+	Engine *campaign.Engine
+	// Ctx, when non-nil, bounds the campaign: cancellation stops scheduling
+	// new runs and surfaces as a panic from the driver (recovered by the
+	// galsimd middleware). Nil means context.Background().
+	Ctx context.Context
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig is the standard campaign: every benchmark, 60k instructions.
@@ -45,19 +65,39 @@ func (c Config) benchmarks() []string {
 	return workload.Names()
 }
 
-// runOne executes a single simulation.
-func runOne(cfg Config, kind pipeline.Kind, bench string, mutate func(*pipeline.Config)) pipeline.Stats {
-	pc := pipeline.DefaultConfig(kind)
-	pc.WorkloadSeed = cfg.WorkloadSeed
-	pc.PhaseSeed = cfg.PhaseSeed
-	if mutate != nil {
-		mutate(&pc)
+func (c Config) engine() *campaign.Engine {
+	if c.Engine != nil {
+		return c.Engine
 	}
-	prof, err := workload.ByName(bench)
+	// The process-wide engine memoizes runs across every driver (and across
+	// galsim.RunMany): regenerating Figure 9 after Figure 5 reuses the
+	// corpus runs instead of re-simulating.
+	return campaign.Shared()
+}
+
+// spec builds the campaign unit for one full-speed run of the campaign.
+func (c Config) spec(kind pipeline.Kind, bench string) campaign.RunSpec {
+	return campaign.RunSpec{
+		Benchmark:    bench,
+		Machine:      kind.String(),
+		Instructions: c.Instructions,
+		WorkloadSeed: c.WorkloadSeed,
+		PhaseSeed:    c.PhaseSeed,
+	}
+}
+
+// runOne executes a single simulation through the campaign engine; tweak,
+// when non-nil, adjusts the declarative spec before submission.
+func runOne(cfg Config, kind pipeline.Kind, bench string, tweak func(*campaign.RunSpec)) pipeline.Stats {
+	spec := cfg.spec(kind, bench)
+	if tweak != nil {
+		tweak(&spec)
+	}
+	st, err := cfg.engine().Run(cfg.ctx(), spec)
 	if err != nil {
 		panic(err)
 	}
-	return pipeline.NewCore(pc, prof).Run(cfg.Instructions)
+	return st
 }
 
 // Pair is a matched base/GALS measurement for one benchmark.
@@ -83,15 +123,22 @@ type Corpus struct {
 	pairs map[string]Pair
 }
 
-// RunCorpus measures every benchmark on both machines at full speed: the
-// shared input of Figures 5 through 10.
+// RunCorpus measures every benchmark on both machines at full speed — the
+// shared input of Figures 5 through 10 — by fanning the whole benchmark ×
+// machine grid out over the campaign engine's worker pool.
 func RunCorpus(cfg Config) *Corpus {
+	benches := cfg.benchmarks()
+	specs := make([]campaign.RunSpec, 0, 2*len(benches))
+	for _, b := range benches {
+		specs = append(specs, cfg.spec(pipeline.Base, b), cfg.spec(pipeline.GALS, b))
+	}
+	stats, err := cfg.engine().RunAll(cfg.ctx(), specs)
+	if err != nil {
+		panic(err)
+	}
 	c := &Corpus{cfg: cfg, pairs: map[string]Pair{}}
-	for _, b := range cfg.benchmarks() {
-		c.pairs[b] = Pair{
-			Base: runOne(cfg, pipeline.Base, b, nil),
-			GALS: runOne(cfg, pipeline.GALS, b, nil),
-		}
+	for i, b := range benches {
+		c.pairs[b] = Pair{Base: stats[2*i], GALS: stats[2*i+1]}
 	}
 	return c
 }
@@ -271,14 +318,12 @@ func Fig10Breakdown(cfg Config, bench string) *report.Table {
 }
 
 // slowdownRun measures a GALS machine with per-domain slowdowns (voltage
-// scaled per Eq. 1) against the full-speed base machine.
-func slowdownRun(cfg Config, bench string, slow map[pipeline.DomainID]float64) (base, gals pipeline.Stats) {
+// scaled per Eq. 1) against the full-speed base machine. Keys are campaign
+// domain names ("fetch", "decode", "int", "fp", "mem").
+func slowdownRun(cfg Config, bench string, slow map[string]float64) (base, gals pipeline.Stats) {
 	base = runOne(cfg, pipeline.Base, bench, nil)
-	gals = runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-		for d, s := range slow {
-			pc.Slowdowns[d] = s
-		}
-		pc.AutoVoltage = true
+	gals = runOne(cfg, pipeline.GALS, bench, func(s *campaign.RunSpec) {
+		s.Slowdowns = slow
 	})
 	return base, gals
 }
@@ -294,9 +339,7 @@ func Fig11SelectiveSlowdown(cfg Config) *report.Table {
 		Headers: []string{"case", "rel-perf", "rel-energy", "rel-power"},
 		Note:    "paper: ~18% performance loss for the generic case; perl FP/3: perf -9%, energy -10.8%, power -18%",
 	}
-	generic := map[pipeline.DomainID]float64{
-		pipeline.DomFetch: 1.10, pipeline.DomMem: 1.10, pipeline.DomFP: 1.50,
-	}
+	generic := map[string]float64{"fetch": 1.10, "mem": 1.10, "fp": 1.50}
 	for _, bench := range []string{"perl", "ijpeg", "gcc"} {
 		base, gals := slowdownRun(cfg, bench, generic)
 		t.AddRow(bench+" (generic)",
@@ -304,7 +347,7 @@ func Fig11SelectiveSlowdown(cfg Config) *report.Table {
 			report.F(gals.EnergyPJ/base.EnergyPJ),
 			report.F(gals.AvgPowerWatts()/base.AvgPowerWatts()))
 	}
-	base, gals := slowdownRun(cfg, "perl", map[pipeline.DomainID]float64{pipeline.DomFP: 3.0})
+	base, gals := slowdownRun(cfg, "perl", map[string]float64{"fp": 3.0})
 	t.AddRow("perl (FP/3)",
 		report.F(base.SimTime.Seconds()/gals.SimTime.Seconds()),
 		report.F(gals.EnergyPJ/base.EnergyPJ),
@@ -329,8 +372,8 @@ func Fig12IjpegSweep(cfg Config) *report.Table {
 	}{
 		{"gals-00", 1.0}, {"gals-10", 1.1}, {"gals-20", 1.2}, {"gals-50", 1.5},
 	} {
-		base, gals := slowdownRun(cfg, "ijpeg", map[pipeline.DomainID]float64{
-			pipeline.DomFetch: 1.10, pipeline.DomFP: 1.20, pipeline.DomMem: mem.slow,
+		base, gals := slowdownRun(cfg, "ijpeg", map[string]float64{
+			"fetch": 1.10, "fp": 1.20, "mem": mem.slow,
 		})
 		perf := base.SimTime.Seconds() / gals.SimTime.Seconds()
 		ideal := dvfsIdeal(perf)
@@ -356,8 +399,8 @@ func Fig13GccSlowdown(cfg Config) *report.Table {
 	}{
 		{"gals-1", 1.5}, {"gals-2", 3.0},
 	} {
-		base, gals := slowdownRun(cfg, "gcc", map[pipeline.DomainID]float64{
-			pipeline.DomFetch: 1.10, pipeline.DomFP: v.fp,
+		base, gals := slowdownRun(cfg, "gcc", map[string]float64{
+			"fetch": 1.10, "fp": v.fp,
 		})
 		perf := base.SimTime.Seconds() / gals.SimTime.Seconds()
 		t.AddRow(v.label, report.F(perf), report.F(gals.EnergyPJ/base.EnergyPJ),
@@ -377,8 +420,8 @@ func PhaseSensitivity(cfg Config, bench string, seeds int) *report.Table {
 	}
 	var ref float64
 	for s := 1; s <= seeds; s++ {
-		st := runOne(cfg, pipeline.GALS, bench, func(pc *pipeline.Config) {
-			pc.PhaseSeed = int64(s)
+		st := runOne(cfg, pipeline.GALS, bench, func(spec *campaign.RunSpec) {
+			spec.PhaseSeed = int64(s)
 		})
 		secs := st.SimTime.Seconds()
 		if s == 1 {

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "Figure 0",
+		Title:   "A sample",
+		Note:    "note text",
+		Headers: []string{"benchmark", "value"},
+	}
+	t.AddRow("gcc", "1.000")
+	t.AddRow("with,comma", `with "quotes"`)
+	return t
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sampleTable()
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, orig) {
+		t.Errorf("round trip changed the table:\ngot  %+v\nwant %+v", got, *orig)
+	}
+	// Encoding is deterministic: same table, same bytes.
+	b2, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("repeated marshals differ")
+	}
+}
+
+func TestJSONEmptyRows(t *testing.T) {
+	empty := &Table{ID: "x", Title: "y", Headers: []string{"a"}}
+	b, err := json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"rows":[]`)) {
+		t.Errorf("empty table encodes rows as null: %s", b)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "benchmark,value\n" +
+		"gcc,1.000\n" +
+		"\"with,comma\",\"with \"\"quotes\"\"\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSONIndented(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if got.ID != "Figure 0" || len(got.Rows) != 2 {
+		t.Errorf("decoded = %+v", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package service implements the galsimd HTTP API: a long-running
+// simulation server that executes single runs, declarative sweeps, and the
+// paper's experiment drivers on a shared campaign engine, so concurrent
+// clients asking for overlapping work are served from one content-addressed
+// result cache.
+//
+// Endpoints:
+//
+//	POST /run                 one RunSpec -> summary
+//	POST /sweep               one Sweep -> aggregated unit results
+//	GET  /experiments/{fig}   regenerate a paper artifact (table1, 5..13,
+//	                          phase, ablations, dvfs); ?format=json|text|csv
+//	GET  /benchmarks          registered workload names
+//	GET  /stats               cache hit/miss/entry counters
+//	GET  /healthz             liveness probe
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"galsim/internal/campaign"
+	"galsim/internal/experiments"
+)
+
+// maxBodyBytes bounds request bodies; specs and sweeps are small.
+const maxBodyBytes = 1 << 20
+
+// Server is the galsimd HTTP handler. Create with New.
+type Server struct {
+	engine *campaign.Engine
+	mux    *http.ServeMux
+
+	// MaxSweepUnits rejects sweeps expanding beyond this many units
+	// (0 = unlimited). Protects a shared server from accidental
+	// full-cross-product requests.
+	MaxSweepUnits int
+}
+
+// New builds a server around the given engine (nil creates a fresh
+// GOMAXPROCS-wide one).
+func New(engine *campaign.Engine) *Server {
+	if engine == nil {
+		engine = campaign.NewEngine(0)
+	}
+	s := &Server{engine: engine, mux: http.NewServeMux(), MaxSweepUnits: 4096}
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /experiments/{figure}", s.handleExperiment)
+	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Engine returns the server's campaign engine.
+func (s *Server) Engine() *campaign.Engine { return s.engine }
+
+// ServeHTTP implements http.Handler. Panics escaping a handler (internal
+// invariant violations in the simulator) become a 500 instead of killing
+// the connection without a response.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// RunResponse is the POST /run payload.
+type RunResponse struct {
+	Key     string           `json:"key"`
+	Spec    campaign.RunSpec `json:"spec"`
+	Summary campaign.Summary `json:"summary"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.RunSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.engine.Run(r.Context(), spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = 499 // client closed request
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Key:     spec.Key(),
+		Spec:    spec.Canonical(),
+		Summary: campaign.Summarize(spec, st),
+	})
+}
+
+// SweepResponse is the POST /sweep payload.
+type SweepResponse struct {
+	Units   int                   `json:"units"`
+	Cache   campaign.CacheStats   `json:"cache"`
+	Results []campaign.UnitResult `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sweep campaign.Sweep
+	if !decodeBody(w, r, &sweep) {
+		return
+	}
+	// Size the expansion before materializing it: the cross product of a
+	// few request-supplied axes can be astronomically larger than the body
+	// that encodes them.
+	if n := sweep.NumUnits(); s.MaxSweepUnits > 0 && n > s.MaxSweepUnits {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep expands to %d units, above the server limit of %d; split the request", n, s.MaxSweepUnits))
+		return
+	}
+	if _, err := sweep.Units(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, err := s.engine.RunSweep(r.Context(), sweep)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = 499 // client closed request
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{
+		Units:   len(results),
+		Cache:   s.engine.Stats(),
+		Results: results,
+	})
+}
+
+func (s *Server) experimentConfig(r *http.Request) (experiments.Config, error) {
+	cfg := experiments.DefaultConfig()
+	cfg.Engine = s.engine
+	// A disconnecting client frees its worker slots instead of simulating
+	// to completion; the resulting panic lands in the recover middleware.
+	cfg.Ctx = r.Context()
+	q := r.URL.Query()
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return cfg, fmt.Errorf("bad n=%q (want a positive instruction count)", v)
+		}
+		cfg.Instructions = n
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed=%q: %v", v, err)
+		}
+		cfg.WorkloadSeed = seed
+	}
+	if v := q.Get("benchmarks"); v != "" {
+		cfg.Benchmarks = strings.Split(v, ",")
+	}
+	// Reject unknown benchmark names here: past this point the experiment
+	// drivers treat failures as internal invariants.
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	figure := r.PathValue("figure")
+	cfg, err := s.experimentConfig(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tables, err := experiments.Regenerate(cfg, figure)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, tables)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range tables {
+			t.Render(w)
+		}
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		for _, t := range tables {
+			if err := t.WriteCSV(w); err != nil {
+				return
+			}
+		}
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json, text or csv)", format))
+	}
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": campaign.Benchmarks()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
