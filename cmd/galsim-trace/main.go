@@ -1,0 +1,257 @@
+// Command galsim-trace records, inspects, and replays workload instruction
+// traces: the operational front door to the record/replay subsystem.
+//
+//	galsim-trace record -bench gcc -o gcc.trace            # record a run
+//	galsim-trace record -profile phases.json -o ph.trace   # custom workload
+//	galsim-trace inspect gcc.trace                         # header + digest
+//	galsim-trace stats gcc.trace                           # stream statistics
+//	galsim-trace replay gcc.trace -machine gals            # re-run the trace
+//
+// A replayed trace driven through a machine configured identically to the
+// recording reproduces its results exactly; driven through a different
+// machine, it answers "what would this exact instruction stream have done
+// there".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"galsim"
+	"galsim/internal/isa"
+	"galsim/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "galsim-trace: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: galsim-trace <command> [flags]
+
+commands:
+  record   run a workload and record its instruction stream to a trace file
+  inspect  print a trace's header, provenance and content digest
+  stats    decode a trace and print stream statistics (mix, branches, memory)
+  replay   replay a trace through a machine and print the run's results
+
+run "galsim-trace <command> -h" for the command's flags
+`)
+}
+
+// machineFlags holds the run-configuration flags shared by record and
+// replay.
+type machineFlags struct {
+	machine   *string
+	n         *uint64
+	slow      *string
+	noDVS     *bool
+	seed      *int64
+	phaseSeed *int64
+	memOrder  *string
+	linkStyle *string
+	dynDVFS   *bool
+}
+
+func addMachineFlags(fs *flag.FlagSet) *machineFlags {
+	return &machineFlags{
+		machine:   fs.String("machine", "base", `machine variant: "base" or "gals"`),
+		n:         fs.Uint64("n", 0, "instructions to commit (0 = default: 100000, or the recorded length for replay)"),
+		slow:      fs.String("slow", "", `per-domain clock slowdowns, e.g. "fp=3,fetch=1.1"`),
+		noDVS:     fs.Bool("no-dvs", false, "disable voltage scaling of slowed domains"),
+		seed:      fs.Int64("seed", 42, "workload seed (ignored by replay)"),
+		phaseSeed: fs.Int64("phase-seed", 1, "GALS clock phase seed"),
+		memOrder:  fs.String("mem-order", "perfect", "memory disambiguation: perfect, conservative, addr-match"),
+		linkStyle: fs.String("links", "fifo", "GALS link style: fifo or stretch"),
+		dynDVFS:   fs.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)"),
+	}
+}
+
+func (m *machineFlags) options() (galsim.Options, error) {
+	slowdowns, err := galsim.ParseSlowdowns(*m.slow)
+	if err != nil {
+		return galsim.Options{}, err
+	}
+	return galsim.Options{
+		Machine:               galsim.Machine(*m.machine),
+		Instructions:          *m.n,
+		Slowdowns:             slowdowns,
+		DisableVoltageScaling: *m.noDVS,
+		WorkloadSeed:          *m.seed,
+		PhaseSeed:             *m.phaseSeed,
+		MemoryOrdering:        *m.memOrder,
+		LinkStyle:             *m.linkStyle,
+		DynamicDVFS:           *m.dynDVFS,
+	}, nil
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark to record (see galsim -list)")
+	profilePath := fs.String("profile", "", "JSON file with a custom (possibly phased) workload profile")
+	out := fs.String("o", "", "output trace file (required)")
+	mf := addMachineFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	opts, err := mf.options()
+	if err != nil {
+		return err
+	}
+	opts.Benchmark = *bench
+	opts.RecordTrace = *out
+	if *profilePath != "" {
+		data, err := os.ReadFile(*profilePath)
+		if err != nil {
+			return err
+		}
+		spec, err := galsim.ParseWorkloadProfile(data)
+		if err != nil {
+			return err
+		}
+		opts.Profile = &spec
+	}
+	res, err := galsim.Run(opts)
+	if err != nil {
+		return err
+	}
+	t, err := trace.Load(*out)
+	if err != nil {
+		return fmt.Errorf("recorded trace failed to validate: %w", err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d committed, %.3f us simulated\n", res.Benchmark, res.Committed, res.SimSeconds*1e6)
+	fmt.Printf("  %s: %d bytes, %d instructions (%d wrong-path, %d excursions)\n",
+		*out, info.Size(), t.Stats.Instrs, t.Stats.WrongPath, t.Stats.Excursions)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect: usage: galsim-trace inspect <file>")
+	}
+	path := fs.Arg(0)
+	meta, err := trace.ReadMeta(path)
+	if err != nil {
+		return err
+	}
+	digest, err := trace.FileDigest(path)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace    %s (%d bytes)\n", path, info.Size())
+	fmt.Printf("version  %d\n", trace.Version)
+	fmt.Printf("workload %s\n", meta.Name)
+	fmt.Printf("recorded %d committed instructions\n", meta.Instructions)
+	fmt.Printf("sha256   %s\n", digest)
+	if len(meta.SpecJSON) > 0 {
+		fmt.Printf("spec     %s\n", meta.SpecJSON)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: usage: galsim-trace stats <file>")
+	}
+	t, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := t.Stats
+	fmt.Printf("workload %s: %d records\n", t.Meta.Name, s.Records)
+	fmt.Printf("  correct path  %d instructions, pc range %#x..%#x\n", s.Instrs, s.MinPC, s.MaxPC)
+	fmt.Printf("  wrong path    %d instructions in %d excursions (%.1f%% of fetch)\n",
+		s.WrongPath, s.Excursions, 100*float64(s.WrongPath)/float64(s.Instrs+s.WrongPath))
+	if s.Branches > 0 {
+		fmt.Printf("  branches      %d (%.1f%%), %.1f%% taken\n",
+			s.Branches, 100*float64(s.Branches)/float64(s.Instrs), 100*float64(s.BranchTaken)/float64(s.Branches))
+	}
+	fmt.Printf("  memory ops    %d (%.1f%%)\n", s.MemOps, 100*float64(s.MemOps)/float64(s.Instrs))
+	fmt.Println("  class mix:")
+	for c := 0; c < isa.NumClasses; c++ {
+		if s.ByClass[c] == 0 {
+			continue
+		}
+		fmt.Printf("    %-8s %8d  %5.1f%%\n", isa.Class(c), s.ByClass[c], 100*float64(s.ByClass[c])/float64(s.Instrs))
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	mf := addMachineFlags(fs)
+	// Accept the trace file before the flags (flag.Parse stops at the first
+	// non-flag argument): galsim-trace replay x.trace -machine gals.
+	var file string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file, args = args[0], args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck
+	if file == "" && fs.NArg() == 1 {
+		file = fs.Arg(0)
+	}
+	if file == "" || fs.NArg() > 1 {
+		return fmt.Errorf("replay: usage: galsim-trace replay <file> [flags]")
+	}
+	opts, err := mf.options()
+	if err != nil {
+		return err
+	}
+	opts.Trace = file
+	res, err := galsim.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s machine: %d instructions\n", res.Benchmark, res.Machine, res.Committed)
+	fmt.Printf("  time        %.3f us   IPC %.2f   %.0f MIPS\n", res.SimSeconds*1e6, res.IPC, res.MIPS)
+	fmt.Printf("  slip        %.2f ns   (%.1f%% in FIFOs)\n", res.AvgSlipNs, 100*res.FIFOSlipShare)
+	fmt.Printf("  energy      %.3f mJ   power %.2f W\n", res.EnergyJoules*1e3, res.PowerWatts)
+	fmt.Printf("  caches      L1I %.1f%%  L1D %.1f%%  L2 %.1f%%\n",
+		100*res.L1IHitRate, 100*res.L1DHitRate, 100*res.L2HitRate)
+	if res.Retunes > 0 {
+		fmt.Printf("  dvfs        %d retunes; final slowdowns int %.2f, fp %.2f, mem %.2f\n",
+			res.Retunes, res.FinalSlowdowns["int"], res.FinalSlowdowns["fp"], res.FinalSlowdowns["mem"])
+	}
+	return nil
+}

@@ -5,6 +5,9 @@
 //
 //	galsim -bench gcc -machine gals
 //	galsim -bench perl -machine gals -slow fp=3,fetch=1.1 -n 200000
+//	galsim -profile phases.json -machine gals -dyn-dvfs
+//	galsim -bench gcc -record gcc.trace
+//	galsim -replay gcc.trace -machine gals
 //	galsim -list
 //	galsim -config
 package main
@@ -14,8 +17,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"galsim"
 )
@@ -23,8 +24,11 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "compress", "benchmark name (-list to enumerate)")
+		profile   = flag.String("profile", "", "JSON file with a custom (possibly phased) workload profile, instead of -bench")
+		replay    = flag.String("replay", "", "trace file to replay as the workload, instead of -bench")
+		record    = flag.String("record", "", "record the run's instruction stream to this trace file")
 		machine   = flag.String("machine", "base", `machine variant: "base" or "gals"`)
-		n         = flag.Uint64("n", 100_000, "instructions to commit")
+		n         = flag.Uint64("n", 0, "instructions to commit (0 = default: 100000, or the recorded length for -replay)")
 		slow      = flag.String("slow", "", `per-domain clock slowdowns, e.g. "fp=3,fetch=1.1" (gals) or "all=1.5" (base)`)
 		noDVS     = flag.Bool("no-dvs", false, "disable voltage scaling of slowed domains")
 		seed      = flag.Int64("seed", 42, "workload seed")
@@ -50,7 +54,17 @@ func main() {
 		return
 	}
 
-	slowdowns, err := parseSlowdowns(*slow)
+	// -bench has a non-empty default that yields to -profile/-replay; an
+	// *explicitly* passed -bench alongside either is a conflict the user
+	// should hear about, exactly as the library API would report it.
+	benchSet := false
+	flag.Visit(func(f *flag.Flag) { benchSet = benchSet || f.Name == "bench" })
+	if benchSet && (*profile != "" || *replay != "") {
+		fmt.Fprintln(os.Stderr, "galsim: -bench, -profile and -replay are mutually exclusive; pass exactly one")
+		os.Exit(2)
+	}
+
+	slowdowns, err := galsim.ParseSlowdowns(*slow)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galsim:", err)
 		os.Exit(2)
@@ -58,6 +72,8 @@ func main() {
 
 	opts := galsim.Options{
 		Benchmark:             *bench,
+		Trace:                 *replay,
+		RecordTrace:           *record,
 		Machine:               galsim.Machine(*machine),
 		Instructions:          *n,
 		Slowdowns:             slowdowns,
@@ -67,6 +83,22 @@ func main() {
 		MemoryOrdering:        *memOrder,
 		LinkStyle:             *linkStyle,
 		DynamicDVFS:           *dynDVFS,
+	}
+	if *profile != "" || *replay != "" {
+		opts.Benchmark = "" // -bench's default yields to an explicit source
+	}
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(2)
+		}
+		spec, err := galsim.ParseWorkloadProfile(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(2)
+		}
+		opts.Profile = &spec
 	}
 	if *trace > 0 {
 		remaining := *trace
@@ -86,25 +118,6 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
-}
-
-func parseSlowdowns(s string) (map[string]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	out := map[string]float64{}
-	for _, part := range strings.Split(s, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad -slow entry %q (want domain=factor)", part)
-		}
-		f, err := strconv.ParseFloat(kv[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad -slow factor in %q: %v", part, err)
-		}
-		out[kv[0]] = f
-	}
-	return out, nil
 }
 
 func printResult(r galsim.Result) {

@@ -29,11 +29,15 @@ package galsim
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 
 	"galsim/internal/campaign"
 	"galsim/internal/isa"
 	"galsim/internal/pipeline"
 	"galsim/internal/power"
+	"galsim/internal/trace"
 	"galsim/internal/workload"
 )
 
@@ -53,12 +57,71 @@ const (
 )
 
 // DomainNames lists the clock domain names accepted by Options.Slowdowns,
-// in pipeline order.
+// in pipeline order. The returned slice is a fresh copy on every call;
+// callers may mutate it freely.
 func DomainNames() []string { return campaign.DomainNames() }
 
 // Benchmarks returns the available synthetic benchmark names (stand-ins for
-// the paper's Spec95 and Mediabench workloads).
+// the paper's Spec95 and Mediabench workloads), sorted by suite then name.
+// The returned slice is a fresh copy on every call; callers may mutate it
+// freely.
 func Benchmarks() []string { return workload.Names() }
+
+// WorkloadProfile is a user-defined workload: a named sequence of
+// instruction-mix phases the generator cycles through (see Options.Profile).
+// A single-phase profile behaves like a custom benchmark; multiple phases
+// give the run time-varying behaviour that DynamicDVFS can react to. Its
+// JSON form is accepted by the galsimd service and the galsim-trace CLI.
+type WorkloadProfile = workload.ProfileSpec
+
+// WorkloadPhase is one phase of a WorkloadProfile: either a built-in
+// benchmark referenced by name or an inline PhaseProfile, running for a
+// given number of instructions.
+type WorkloadPhase = workload.PhaseSpec
+
+// PhaseProfile statistically characterizes one phase (or one whole custom
+// benchmark): instruction mix, branch population behaviour, dependency
+// distances, and code/data footprints. It is validated exactly like the
+// built-in benchmarks.
+type PhaseProfile = workload.Profile
+
+// Mix gives the fraction of dynamic instructions in each class; the
+// remainder is plain integer ALU work.
+type Mix = workload.Mix
+
+// PatternMix describes the behavioural population of static branches.
+type PatternMix = workload.PatternMix
+
+// ParseWorkloadProfile decodes and validates a JSON workload profile (the
+// format accepted by the galsimd /workloads endpoint and the galsim-trace
+// -profile flag). Unknown fields are rejected so typos fail loudly.
+func ParseWorkloadProfile(data []byte) (WorkloadProfile, error) {
+	return workload.ParseSpec(data)
+}
+
+// ParseSlowdowns parses the CLI syntax for Options.Slowdowns —
+// comma-separated domain=factor pairs such as "fp=3,fetch=1.1" — used by
+// the galsim and galsim-trace front ends. An empty string yields nil.
+// Domain names and factor ranges are checked later by Options.Validate,
+// which knows the machine variant.
+func ParseSlowdowns(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("galsim: bad slowdown entry %q (want domain=factor)", part)
+		}
+		f, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("galsim: bad slowdown factor in %q: %v", part, err)
+		}
+		out[kv[0]] = f
+	}
+	return out, nil
+}
 
 // BenchmarkInfo describes one benchmark's statistical profile.
 type BenchmarkInfo struct {
@@ -95,8 +158,25 @@ func Describe(name string) (BenchmarkInfo, error) {
 // base machine, 100 000 instructions, full-speed clocks, voltage scaling
 // enabled.
 type Options struct {
-	// Benchmark is the workload name (required; see Benchmarks).
+	// Benchmark is the built-in workload name (see Benchmarks). Exactly one
+	// of Benchmark, Profile and Trace must be set.
 	Benchmark string
+	// Profile runs a user-defined (possibly phased) workload instead of a
+	// built-in benchmark. Identical profile contents produce identical
+	// cache identities under RunMany, regardless of pointer or path.
+	Profile *WorkloadProfile
+	// Trace replays a recorded instruction trace file (see RecordTrace and
+	// cmd/galsim-trace) as the workload. When Instructions is zero the
+	// replay defaults to the recorded run's committed-instruction count; a
+	// longer run wraps the trace. WorkloadSeed is ignored (the stream is
+	// fixed).
+	Trace string
+	// RecordTrace, when non-empty, records the workload stream delivered to
+	// the pipeline — including wrong-path fetches — to this file, for later
+	// replay via Trace. Recording never alters the run's results. Supported
+	// by Run only (RunMany may serve results from cache, where there is no
+	// stream to record).
+	RecordTrace string
 	// Machine is the processor variant (default Base).
 	Machine Machine
 	// Instructions is the number committed before the run ends (default
@@ -207,11 +287,12 @@ func (o Options) Validate() error {
 
 // spec translates the options into a canonical campaign unit.
 func (o Options) spec() (campaign.RunSpec, error) {
-	if o.Benchmark == "" {
-		return campaign.RunSpec{}, fmt.Errorf("galsim: Options.Benchmark is required (one of %v)", Benchmarks())
+	if o.Benchmark == "" && o.Profile == nil && o.Trace == "" {
+		return campaign.RunSpec{}, fmt.Errorf("galsim: Options.Benchmark is required (one of %v) unless Options.Profile or Options.Trace is set", Benchmarks())
 	}
 	spec := campaign.RunSpec{
 		Benchmark:      o.Benchmark,
+		Profile:        o.Profile,
 		Machine:        string(o.Machine),
 		Instructions:   o.Instructions,
 		Slowdowns:      o.Slowdowns,
@@ -221,6 +302,16 @@ func (o Options) spec() (campaign.RunSpec, error) {
 		MemoryOrdering: o.MemoryOrdering,
 		LinkStyle:      o.LinkStyle,
 		DynamicDVFS:    o.DynamicDVFS,
+	}
+	if o.Trace != "" {
+		spec.Trace = &campaign.TraceRef{Path: o.Trace}
+		if o.Instructions == 0 {
+			// Replays default to the recorded run's length. Validate (below)
+			// reports unreadable or malformed files.
+			if meta, err := trace.ReadMeta(o.Trace); err == nil {
+				spec.Instructions = meta.Instructions
+			}
+		}
 	}
 	if err := spec.Validate(); err != nil {
 		return campaign.RunSpec{}, err
@@ -249,11 +340,26 @@ func Run(o Options) (Result, error) {
 			})
 		}
 	}
-	st, err := campaign.Execute(spec, hook)
-	if err != nil {
-		return Result{}, err
+	var st pipeline.Stats
+	if o.RecordTrace != "" {
+		f, err := os.Create(o.RecordTrace)
+		if err != nil {
+			return Result{}, fmt.Errorf("galsim: creating trace file: %w", err)
+		}
+		st, err = campaign.ExecuteRecording(spec, hook, f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("galsim: closing trace file: %w", cerr)
+		}
+		if err != nil {
+			os.Remove(o.RecordTrace) // don't leave a truncated trace behind
+			return Result{}, err
+		}
+	} else {
+		if st, err = campaign.Execute(spec, hook); err != nil {
+			return Result{}, err
+		}
 	}
-	return resultFrom(o, st), nil
+	return resultFrom(spec.WorkloadName(), o, st), nil
 }
 
 // RunMany executes the given runs concurrently on a worker pool sized to
@@ -271,6 +377,9 @@ func RunMany(ctx context.Context, opts []Options) ([]Result, error) {
 		if o.OnCommit != nil {
 			return nil, fmt.Errorf("galsim: RunMany does not support Options.OnCommit; use Run for traced runs")
 		}
+		if o.RecordTrace != "" {
+			return nil, fmt.Errorf("galsim: RunMany does not support Options.RecordTrace; use Run to record a trace")
+		}
 		spec, err := o.spec()
 		if err != nil {
 			return nil, fmt.Errorf("galsim: options[%d]: %w", i, err)
@@ -283,12 +392,12 @@ func RunMany(ctx context.Context, opts []Options) ([]Result, error) {
 	}
 	results := make([]Result, len(opts))
 	for i, o := range opts {
-		results[i] = resultFrom(o, stats[i])
+		results[i] = resultFrom(specs[i].WorkloadName(), o, stats[i])
 	}
 	return results, nil
 }
 
-func resultFrom(o Options, st pipeline.Stats) Result {
+func resultFrom(name string, o Options, st pipeline.Stats) Result {
 	if o.Machine == "" {
 		o.Machine = Base
 	}
@@ -301,7 +410,7 @@ func resultFrom(o Options, st pipeline.Stats) Result {
 		finalSlow[d.String()] = st.FinalSlowdowns[d]
 	}
 	return Result{
-		Benchmark:            o.Benchmark,
+		Benchmark:            name,
 		Machine:              o.Machine,
 		Committed:            st.Committed,
 		Fetched:              st.Fetched,

@@ -312,7 +312,7 @@ func TestRunAllCancellation(t *testing.T) {
 	sweep := Sweep{
 		Benchmarks:   Benchmarks(), // 15 benchmarks...
 		Machines:     []string{"base", "gals"},
-		PhaseSeeds:   []int64{1, 2, 3},         // ... x 2 x 3 = 90 units
+		PhaseSeeds:   []int64{1, 2, 3}, // ... x 2 x 3 = 90 units
 		Instructions: 30_000,
 	}
 	units, err := sweep.Units()

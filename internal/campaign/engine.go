@@ -2,35 +2,76 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"galsim/internal/isa"
 	"galsim/internal/pipeline"
+	"galsim/internal/trace"
 )
 
 // Execute runs one unit directly, bypassing any cache. onCommit, when
 // non-nil, receives every committed instruction in program order. Panics
 // from the simulator core (e.g. the deadlock guard) are converted to errors
 // so a malformed unit cannot take down a whole campaign or a server.
-func Execute(spec RunSpec, onCommit func(*isa.Instr)) (st pipeline.Stats, err error) {
-	cfg, prof, err := spec.PipelineConfig()
+func Execute(spec RunSpec, onCommit func(*isa.Instr)) (pipeline.Stats, error) {
+	return ExecuteRecording(spec, onCommit, nil)
+}
+
+// ExecuteRecording is Execute with an optional capture tap: when traceOut
+// is non-nil the workload stream delivered to the pipeline is recorded to
+// it in the trace format, so the run can later be replayed (see
+// internal/trace). Recording never alters the simulation.
+func ExecuteRecording(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Writer) (st pipeline.Stats, err error) {
+	// Canonicalize once: pins trace digests (so the later Validate detects
+	// a file swapped underneath us) and spares repeated default-filling.
+	spec = spec.Canonical()
+	cfg, err := spec.PipelineConfig()
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
+	src, name, err := spec.NewSource()
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	var rec *trace.Recorder
+	if traceOut != nil {
+		specJSON, merr := json.Marshal(spec)
+		if merr != nil {
+			return pipeline.Stats{}, fmt.Errorf("campaign: marshaling spec for trace header: %w", merr)
+		}
+		tw, werr := trace.NewWriter(traceOut, trace.Meta{
+			Name:         name,
+			Instructions: spec.Instructions,
+			SpecJSON:     specJSON,
+		})
+		if werr != nil {
+			return pipeline.Stats{}, werr
+		}
+		rec = trace.NewRecorder(src, tw)
+		src = rec
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("campaign: run %s/%s failed: %v", spec.Machine, spec.Benchmark, r)
+			err = fmt.Errorf("campaign: run %s/%s failed: %v", spec.Machine, spec.WorkloadName(), r)
 		}
 	}()
-	core := pipeline.NewCore(cfg, prof)
+	core := pipeline.NewCoreWithSource(cfg, name, src)
 	if onCommit != nil {
 		core.OnCommit(onCommit)
 	}
-	return core.Run(spec.Canonical().Instructions), nil
+	st = core.Run(spec.Instructions)
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil {
+			return pipeline.Stats{}, fmt.Errorf("campaign: writing trace: %w", cerr)
+		}
+	}
+	return st, nil
 }
 
 // CacheStats snapshots the engine's memoization counters.
@@ -130,6 +171,12 @@ func hexNibble(c byte) byte {
 // cancellation abandons the wait (an already-started simulation still
 // completes and populates the cache).
 func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) {
+	// Canonicalize once up front: this pins a trace's content digest, so
+	// the cache key below and the execution's own Validate see the same
+	// content. A trace file swapped between keying and execution then fails
+	// the digest check with an explicit error instead of caching the new
+	// content's results under the old content's key.
+	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return pipeline.Stats{}, err
 	}
@@ -213,7 +260,7 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats,
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("campaign: unit %d (%s/%s): %w",
-							i, specs[i].Machine, specs[i].Benchmark, err)
+							i, specs[i].Machine, specs[i].WorkloadName(), err)
 						cancel()
 					})
 					return

@@ -17,11 +17,12 @@ import (
 
 	"galsim/internal/bpred"
 	"galsim/internal/pipeline"
+	"galsim/internal/trace"
 	"galsim/internal/workload"
 )
 
 // DomainNames lists the clock domain names accepted as Slowdowns keys, in
-// pipeline order.
+// pipeline order. The returned slice is a fresh copy on every call.
 func DomainNames() []string {
 	names := make([]string, 0, int(pipeline.NumDomains))
 	for d := pipeline.DomainID(0); d < pipeline.NumDomains; d++ {
@@ -30,13 +31,34 @@ func DomainNames() []string {
 	return names
 }
 
+// TraceRef names a recorded instruction trace (see internal/trace) to
+// replay as a run's workload. The cache identity of a trace-driven run is
+// the trace's *content* (SHA256), never its path: copying or renaming a
+// trace file does not change which runs it names.
+type TraceRef struct {
+	// Path locates the trace file.
+	Path string `json:"path,omitempty"`
+	// SHA256 is the hex content digest; filled automatically from Path when
+	// empty. Callers that already know it can pin it to detect file drift.
+	SHA256 string `json:"sha256,omitempty"`
+}
+
 // RunSpec describes one simulation unit declaratively. It is the campaign
 // engine's unit of work and unit of caching: two specs that canonicalize to
 // the same bytes name the same deterministic run. The zero value of every
 // optional field selects the paper's default machine.
+//
+// Exactly one workload source must be set: Benchmark (a built-in), Profile
+// (a user-defined, possibly phased profile), or Trace (a recorded run).
 type RunSpec struct {
-	// Benchmark is the workload name (required).
-	Benchmark string `json:"benchmark"`
+	// Benchmark is a built-in workload name.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Profile is a user-defined workload: one or more instruction-mix
+	// phases. Its full content participates in the cache key, so two runs
+	// of equal profiles hit the same cache entry regardless of naming.
+	Profile *workload.ProfileSpec `json:"profile,omitempty"`
+	// Trace replays a recorded instruction stream as the workload.
+	Trace *TraceRef `json:"trace,omitempty"`
 	// Machine is "base" or "gals" (default "base").
 	Machine string `json:"machine,omitempty"`
 	// Instructions is the committed-instruction budget (default 100000).
@@ -77,6 +99,9 @@ const (
 // Canonical returns the spec with every default made explicit and
 // no-op slowdown entries (factor exactly 1) removed, so that equal runs
 // hash equally regardless of how sparsely the caller filled the struct.
+// A trace reference gains its content digest here (reading the file if
+// needed); an unreadable file leaves the digest empty for Validate to
+// report.
 func (s RunSpec) Canonical() RunSpec {
 	if s.Machine == "" {
 		s.Machine = pipeline.Base.String()
@@ -85,6 +110,15 @@ func (s RunSpec) Canonical() RunSpec {
 		s.Instructions = defaultInstructions
 	}
 	if s.WorkloadSeed == 0 {
+		s.WorkloadSeed = defaultWorkloadSeed
+	}
+	if s.Trace != nil {
+		t := *s.Trace
+		if t.SHA256 == "" {
+			t.SHA256, _ = trace.FileDigest(t.Path) // unreadable: Validate reports
+		}
+		s.Trace = &t
+		// A replayed stream is fixed; the workload seed cannot influence it.
 		s.WorkloadSeed = defaultWorkloadSeed
 	}
 	if s.PhaseSeed == 0 {
@@ -131,9 +165,17 @@ func (s RunSpec) Canonical() RunSpec {
 
 // Key returns the spec's content address: a hex SHA-256 of its canonical
 // JSON form. encoding/json writes map keys in sorted order, so the hash is
-// stable across equal specs.
+// stable across equal specs. Trace-driven runs are keyed by the trace's
+// content digest, with the path stripped, so equal trace bytes at
+// different paths share one cache entry. (A trace whose digest cannot be
+// computed keeps its path as a fallback identity; Validate rejects such
+// specs before they reach the engine.)
 func (s RunSpec) Key() string {
-	b, err := json.Marshal(s.Canonical())
+	c := s.Canonical()
+	if c.Trace != nil && c.Trace.SHA256 != "" {
+		c.Trace = &TraceRef{SHA256: c.Trace.SHA256}
+	}
+	b, err := json.Marshal(c)
 	if err != nil {
 		// RunSpec contains only marshalable fields; this cannot happen.
 		panic(fmt.Sprintf("campaign: marshaling RunSpec: %v", err))
@@ -142,14 +184,59 @@ func (s RunSpec) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// WorkloadName returns the human-readable name of the spec's workload
+// source: the benchmark, the profile-spec name, or the replayed trace's
+// recorded name (falling back to the path when the file is unreadable).
+func (s RunSpec) WorkloadName() string {
+	switch {
+	case s.Profile != nil:
+		return s.Profile.Name
+	case s.Trace != nil:
+		if meta, err := trace.ReadMeta(s.Trace.Path); err == nil && meta.Name != "" {
+			return "replay:" + meta.Name
+		}
+		return "replay:" + s.Trace.Path
+	default:
+		return s.Benchmark
+	}
+}
+
 // Validate reports the first problem with the spec, with errors phrased for
 // end users of the library and the HTTP API alike.
 func (s RunSpec) Validate() error {
-	if s.Benchmark == "" {
-		return fmt.Errorf("campaign: benchmark is required (one of %v)", workload.Names())
+	sources := 0
+	for _, set := range []bool{s.Benchmark != "", s.Profile != nil, s.Trace != nil} {
+		if set {
+			sources++
+		}
 	}
-	if _, err := workload.ByName(s.Benchmark); err != nil {
-		return err
+	switch {
+	case sources == 0:
+		return fmt.Errorf("campaign: benchmark is required (one of %v) unless a custom profile or a trace is given", workload.Names())
+	case sources > 1:
+		return fmt.Errorf("campaign: benchmark, profile and trace are mutually exclusive; set exactly one")
+	}
+	switch {
+	case s.Benchmark != "":
+		if _, err := workload.ByName(s.Benchmark); err != nil {
+			return err
+		}
+	case s.Profile != nil:
+		if err := s.Profile.Validate(); err != nil {
+			return err
+		}
+	case s.Trace != nil:
+		if s.Trace.Path == "" {
+			return fmt.Errorf("campaign: trace requires a path")
+		}
+		t, err := trace.Load(s.Trace.Path) // full decode: every record must parse
+		if err != nil {
+			return fmt.Errorf("campaign: trace: %w", err)
+		}
+		if digest := t.Digest(); s.Trace.SHA256 != "" && s.Trace.SHA256 != digest {
+			return fmt.Errorf("campaign: trace %s content digest %s does not match the requested %s (file changed?)",
+				s.Trace.Path, digest, s.Trace.SHA256)
+		}
 	}
 	if _, err := s.kind(); err != nil {
 		return err
@@ -252,16 +339,43 @@ func (s RunSpec) predictor() (bpred.Kind, error) {
 	}
 }
 
+// NewSource builds the spec's workload instruction source — synthetic
+// generator, phased profile generator, or trace replayer — along with the
+// workload's display name.
+func (s RunSpec) NewSource() (workload.InstrSource, string, error) {
+	s = s.Canonical()
+	switch {
+	case s.Profile != nil:
+		src, err := workload.NewSpecSource(*s.Profile, s.WorkloadSeed)
+		if err != nil {
+			return nil, "", err
+		}
+		return src, s.Profile.Name, nil
+	case s.Trace != nil:
+		t, err := trace.Load(s.Trace.Path)
+		if err != nil {
+			return nil, "", fmt.Errorf("campaign: trace: %w", err)
+		}
+		name := "replay:" + t.Meta.Name
+		if t.Meta.Name == "" {
+			name = "replay:" + s.Trace.Path
+		}
+		return trace.NewReplaySource(t), name, nil
+	default:
+		prof, err := workload.ByName(s.Benchmark)
+		if err != nil {
+			return nil, "", err
+		}
+		return workload.NewGenerator(prof, s.WorkloadSeed), s.Benchmark, nil
+	}
+}
+
 // PipelineConfig translates the spec into a full machine configuration.
-func (s RunSpec) PipelineConfig() (pipeline.Config, workload.Profile, error) {
+func (s RunSpec) PipelineConfig() (pipeline.Config, error) {
 	if err := s.Validate(); err != nil {
-		return pipeline.Config{}, workload.Profile{}, err
+		return pipeline.Config{}, err
 	}
 	s = s.Canonical()
-	prof, err := workload.ByName(s.Benchmark)
-	if err != nil {
-		return pipeline.Config{}, workload.Profile{}, err
-	}
 	kind, _ := s.kind()
 	cfg := pipeline.DefaultConfig(kind)
 	cfg.WorkloadSeed = s.WorkloadSeed
@@ -295,7 +409,7 @@ func (s RunSpec) PipelineConfig() (pipeline.Config, workload.Profile, error) {
 		cfg.Slowdowns[domains[name]] = s.Slowdowns[name]
 	}
 	if err := cfg.Validate(); err != nil {
-		return pipeline.Config{}, workload.Profile{}, err
+		return pipeline.Config{}, err
 	}
-	return cfg, prof, nil
+	return cfg, nil
 }

@@ -160,7 +160,7 @@ type Summary struct {
 func Summarize(spec RunSpec, st pipeline.Stats) Summary {
 	spec = spec.Canonical()
 	return Summary{
-		Benchmark:            spec.Benchmark,
+		Benchmark:            spec.WorkloadName(),
 		Machine:              spec.Machine,
 		Committed:            st.Committed,
 		SimSeconds:           st.SimTime.Seconds(),
@@ -213,7 +213,7 @@ func Table(results []UnitResult) *report.Table {
 	}
 	for _, r := range results {
 		t.AddRow(
-			r.Spec.Benchmark,
+			r.Summary.Benchmark,
 			r.Spec.Machine,
 			slowdownLabel(r.Spec.Slowdowns),
 			fmt.Sprintf("%d", r.Spec.WorkloadSeed),

@@ -50,7 +50,7 @@ var execDomains = []DomainID{DomInt, DomFP, DomMem}
 type Core struct {
 	cfg  Config
 	eng  *event.Engine
-	gen  *workload.Generator
+	gen  workload.InstrSource
 	pred *bpred.Predictor
 	mem  *cache.Hierarchy
 	mtr  *power.Meter
@@ -120,15 +120,26 @@ func (c *Core) OnCommit(fn func(*isa.Instr)) {
 	c.commitHook = fn
 }
 
-// NewCore builds a machine for the given configuration and benchmark.
+// NewCore builds a machine for the given configuration and benchmark,
+// driven by the built-in synthetic generator.
 func NewCore(cfg Config, prof workload.Profile) *Core {
+	return NewCoreWithSource(cfg, prof.Name, workload.NewGenerator(prof, cfg.WorkloadSeed))
+}
+
+// NewCoreWithSource builds a machine fed by an arbitrary instruction source
+// — the synthetic generator, a phased multi-profile generator, or a trace
+// replayer — identified by name in the run's statistics.
+func NewCoreWithSource(cfg Config, name string, src workload.InstrSource) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	if src == nil {
+		panic("pipeline: nil instruction source")
 	}
 	c := &Core{
 		cfg:  cfg,
 		eng:  event.NewEngine(),
-		gen:  workload.NewGenerator(prof, cfg.WorkloadSeed),
+		gen:  src,
 		pred: bpred.New(cfg.Bpred),
 		mem:  cache.NewHierarchy(cfg.Caches),
 		mtr:  power.NewMeter(cfg.Power),
@@ -136,7 +147,7 @@ func NewCore(cfg Config, prof workload.Profile) *Core {
 		rob:  rob.New(cfg.ROBSize),
 	}
 	c.stats.Kind = cfg.Kind
-	c.stats.Benchmark = prof.Name
+	c.stats.Benchmark = name
 	c.lastFetchLine = ^uint64(0)
 	for l := cfg.Caches.L1I.LineBytes; l > 1; l >>= 1 {
 		c.l1iLineShift++

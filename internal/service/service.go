@@ -6,11 +6,16 @@
 //
 // Endpoints:
 //
-//	POST /run                 one RunSpec -> summary
+//	POST /run                 one RunSpec -> summary (built-in benchmark,
+//	                          inline custom profile, or uploaded profile name)
 //	POST /sweep               one Sweep -> aggregated unit results
 //	GET  /experiments/{fig}   regenerate a paper artifact (table1, 5..13,
 //	                          phase, ablations, dvfs); ?format=json|text|csv
 //	GET  /benchmarks          registered workload names
+//	GET  /workloads           benchmark profiles (mix fractions, footprints)
+//	                          plus uploaded custom profiles
+//	POST /workloads           upload a custom (possibly phased) profile;
+//	                          later /run requests may reference it by name
 //	GET  /stats               cache hit/miss/entry counters
 //	GET  /healthz             liveness probe
 package service
@@ -19,15 +24,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"galsim/internal/campaign"
 	"galsim/internal/experiments"
+	"galsim/internal/workload"
 )
 
 // maxBodyBytes bounds request bodies; specs and sweeps are small.
 const maxBodyBytes = 1 << 20
+
+// maxCustomWorkloads and maxCustomWorkloadBytes bound the uploaded-profile
+// registry in entries and in total stored bytes (specs are kept for the
+// server's lifetime and uploads are unauthenticated, so both axes need a
+// ceiling — 1024 one-MiB specs would otherwise pin a gigabyte of heap).
+const (
+	maxCustomWorkloads     = 1024
+	maxCustomWorkloadBytes = 16 << 20
+)
+
+// customEntry is one uploaded profile plus its accounted size.
+type customEntry struct {
+	spec workload.ProfileSpec
+	size int
+}
 
 // Server is the galsimd HTTP handler. Create with New.
 type Server struct {
@@ -38,6 +61,11 @@ type Server struct {
 	// (0 = unlimited). Protects a shared server from accidental
 	// full-cross-product requests.
 	MaxSweepUnits int
+
+	// custom is the uploaded-profile registry: name -> validated spec.
+	customMu    sync.RWMutex
+	custom      map[string]customEntry
+	customBytes int // total accounted size of all entries
 }
 
 // New builds a server around the given engine (nil creates a fresh
@@ -46,11 +74,14 @@ func New(engine *campaign.Engine) *Server {
 	if engine == nil {
 		engine = campaign.NewEngine(0)
 	}
-	s := &Server{engine: engine, mux: http.NewServeMux(), MaxSweepUnits: 4096}
+	s := &Server{engine: engine, mux: http.NewServeMux(), MaxSweepUnits: 4096,
+		custom: map[string]customEntry{}}
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /experiments/{figure}", s.handleExperiment)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /workloads", s.handleUploadWorkload)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -100,11 +131,36 @@ type RunResponse struct {
 	Summary campaign.Summary `json:"summary"`
 }
 
+// resolveWorkload substitutes an uploaded profile when the spec's benchmark
+// names one: the run then carries the full profile content, so its cache
+// identity covers what the workload *is*, not what it is called.
+func (s *Server) resolveWorkload(spec *campaign.RunSpec) {
+	if spec.Benchmark == "" || spec.Profile != nil || spec.Trace != nil {
+		return
+	}
+	s.customMu.RLock()
+	ent, ok := s.custom[spec.Benchmark]
+	s.customMu.RUnlock()
+	if ok {
+		spec.Benchmark = ""
+		spec.Profile = &ent.spec
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var spec campaign.RunSpec
 	if !decodeBody(w, r, &spec) {
 		return
 	}
+	if spec.Trace != nil {
+		// A trace reference names a server-side file; honouring it would let
+		// clients probe the server's filesystem. Traces are a local-tooling
+		// feature (galsim-trace / the library API).
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("trace replay is not available over HTTP; use the galsim-trace CLI or the library API"))
+		return
+	}
+	s.resolveWorkload(&spec)
 	if err := spec.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -232,6 +288,86 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": campaign.Benchmarks()})
+}
+
+// WorkloadInfo is one GET /workloads entry: a benchmark's statistical
+// profile at the granularity the paper characterizes workloads by.
+type WorkloadInfo struct {
+	Name       string  `json:"name"`
+	Suite      string  `json:"suite"`
+	BranchFrac float64 `json:"branch_frac"`
+	FPFrac     float64 `json:"fp_frac"`
+	MemFrac    float64 `json:"mem_frac"`
+	CodeBytes  int     `json:"code_bytes"`
+	DataBytes  int     `json:"data_bytes"`
+}
+
+// WorkloadsResponse is the GET /workloads payload.
+type WorkloadsResponse struct {
+	Builtin []WorkloadInfo         `json:"builtin"`
+	Custom  []workload.ProfileSpec `json:"custom"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	resp := WorkloadsResponse{Custom: []workload.ProfileSpec{}}
+	for _, p := range workload.All() {
+		resp.Builtin = append(resp.Builtin, WorkloadInfo{
+			Name:       p.Name,
+			Suite:      p.Suite,
+			BranchFrac: p.Mix.Branch,
+			FPFrac:     p.Mix.FPFrac(),
+			MemFrac:    p.Mix.MemFrac(),
+			CodeBytes:  p.CodeFootprint,
+			DataBytes:  p.DataWorkingSet,
+		})
+	}
+	s.customMu.RLock()
+	for _, ent := range s.custom {
+		resp.Custom = append(resp.Custom, ent.spec)
+	}
+	s.customMu.RUnlock()
+	sort.Slice(resp.Custom, func(i, j int) bool { return resp.Custom[i].Name < resp.Custom[j].Name })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// UploadResponse is the POST /workloads payload.
+type UploadResponse struct {
+	Name   string `json:"name"`
+	Phases int    `json:"phases"`
+}
+
+func (s *Server) handleUploadWorkload(w http.ResponseWriter, r *http.Request) {
+	var spec workload.ProfileSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	encoded, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("encoding profile: %w", err))
+		return
+	}
+	s.customMu.Lock()
+	old, exists := s.custom[spec.Name]
+	newTotal := s.customBytes - old.size + len(encoded)
+	if (!exists && len(s.custom) >= maxCustomWorkloads) || newTotal > maxCustomWorkloadBytes {
+		s.customMu.Unlock()
+		writeError(w, http.StatusInsufficientStorage,
+			fmt.Errorf("custom workload registry is full (%d entries / %d bytes max)",
+				maxCustomWorkloads, maxCustomWorkloadBytes))
+		return
+	}
+	s.custom[spec.Name] = customEntry{spec: spec, size: len(encoded)}
+	s.customBytes = newTotal
+	s.customMu.Unlock()
+	status := http.StatusCreated
+	if exists {
+		status = http.StatusOK // idempotent re-upload / replacement
+	}
+	writeJSON(w, status, UploadResponse{Name: spec.Name, Phases: len(spec.Phases)})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"galsim/internal/workload"
+)
+
+func TestWorkloadsEndpointListsBuiltins(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/workloads")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var wr WorkloadsResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("decoding body: %v", err)
+	}
+	if len(wr.Builtin) != len(workload.Names()) {
+		t.Fatalf("listed %d builtins, want %d", len(wr.Builtin), len(workload.Names()))
+	}
+	byName := map[string]WorkloadInfo{}
+	for _, w := range wr.Builtin {
+		byName[w.Name] = w
+	}
+	gcc, ok := byName["gcc"]
+	if !ok {
+		t.Fatal("gcc missing from /workloads")
+	}
+	if gcc.Suite != "spec95int" || gcc.BranchFrac != 0.19 || gcc.CodeBytes != 96<<10 {
+		t.Errorf("gcc profile = %+v", gcc)
+	}
+	if gcc.MemFrac != 0.24+0.13 {
+		t.Errorf("gcc mem fraction = %v", gcc.MemFrac)
+	}
+	if len(wr.Custom) != 0 {
+		t.Errorf("fresh server lists custom workloads: %v", wr.Custom)
+	}
+}
+
+const phasedJSON = `{
+  "name": "svc-phased",
+  "phases": [
+    {"benchmark": "ijpeg", "instructions": 3000},
+    {"benchmark": "fpppp", "instructions": 3000}
+  ]
+}`
+
+func TestUploadAndRunCustomWorkload(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, body := post(t, ts.URL+"/workloads", phasedJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, body %s", resp.StatusCode, body)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Name != "svc-phased" || up.Phases != 2 {
+		t.Errorf("upload response = %+v", up)
+	}
+
+	// Re-upload is idempotent (200, not 201).
+	if resp, _ := post(t, ts.URL+"/workloads", phasedJSON); resp.StatusCode != http.StatusOK {
+		t.Errorf("re-upload status = %d", resp.StatusCode)
+	}
+
+	// The uploaded name is now listed...
+	_, body = get(t, ts.URL+"/workloads")
+	var wr WorkloadsResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Custom) != 1 || wr.Custom[0].Name != "svc-phased" {
+		t.Errorf("custom listing = %+v", wr.Custom)
+	}
+
+	// ...and runnable by name through /run.
+	resp, body = post(t, ts.URL+"/run", `{"benchmark":"svc-phased","machine":"gals","instructions":6000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Summary.Benchmark != "svc-phased" || rr.Summary.Committed != 6000 {
+		t.Errorf("run summary = %+v", rr.Summary)
+	}
+	if rr.Spec.Profile == nil || rr.Spec.Benchmark != "" {
+		t.Errorf("run spec did not resolve the uploaded profile: %+v", rr.Spec)
+	}
+}
+
+func TestRunInlineProfile(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/run",
+		`{"machine":"gals","instructions":4000,"profile":{"name":"inline","phases":[{"benchmark":"adpcm","instructions":2000}]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Summary.Benchmark != "inline" {
+		t.Errorf("summary benchmark = %q", rr.Summary.Benchmark)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := map[string]string{
+		"garbage":            `{{{`,
+		"unknown field":      `{"name":"x","phasez":[]}`,
+		"builtin collision":  `{"name":"gcc","phases":[{"benchmark":"gcc","instructions":100}]}`,
+		"no phases":          `{"name":"x","phases":[]}`,
+		"unknown benchmark":  `{"name":"x","phases":[{"benchmark":"bogus","instructions":100}]}`,
+		"zero instructions":  `{"name":"x","phases":[{"benchmark":"gcc","instructions":0}]}`,
+		"both phase sources": `{"name":"x","phases":[{"benchmark":"gcc","profile":{"name":"y"},"instructions":5}]}`,
+	}
+	for name, body := range cases {
+		if resp, b := post(t, ts.URL+"/workloads", body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, body %s", name, resp.StatusCode, b)
+		}
+	}
+}
+
+func TestRunRejectsTraceOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/run", `{"trace":{"path":"/etc/passwd"}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e["error"] == "" {
+		t.Error("no error message for rejected trace spec")
+	}
+}

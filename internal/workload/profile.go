@@ -29,14 +29,14 @@ import (
 // fractions must be non-negative and sum to at most 1; the remainder is
 // plain integer ALU work.
 type Mix struct {
-	IntALU float64
-	IntMul float64
-	FPAdd  float64
-	FPMul  float64
-	FPDiv  float64
-	Load   float64
-	Store  float64
-	Branch float64
+	IntALU float64 `json:"int_alu,omitempty"`
+	IntMul float64 `json:"int_mul,omitempty"`
+	FPAdd  float64 `json:"fp_add,omitempty"`
+	FPMul  float64 `json:"fp_mul,omitempty"`
+	FPDiv  float64 `json:"fp_div,omitempty"`
+	Load   float64 `json:"load,omitempty"`
+	Store  float64 `json:"store,omitempty"`
+	Branch float64 `json:"branch,omitempty"`
 }
 
 // Sum returns the total of all fractions.
@@ -55,43 +55,45 @@ func (m Mix) MemFrac() float64 { return m.Load + m.Store }
 // alternating (easy for gshare), and data-dependent random (hard). The
 // fractions must sum to 1.
 type PatternMix struct {
-	Biased      float64 // ~97% one direction
-	Loop        float64 // taken LoopLength-1 times, then not taken
-	Alternating float64 // strict T/N alternation
-	Random      float64 // coin flip with RandomTakenProb
+	Biased      float64 `json:"biased,omitempty"`      // ~97% one direction
+	Loop        float64 `json:"loop,omitempty"`        // taken LoopLength-1 times, then not taken
+	Alternating float64 `json:"alternating,omitempty"` // strict T/N alternation
+	Random      float64 `json:"random,omitempty"`      // coin flip with RandomTakenProb
 }
 
 // Sum returns the total of all fractions.
 func (p PatternMix) Sum() float64 { return p.Biased + p.Loop + p.Alternating + p.Random }
 
-// Profile statistically characterizes one benchmark.
+// Profile statistically characterizes one benchmark. The JSON form is the
+// wire format of user-defined profiles (ProfileSpec phases, the galsimd
+// workload-upload endpoint and the galsim-trace CLI).
 type Profile struct {
-	Name  string
-	Suite string // "spec95int", "spec95fp", "mediabench"
+	Name  string `json:"name,omitempty"`
+	Suite string `json:"suite,omitempty"` // "spec95int", "spec95fp", "mediabench", "custom"
 
-	Mix Mix
+	Mix Mix `json:"mix"`
 
 	// FPLoadFrac is the fraction of loads whose destination is an FP
 	// register (FP data being streamed to the FP cluster).
-	FPLoadFrac float64
+	FPLoadFrac float64 `json:"fp_load_frac,omitempty"`
 
 	// CodeFootprint is the byte size of the instruction working set; it
 	// determines I-cache behaviour (16 KB direct-mapped L1I).
-	CodeFootprint int
+	CodeFootprint int `json:"code_footprint"`
 
 	// Branch population behaviour.
-	Patterns        PatternMix
-	LoopLength      int     // iterations of loop-closing branches
-	RandomTakenProb float64 // bias of "random" branches
+	Patterns        PatternMix `json:"patterns"`
+	LoopLength      int        `json:"loop_length"`                 // iterations of loop-closing branches
+	RandomTakenProb float64    `json:"random_taken_prob,omitempty"` // bias of "random" branches
 
 	// DepDistP is the parameter of the geometric distribution of register
 	// dependency distances: larger p = shorter dependencies = less ILP.
-	DepDistP float64
+	DepDistP float64 `json:"dep_dist_p"`
 
 	// Data-side locality.
-	DataWorkingSet int     // bytes of data working set
-	SeqFrac        float64 // fraction of static memory instructions that stream sequentially
-	StrideBytes    int     // stride of streaming accesses
+	DataWorkingSet int     `json:"data_working_set"`   // bytes of data working set
+	SeqFrac        float64 `json:"seq_frac,omitempty"` // fraction of static memory instructions that stream sequentially
+	StrideBytes    int     `json:"stride_bytes"`       // stride of streaming accesses
 }
 
 // Validate reports an error for a malformed profile.
@@ -107,23 +109,36 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload: %s: FPLoadFrac %v outside [0,1]", p.Name, p.FPLoadFrac)
 	case p.CodeFootprint < 256:
 		return fmt.Errorf("workload: %s: code footprint %d too small", p.Name, p.CodeFootprint)
+	case p.CodeFootprint > maxFootprint:
+		return fmt.Errorf("workload: %s: code footprint %d above the %d limit", p.Name, p.CodeFootprint, maxFootprint)
 	case absf(p.Patterns.Sum()-1) > 1e-6:
 		return fmt.Errorf("workload: %s: branch patterns sum to %v != 1", p.Name, p.Patterns.Sum())
 	case p.LoopLength < 2:
 		return fmt.Errorf("workload: %s: loop length %d < 2", p.Name, p.LoopLength)
+	case p.LoopLength > 1<<24:
+		return fmt.Errorf("workload: %s: loop length %d above the %d limit", p.Name, p.LoopLength, 1<<24)
 	case p.RandomTakenProb < 0 || p.RandomTakenProb > 1:
 		return fmt.Errorf("workload: %s: RandomTakenProb %v outside [0,1]", p.Name, p.RandomTakenProb)
 	case p.DepDistP <= 0 || p.DepDistP >= 1:
 		return fmt.Errorf("workload: %s: DepDistP %v outside (0,1)", p.Name, p.DepDistP)
 	case p.DataWorkingSet < 1024:
 		return fmt.Errorf("workload: %s: data working set %d too small", p.Name, p.DataWorkingSet)
+	case p.DataWorkingSet > maxFootprint:
+		return fmt.Errorf("workload: %s: data working set %d above the %d limit", p.Name, p.DataWorkingSet, maxFootprint)
 	case p.SeqFrac < 0 || p.SeqFrac > 1:
 		return fmt.Errorf("workload: %s: SeqFrac %v outside [0,1]", p.Name, p.SeqFrac)
 	case p.StrideBytes <= 0:
 		return fmt.Errorf("workload: %s: stride %d must be positive", p.Name, p.StrideBytes)
+	case p.StrideBytes > 1<<20:
+		return fmt.Errorf("workload: %s: stride %d above the %d limit", p.Name, p.StrideBytes, 1<<20)
 	}
 	return nil
 }
+
+// maxFootprint bounds user-supplied code footprints and data working sets
+// (1 GiB): profiles arrive over HTTP and from files, and the generator's
+// lazy static program must stay bounded by sane inputs, not trusted ones.
+const maxFootprint = 1 << 30
 
 func absf(x float64) float64 {
 	if x < 0 {
@@ -289,7 +304,9 @@ var profiles = []Profile{
 	},
 }
 
-// All returns every registered profile, sorted by suite then name.
+// All returns every registered profile, sorted by suite then name. The
+// returned slice is a fresh copy on every call; callers may mutate it
+// without corrupting the registry.
 func All() []Profile {
 	out := make([]Profile, len(profiles))
 	copy(out, profiles)
@@ -302,7 +319,8 @@ func All() []Profile {
 	return out
 }
 
-// Names returns the profile names in All() order.
+// Names returns the profile names in All() order, as a fresh copy on
+// every call.
 func Names() []string {
 	all := All()
 	out := make([]string, len(all))

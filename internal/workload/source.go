@@ -1,0 +1,41 @@
+package workload
+
+import "galsim/internal/isa"
+
+// InstrSource is the pipeline front-end's view of a workload: a supplier of
+// dynamic instructions with ground-truth branch outcomes and memory
+// addresses, plus a wrong-path mode entered after a misprediction and left
+// when the redirect arrives.
+//
+// The synthetic Generator is the canonical implementation; trace replay
+// (internal/trace.ReplaySource) and the phased multi-profile generator
+// implement the same contract, so the simulated machine is indifferent to
+// where its instruction stream comes from.
+//
+// Contract, mirroring Generator's semantics:
+//
+//   - Next may only be called outside wrong-path mode, NextWrongPath only
+//     inside it; violations panic (they are simulator bugs, not input
+//     errors).
+//   - StartWrongPath(target) enters wrong-path mode at the mispredicted
+//     target (0 = junk fetch past the branch); EndWrongPath leaves it.
+//   - CurrentPC reports the address of the instruction the next Next (or
+//     NextWrongPath) call will produce, without advancing; the fetch stage
+//     uses it for the I-cache access that precedes delivery.
+//   - The produced stream must be deterministic: two sources constructed
+//     identically and driven with the same call sequence must produce
+//     identical instructions.
+type InstrSource interface {
+	Next() *isa.Instr
+	NextWrongPath() *isa.Instr
+	StartWrongPath(target uint64)
+	EndWrongPath()
+	InWrongPath() bool
+	CurrentPC() uint64
+}
+
+// Compile-time checks that the package's sources satisfy the interface.
+var (
+	_ InstrSource = (*Generator)(nil)
+	_ InstrSource = (*PhasedGenerator)(nil)
+)
