@@ -34,6 +34,7 @@ func benchCfg() experiments.Config {
 }
 
 func BenchmarkTable1SkewTrends(b *testing.B) {
+	b.ReportAllocs()
 	var mean float64
 	for i := 0; i < b.N; i++ {
 		m, _, err := clocktree.Estimate(clocktree.DefaultTree(), 1)
@@ -46,6 +47,7 @@ func BenchmarkTable1SkewTrends(b *testing.B) {
 }
 
 func BenchmarkFig5RelativePerformance(b *testing.B) {
+	b.ReportAllocs()
 	var rel float64
 	for i := 0; i < b.N; i++ {
 		c := experiments.RunCorpus(benchCfg())
@@ -59,6 +61,7 @@ func BenchmarkFig5RelativePerformance(b *testing.B) {
 }
 
 func BenchmarkFig6Slip(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		c := experiments.RunCorpus(benchCfg())
@@ -73,6 +76,7 @@ func BenchmarkFig6Slip(b *testing.B) {
 }
 
 func BenchmarkFig7RelativeSlip(b *testing.B) {
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		c := experiments.RunCorpus(benchCfg())
@@ -86,6 +90,7 @@ func BenchmarkFig7RelativeSlip(b *testing.B) {
 }
 
 func BenchmarkFig8Speculation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	cfg.Benchmarks = []string{"gcc", "li", "compress"} // integer set
 	var delta float64
@@ -103,6 +108,7 @@ func BenchmarkFig8Speculation(b *testing.B) {
 }
 
 func BenchmarkFig9EnergyPower(b *testing.B) {
+	b.ReportAllocs()
 	var energy, pwr float64
 	for i := 0; i < b.N; i++ {
 		c := experiments.RunCorpus(benchCfg())
@@ -120,6 +126,7 @@ func BenchmarkFig9EnergyPower(b *testing.B) {
 }
 
 func BenchmarkFig10Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig10Breakdown(cfg, "compress")
@@ -127,6 +134,7 @@ func BenchmarkFig10Breakdown(b *testing.B) {
 }
 
 func BenchmarkFig11SelectiveSlowdown(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig11SelectiveSlowdown(cfg)
@@ -134,6 +142,7 @@ func BenchmarkFig11SelectiveSlowdown(b *testing.B) {
 }
 
 func BenchmarkFig12IjpegSweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig12IjpegSweep(cfg)
@@ -141,6 +150,7 @@ func BenchmarkFig12IjpegSweep(b *testing.B) {
 }
 
 func BenchmarkFig13GccSlowdown(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig13GccSlowdown(cfg)
@@ -148,6 +158,7 @@ func BenchmarkFig13GccSlowdown(b *testing.B) {
 }
 
 func BenchmarkPhaseSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		experiments.PhaseSensitivity(cfg, "li", 3)
@@ -158,6 +169,7 @@ func BenchmarkPhaseSensitivity(b *testing.B) {
 // style, synchronizer depth, FIFO capacity, clock phases, predictor,
 // memory disambiguation).
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		experiments.AblationLinkStyle(cfg, "gcc")
@@ -173,6 +185,7 @@ func BenchmarkAblations(b *testing.B) {
 // (the paper's concluding future direction) and reports perl's relative
 // energy under it.
 func BenchmarkDynamicDVFS(b *testing.B) {
+	b.ReportAllocs()
 	prof, err := workload.ByName("perl")
 	if err != nil {
 		b.Fatal(err)
@@ -191,6 +204,7 @@ func BenchmarkDynamicDVFS(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // instructions per wall-clock second for the GALS machine.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	prof, err := workload.ByName("gcc")
 	if err != nil {
 		b.Fatal(err)

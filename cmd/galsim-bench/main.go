@@ -1,0 +1,201 @@
+// Command galsim-bench measures simulator throughput and writes the numbers
+// to a JSON file, so performance can be tracked across commits with one
+// command and compared against a recorded baseline:
+//
+//	go run ./cmd/galsim-bench -out BENCH.json
+//	go run ./cmd/galsim-bench -label pr3 -baseline seed.json -out BENCH_pr3.json
+//
+// Two benchmarks run, mirroring the repo's go-test benchmarks:
+//
+//   - throughput/gals and throughput/base: one core simulating gcc for a
+//     fixed instruction count (BenchmarkSimulatorThroughput), reported as
+//     simulated instructions per wall-clock second plus the standard
+//     ns/op, allocs/op and B/op;
+//   - sweep/serial: a cold-cache campaign over several benchmarks on both
+//     machines through one worker (BenchmarkSweep/serial), the end-to-end
+//     figure the campaign engine and galsimd inherit.
+//
+// When -baseline names a previous output file, the report embeds it and
+// computes per-benchmark speedup (baseline ns/op ÷ current ns/op) and the
+// allocation reduction, which is how BENCH_pr3.json records its
+// before/after comparison.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/pipeline"
+	"galsim/internal/workload"
+)
+
+// Measurement is one benchmark's result.
+type Measurement struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SimInstrsPerSec float64 `json:"sim_instrs_per_sec,omitempty"`
+}
+
+// Report is the file schema.
+type Report struct {
+	Label     string    `json:"label"`
+	Timestamp time.Time `json:"timestamp"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+
+	Benchmarks []Measurement `json:"benchmarks"`
+
+	// Baseline, when present, is the report this run is compared against;
+	// Speedup and AllocReduction are keyed by benchmark name.
+	Baseline       *Report            `json:"baseline,omitempty"`
+	Speedup        map[string]float64 `json:"speedup,omitempty"`
+	AllocReduction map[string]float64 `json:"alloc_reduction,omitempty"`
+}
+
+func measure(name string, r testing.BenchmarkResult) Measurement {
+	m := Measurement{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if v, ok := r.Extra["sim-instrs/s"]; ok {
+		m.SimInstrsPerSec = v
+	}
+	return m
+}
+
+// benchThroughput is BenchmarkSimulatorThroughput: raw simulation speed of
+// one core, in simulated instructions per wall-clock second.
+func benchThroughput(kind pipeline.Kind, instrs uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		prof, err := workload.ByName("gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := pipeline.DefaultConfig(kind)
+			pipeline.NewCore(cfg, prof).Run(instrs)
+		}
+		b.ReportMetric(float64(instrs*uint64(b.N))/b.Elapsed().Seconds(), "sim-instrs/s")
+	}
+}
+
+// benchSweep is BenchmarkSweep/serial: a cold-cache campaign through one
+// worker, the figure the sweep and experiment layers inherit.
+func benchSweep(instrs uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		sweep := campaign.Sweep{
+			Benchmarks:   []string{"compress", "gcc", "li", "perl", "swim", "fpppp"},
+			Machines:     []string{"base", "gals"},
+			Instructions: instrs,
+		}
+		units, err := sweep.Units()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := float64(len(units)) * float64(instrs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := campaign.NewEngine(1) // fresh engine: cold cache, serial
+			if _, err := e.RunAll(context.Background(), units); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(total*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/s")
+	}
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH.json", "output file")
+		label    = flag.String("label", "current", "label recorded in the report")
+		baseline = flag.String("baseline", "", "previous report to embed and compare against")
+		instrs   = flag.Uint64("n", 20_000, "instructions per throughput run")
+		sweepN   = flag.Uint64("sweep-n", 4_000, "instructions per sweep unit")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Label:     *label,
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"throughput/gals", benchThroughput(pipeline.GALS, *instrs)},
+		{"throughput/base", benchThroughput(pipeline.Base, *instrs)},
+		{"sweep/serial", benchSweep(*sweepN)},
+	}
+	for _, bb := range benches {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bb.name)
+		m := measure(bb.name, testing.Benchmark(bb.fn))
+		fmt.Fprintf(os.Stderr, "  %d iterations, %d ns/op, %d allocs/op, %d B/op, %.0f sim-instrs/s\n",
+			m.Iterations, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SimInstrsPerSec)
+		rep.Benchmarks = append(rep.Benchmarks, m)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim-bench:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim-bench: parsing baseline:", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // keep one level of nesting
+		rep.Baseline = &base
+		rep.Speedup = map[string]float64{}
+		rep.AllocReduction = map[string]float64{}
+		for _, bm := range base.Benchmarks {
+			for _, cm := range rep.Benchmarks {
+				if cm.Name != bm.Name {
+					continue
+				}
+				if cm.NsPerOp != 0 {
+					rep.Speedup[cm.Name] = float64(bm.NsPerOp) / float64(cm.NsPerOp)
+				}
+				if bm.AllocsPerOp != 0 {
+					rep.AllocReduction[cm.Name] = 1 - float64(cm.AllocsPerOp)/float64(bm.AllocsPerOp)
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"galsim"
@@ -39,6 +41,8 @@ func main() {
 		dynDVFS   = flag.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		config    = flag.Bool("config", false, "print the machine configuration (paper Tables 2-3) and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 
@@ -112,12 +116,47 @@ func main() {
 				e.Seq, e.PC, e.Class, e.FetchTimeNs, e.CommitTimeNs, e.SlipNs)
 		}
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	res, err := galsim.Run(opts)
 	if err != nil {
+		// os.Exit skips defers: flush the CPU profile first so a failing run
+		// still leaves a readable profile (no-op when profiling is off).
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "galsim:", err)
 		os.Exit(1)
 	}
 	printResult(res)
+	if *memProf != "" {
+		// os.Exit skips defers: flush the CPU profile before any error exit
+		// so -cpuprofile output stays readable (no-op when profiling is off).
+		f, err := os.Create(*memProf)
+		if err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(2)
+		}
+		runtime.GC() // a clean picture of what the run left behind
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
 }
 
 func printResult(r galsim.Result) {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,13 +35,15 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
-		maxUnits   = flag.Int("max-sweep-units", 4096, "reject sweeps expanding beyond this many units (0 = unlimited)")
-		gracePd    = flag.Duration("grace", 10*time.Second, "shutdown grace period")
-		rdTimeout  = flag.Duration("read-timeout", 30*time.Second, "request read timeout")
-		wrTimeout  = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
-		idleTimout = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		maxUnits    = flag.Int("max-sweep-units", 4096, "reject sweeps expanding beyond this many units (0 = unlimited)")
+		gracePd     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		rdTimeout   = flag.Duration("read-timeout", 30*time.Second, "request read timeout")
+		wrTimeout   = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
+		idleTimout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+		enablePprof = flag.Bool("pprof", false,
+			"serve Go runtime profiles under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	flag.Parse()
 
@@ -48,9 +51,22 @@ func main() {
 	srv := service.New(engine)
 	srv.MaxSweepUnits = *maxUnits
 
+	var handler http.Handler = srv
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("galsimd: runtime profiles enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadTimeout:       *rdTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      *wrTimeout,

@@ -28,6 +28,7 @@ func benchSweep() Sweep {
 // A fresh engine per iteration keeps the content-addressed cache cold, so
 // the benchmark measures simulation throughput, not memoization.
 func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, bc := range []struct {
 		name    string
 		workers int
@@ -36,6 +37,7 @@ func BenchmarkSweep(b *testing.B) {
 		{"parallel", 0}, // GOMAXPROCS, i.e. the -cpu value
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			sweep := benchSweep()
 			units, err := sweep.Units()
 			if err != nil {
@@ -56,6 +58,7 @@ func BenchmarkSweep(b *testing.B) {
 // BenchmarkSweepCached measures the memoized path: every unit after the
 // first iteration is a cache hit.
 func BenchmarkSweepCached(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(0)
 	units, err := benchSweep().Units()
 	if err != nil {

@@ -5,7 +5,6 @@
 // ordered by scheduled time, where each entry carries
 //
 //   - a function to call at each occurrence of the event,
-//   - a parameter to call the function with,
 //   - a time at which the event is scheduled to occur,
 //   - a priority number to break ties between events scheduled for the same
 //     time instant, and
@@ -16,29 +15,36 @@
 // domain; when the engine processes a periodic event it schedules the next
 // instance, representing the next cycle of that clock (paper Figure 4).
 //
-// The queue is a binary heap rather than the paper's singly linked list —
-// an implementation detail that changes complexity, not semantics. A
-// monotonically increasing insertion sequence number provides a stable,
-// deterministic order for events with equal time and equal priority.
+// The queue is a hand-rolled 4-ary heap of value-typed entries rather than
+// the paper's singly linked list — an implementation detail that changes
+// complexity, not semantics. Entries carry their ordering key (time,
+// priority, insertion sequence) inline, so heap comparisons touch no event
+// object, and a periodic event is rescheduled in place: its head entry's
+// time is bumped by the period and sifted down, with no pop/push pair and no
+// allocation per clock edge. A monotonically increasing insertion sequence
+// number provides a stable, deterministic order for events with equal time
+// and equal priority.
+//
+// Cancellation is eager: Cancel removes the entry from the heap immediately,
+// so the queue never holds dead entries and NextEventTime is a pure
+// accessor.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 
 	"galsim/internal/simtime"
 )
 
-// Func is the action invoked when an event fires. now is the current
-// simulated time and param is the value supplied when the event was
-// scheduled.
-type Func func(now simtime.Time, param any)
+// Func is the action invoked when an event fires, at simulated time now.
+// State an event needs travels in the closure; the engine stores no
+// parameter values.
+type Func func(now simtime.Time)
 
 // Event is a scheduled occurrence inside the engine. Events are owned by the
 // engine once scheduled; callers hold *Event only to cancel or inspect.
 type Event struct {
 	fn       Func
-	param    any
 	when     simtime.Time
 	priority int
 	period   simtime.Duration // 0 for one-shot events
@@ -72,13 +78,20 @@ func (e *Event) String() string {
 	return fmt.Sprintf("event %q at %v (prio %d, %s)", e.name, e.when, e.priority, kind)
 }
 
-// eventHeap orders events by (time, priority, insertion sequence).
-type eventHeap []*Event
+// entry is one heap slot: the ordering key held by value (so comparisons are
+// pointer-chase-free) plus the event it stands for. The key fields mirror
+// ev.when / ev.priority / ev.seq; reschedules update both.
+type entry struct {
+	when     simtime.Time
+	seq      uint64
+	priority int
+	ev       *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// before reports whether a fires before b: ordered by (time, priority,
+// insertion sequence). Sequence numbers are unique, so the order is total
+// and the execution schedule deterministic.
+func (a *entry) before(b *entry) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
@@ -88,35 +101,13 @@ func (h eventHeap) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is the event-driven simulation core: a clock-independent scheduler
 // that drives any mixture of asynchronous and clocked components.
 //
 // Engine is not safe for concurrent use; the whole simulator is
 // single-threaded by design so that results are exactly reproducible.
 type Engine struct {
-	queue     eventHeap
+	heap      []entry // 4-ary min-heap
 	now       simtime.Time
 	seq       uint64
 	processed uint64
@@ -133,30 +124,110 @@ func NewEngine() *Engine {
 // processed, or of the last processed event when the engine is idle.
 func (g *Engine) Now() simtime.Time { return g.now }
 
-// Len returns the number of pending events (canceled events may still be
-// counted until they reach the head of the queue).
-func (g *Engine) Len() int { return len(g.queue) }
+// Len returns the number of pending events. Canceled events are removed
+// eagerly and never counted.
+func (g *Engine) Len() int { return len(g.heap) }
 
 // Processed returns the total number of events executed so far.
 func (g *Engine) Processed() uint64 { return g.processed }
 
+// heap primitives — a 4-ary min-heap. The wider node trades deeper
+// comparisons for fewer levels and fewer swaps; with entries held by value
+// the four-child scan is contiguous memory, which is the layout the per-edge
+// sift-down in step rewards.
+
+const heapArity = 4
+
+// siftUp moves the entry at index i toward the root until its parent fires
+// no later than it does.
+func (g *Engine) siftUp(i int) {
+	h := g.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].ev.index = i
+		i = parent
+	}
+	h[i] = e
+	e.ev.index = i
+}
+
+// siftDown moves the entry at index i toward the leaves until no child fires
+// before it.
+func (g *Engine) siftDown(i int) {
+	h := g.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		min := first
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(&e) {
+			break
+		}
+		h[i] = h[min]
+		h[i].ev.index = i
+		i = min
+	}
+	h[i] = e
+	e.ev.index = i
+}
+
+// push inserts an entry and restores heap order.
+func (g *Engine) push(e entry) {
+	g.heap = append(g.heap, e)
+	g.siftUp(len(g.heap) - 1)
+}
+
+// remove deletes the entry at index i and restores heap order.
+func (g *Engine) remove(i int) {
+	h := g.heap
+	n := len(h) - 1
+	h[i].ev.index = -1
+	if i != n {
+		h[i] = h[n]
+		h[i].ev.index = i
+	}
+	h[n] = entry{}
+	g.heap = h[:n]
+	if i < n {
+		g.siftDown(i)
+		g.siftUp(i)
+	}
+}
+
 // Schedule inserts a one-shot event. It panics if when precedes the current
 // time, since time travel would silently corrupt causality.
-func (g *Engine) Schedule(when simtime.Time, priority int, name string, fn Func, param any) *Event {
-	return g.schedule(when, priority, 0, name, fn, param)
+func (g *Engine) Schedule(when simtime.Time, priority int, name string, fn Func) *Event {
+	return g.schedule(when, priority, 0, name, fn)
 }
 
 // SchedulePeriodic inserts a periodic event: the paper's mechanism for
 // simulating a clock domain. start is the first firing time (the clock's
 // initial phase) and period the repetition interval; period must be > 0.
-func (g *Engine) SchedulePeriodic(start simtime.Time, period simtime.Duration, priority int, name string, fn Func, param any) *Event {
+func (g *Engine) SchedulePeriodic(start simtime.Time, period simtime.Duration, priority int, name string, fn Func) *Event {
 	if period <= 0 {
 		panic(fmt.Sprintf("event: periodic event %q requires positive period, got %v", name, period))
 	}
-	return g.schedule(start, priority, period, name, fn, param)
+	return g.schedule(start, priority, period, name, fn)
 }
 
-func (g *Engine) schedule(when simtime.Time, priority int, period simtime.Duration, name string, fn Func, param any) *Event {
+func (g *Engine) schedule(when simtime.Time, priority int, period simtime.Duration, name string, fn Func) *Event {
 	if fn == nil {
 		panic(fmt.Sprintf("event: nil function for event %q", name))
 	}
@@ -165,7 +236,6 @@ func (g *Engine) schedule(when simtime.Time, priority int, period simtime.Durati
 	}
 	e := &Event{
 		fn:       fn,
-		param:    param,
 		when:     when,
 		priority: priority,
 		period:   period,
@@ -173,20 +243,20 @@ func (g *Engine) schedule(when simtime.Time, priority int, period simtime.Durati
 		name:     name,
 	}
 	g.seq++
-	heap.Push(&g.queue, e)
+	g.push(entry{when: e.when, seq: e.seq, priority: e.priority, ev: e})
 	return e
 }
 
-// Cancel removes an event from future processing. Canceling an already
-// canceled or already fired one-shot event is a harmless no-op. A canceled
-// periodic event never fires again.
+// Cancel removes an event from future processing, deleting its queue entry
+// immediately. Canceling an already canceled or already fired one-shot event
+// is a harmless no-op. A canceled periodic event never fires again.
 func (g *Engine) Cancel(e *Event) {
 	if e == nil || e.canceled {
 		return
 	}
 	e.canceled = true
 	if e.index >= 0 {
-		heap.Remove(&g.queue, e.index)
+		g.remove(e.index)
 	}
 }
 
@@ -207,31 +277,30 @@ func (g *Engine) SetPeriod(e *Event, period simtime.Duration) {
 // completes. Pending events remain queued.
 func (g *Engine) Stop() { g.stopped = true }
 
-// step processes exactly one event. It reports false when the queue is empty.
+// step processes exactly one event. It reports false when no event at or
+// before limit remains.
 func (g *Engine) step(limit simtime.Time) bool {
-	for len(g.queue) > 0 {
-		head := g.queue[0]
-		if head.when > limit {
-			return false
-		}
-		heap.Pop(&g.queue)
-		if head.canceled {
-			continue
-		}
-		g.now = head.when
-		g.processed++
-		// Reschedule periodic events before invoking the handler so the
-		// handler may Cancel or SetPeriod its own event.
-		if head.period > 0 && !head.canceled {
-			head.when += head.period
-			head.seq = g.seq
-			g.seq++
-			heap.Push(&g.queue, head)
-		}
-		head.fn(g.now, head.param)
-		return true
+	if len(g.heap) == 0 || g.heap[0].when > limit {
+		return false
 	}
-	return false
+	ev := g.heap[0].ev
+	g.now = ev.when
+	g.processed++
+	// Reschedule periodic events (in place: bump the head's key and sift it
+	// down) before invoking the handler, so the handler may Cancel or
+	// SetPeriod its own event.
+	if ev.period > 0 {
+		ev.when += ev.period
+		ev.seq = g.seq
+		g.seq++
+		g.heap[0].when = ev.when
+		g.heap[0].seq = ev.seq
+		g.siftDown(0)
+	} else {
+		g.remove(0)
+	}
+	ev.fn(g.now)
+	return true
 }
 
 // Run processes events until the queue is empty or Stop is called. It is the
@@ -263,14 +332,12 @@ func (g *Engine) RunUntil(limit simtime.Time) simtime.Time {
 }
 
 // NextEventTime returns the timestamp of the earliest pending event, or
-// simtime.Never when the queue is empty. Canceled events at the head are
-// skipped over without being removed.
+// simtime.Never when the queue is empty. It is a pure accessor: cancellation
+// removes entries eagerly, so the head of the heap is always live and
+// peeking at it mutates nothing.
 func (g *Engine) NextEventTime() simtime.Time {
-	for len(g.queue) > 0 {
-		if !g.queue[0].canceled {
-			return g.queue[0].when
-		}
-		heap.Pop(&g.queue)
+	if len(g.heap) == 0 {
+		return simtime.Never
 	}
-	return simtime.Never
+	return g.heap[0].when
 }

@@ -13,11 +13,11 @@ func TestOneShotOrdering(t *testing.T) {
 	g := NewEngine()
 	var got []int
 	rec := func(id int) Func {
-		return func(now simtime.Time, _ any) { got = append(got, id) }
+		return func(now simtime.Time) { got = append(got, id) }
 	}
-	g.Schedule(30, 0, "c", rec(3), nil)
-	g.Schedule(10, 0, "a", rec(1), nil)
-	g.Schedule(20, 0, "b", rec(2), nil)
+	g.Schedule(30, 0, "c", rec(3))
+	g.Schedule(10, 0, "a", rec(1))
+	g.Schedule(20, 0, "b", rec(2))
 	g.Run()
 	want := []int{1, 2, 3}
 	for i := range want {
@@ -33,9 +33,9 @@ func TestOneShotOrdering(t *testing.T) {
 func TestPriorityTieBreak(t *testing.T) {
 	g := NewEngine()
 	var got []string
-	g.Schedule(5, 2, "low", func(simtime.Time, any) { got = append(got, "low") }, nil)
-	g.Schedule(5, 1, "high", func(simtime.Time, any) { got = append(got, "high") }, nil)
-	g.Schedule(5, 3, "lowest", func(simtime.Time, any) { got = append(got, "lowest") }, nil)
+	g.Schedule(5, 2, "low", func(simtime.Time) { got = append(got, "low") })
+	g.Schedule(5, 1, "high", func(simtime.Time) { got = append(got, "high") })
+	g.Schedule(5, 3, "lowest", func(simtime.Time) { got = append(got, "lowest") })
 	g.Run()
 	if len(got) != 3 || got[0] != "high" || got[1] != "low" || got[2] != "lowest" {
 		t.Errorf("priority order = %v", got)
@@ -47,7 +47,7 @@ func TestEqualTimePriorityStableBySeq(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		g.Schedule(7, 0, "x", func(simtime.Time, any) { got = append(got, i) }, nil)
+		g.Schedule(7, 0, "x", func(simtime.Time) { got = append(got, i) })
 	}
 	g.Run()
 	for i := 0; i < 10; i++ {
@@ -60,9 +60,9 @@ func TestEqualTimePriorityStableBySeq(t *testing.T) {
 func TestPeriodicEvent(t *testing.T) {
 	g := NewEngine()
 	var times []simtime.Time
-	ev := g.SchedulePeriodic(500, 2000, 0, "clock", func(now simtime.Time, _ any) {
+	ev := g.SchedulePeriodic(500, 2000, 0, "clock", func(now simtime.Time) {
 		times = append(times, now)
-	}, nil)
+	})
 	g.RunUntil(10_000)
 	want := []simtime.Time{500, 2500, 4500, 6500, 8500}
 	if len(times) != len(want) {
@@ -93,15 +93,15 @@ func TestThreeClockFigure4(t *testing.T) {
 	}
 	var ticks []tick
 	ns := simtime.Nanosecond
-	g.SchedulePeriodic(ns/2, 2*ns, 1, "clock1", func(now simtime.Time, _ any) {
+	g.SchedulePeriodic(ns/2, 2*ns, 1, "clock1", func(now simtime.Time) {
 		ticks = append(ticks, tick{1, now})
-	}, nil)
-	g.SchedulePeriodic(ns, 3*ns, 2, "clock2", func(now simtime.Time, _ any) {
+	})
+	g.SchedulePeriodic(ns, 3*ns, 2, "clock2", func(now simtime.Time) {
 		ticks = append(ticks, tick{2, now})
-	}, nil)
-	g.SchedulePeriodic(0, 5*ns/2, 3, "clock3", func(now simtime.Time, _ any) {
+	})
+	g.SchedulePeriodic(0, 5*ns/2, 3, "clock3", func(now simtime.Time) {
 		ticks = append(ticks, tick{3, now})
-	}, nil)
+	})
 	g.RunUntil(6 * ns)
 	want := []tick{
 		{3, 0}, {1, ns / 2}, {2, ns}, {1, 5 * ns / 2}, {3, 5 * ns / 2},
@@ -119,25 +119,25 @@ func TestThreeClockFigure4(t *testing.T) {
 
 func TestScheduleInPast(t *testing.T) {
 	g := NewEngine()
-	g.Schedule(100, 0, "a", func(simtime.Time, any) {}, nil)
+	g.Schedule(100, 0, "a", func(simtime.Time) {})
 	g.Run()
 	defer func() {
 		if recover() == nil {
 			t.Error("scheduling in the past did not panic")
 		}
 	}()
-	g.Schedule(50, 0, "past", func(simtime.Time, any) {}, nil)
+	g.Schedule(50, 0, "past", func(simtime.Time) {})
 }
 
 func TestScheduleFromHandler(t *testing.T) {
 	g := NewEngine()
 	var fired []string
-	g.Schedule(10, 0, "first", func(now simtime.Time, _ any) {
+	g.Schedule(10, 0, "first", func(now simtime.Time) {
 		fired = append(fired, "first")
-		g.Schedule(now+5, 0, "chained", func(simtime.Time, any) {
+		g.Schedule(now+5, 0, "chained", func(simtime.Time) {
 			fired = append(fired, "chained")
-		}, nil)
-	}, nil)
+		})
+	})
 	g.Run()
 	if len(fired) != 2 || fired[1] != "chained" {
 		t.Errorf("fired = %v", fired)
@@ -153,13 +153,13 @@ func TestZeroDelaySelfSchedule(t *testing.T) {
 	g := NewEngine()
 	n := 0
 	var chain Func
-	chain = func(now simtime.Time, _ any) {
+	chain = func(now simtime.Time) {
 		n++
 		if n < 5 {
-			g.Schedule(now, 0, "chain", chain, nil)
+			g.Schedule(now, 0, "chain", chain)
 		}
 	}
-	g.Schedule(0, 0, "chain", chain, nil)
+	g.Schedule(0, 0, "chain", chain)
 	g.Run()
 	if n != 5 {
 		t.Errorf("chain ran %d times, want 5", n)
@@ -169,12 +169,12 @@ func TestZeroDelaySelfSchedule(t *testing.T) {
 func TestStop(t *testing.T) {
 	g := NewEngine()
 	n := 0
-	g.SchedulePeriodic(0, 10, 0, "clk", func(now simtime.Time, _ any) {
+	g.SchedulePeriodic(0, 10, 0, "clk", func(now simtime.Time) {
 		n++
 		if n == 3 {
 			g.Stop()
 		}
-	}, nil)
+	})
 	g.Run()
 	if n != 3 {
 		t.Errorf("ran %d ticks, want 3", n)
@@ -188,12 +188,12 @@ func TestSetPeriod(t *testing.T) {
 	g := NewEngine()
 	var times []simtime.Time
 	var ev *Event
-	ev = g.SchedulePeriodic(0, 10, 0, "clk", func(now simtime.Time, _ any) {
+	ev = g.SchedulePeriodic(0, 10, 0, "clk", func(now simtime.Time) {
 		times = append(times, now)
 		if now == 20 {
 			g.SetPeriod(ev, 25) // frequency scaling kicks in after this tick
 		}
-	}, nil)
+	})
 	g.RunUntil(100)
 	// Note: the tick at 20 was rescheduled (with old period 10) before the
 	// handler ran, so the new period takes effect from the tick at 30.
@@ -211,7 +211,7 @@ func TestSetPeriod(t *testing.T) {
 func TestCancelOneShot(t *testing.T) {
 	g := NewEngine()
 	fired := false
-	ev := g.Schedule(10, 0, "x", func(simtime.Time, any) { fired = true }, nil)
+	ev := g.Schedule(10, 0, "x", func(simtime.Time) { fired = true })
 	g.Cancel(ev)
 	g.Cancel(ev) // double cancel is a no-op
 	g.Run()
@@ -223,9 +223,31 @@ func TestCancelOneShot(t *testing.T) {
 	}
 }
 
+// TestCancelSelfFromHandler: a periodic event may cancel itself while its
+// handler runs (the reschedule has already happened); it must never fire
+// again and the queue entry must be gone.
+func TestCancelSelfFromHandler(t *testing.T) {
+	g := NewEngine()
+	n := 0
+	var ev *Event
+	ev = g.SchedulePeriodic(0, 10, 0, "clk", func(simtime.Time) {
+		n++
+		if n == 2 {
+			g.Cancel(ev)
+		}
+	})
+	g.Run()
+	if n != 2 {
+		t.Errorf("self-canceled periodic fired %d times, want 2", n)
+	}
+	if g.Len() != 0 {
+		t.Errorf("queue holds %d entries after self-cancel, want 0", g.Len())
+	}
+}
+
 func TestRunUntilAdvancesTime(t *testing.T) {
 	g := NewEngine()
-	g.Schedule(10, 0, "x", func(simtime.Time, any) {}, nil)
+	g.Schedule(10, 0, "x", func(simtime.Time) {})
 	end := g.RunUntil(100)
 	if end != 100 || g.Now() != 100 {
 		t.Errorf("RunUntil = %v, Now = %v, want 100", end, g.Now())
@@ -235,9 +257,9 @@ func TestRunUntilAdvancesTime(t *testing.T) {
 func TestRunUntilDoesNotOverrun(t *testing.T) {
 	g := NewEngine()
 	var times []simtime.Time
-	g.SchedulePeriodic(0, 7, 0, "clk", func(now simtime.Time, _ any) {
+	g.SchedulePeriodic(0, 7, 0, "clk", func(now simtime.Time) {
 		times = append(times, now)
-	}, nil)
+	})
 	g.RunUntil(20)
 	if len(times) != 3 { // 0, 7, 14
 		t.Fatalf("ticks %v", times)
@@ -248,29 +270,50 @@ func TestRunUntilDoesNotOverrun(t *testing.T) {
 	}
 }
 
-func TestParamDelivery(t *testing.T) {
+func TestClosureCapture(t *testing.T) {
+	// Event state travels in the closure (the engine stores no parameters).
 	g := NewEngine()
 	got := ""
-	g.Schedule(1, 0, "p", func(_ simtime.Time, param any) { got = param.(string) }, "hello")
+	payload := "hello"
+	g.Schedule(1, 0, "p", func(simtime.Time) { got = payload })
 	g.Run()
 	if got != "hello" {
-		t.Errorf("param = %q", got)
+		t.Errorf("captured = %q", got)
 	}
 }
 
-func TestNextEventTime(t *testing.T) {
+// TestNextEventTimePure pins the accessor contract: NextEventTime reports
+// the earliest pending timestamp without mutating the queue — repeated
+// calls return the same value, Len is untouched, and cancellation of the
+// head (removed eagerly by Cancel itself) exposes the next live event.
+func TestNextEventTimePure(t *testing.T) {
 	g := NewEngine()
 	if g.NextEventTime() != simtime.Never {
 		t.Error("empty queue should report Never")
 	}
-	e1 := g.Schedule(50, 0, "a", func(simtime.Time, any) {}, nil)
-	g.Schedule(70, 0, "b", func(simtime.Time, any) {}, nil)
-	if g.NextEventTime() != 50 {
-		t.Errorf("NextEventTime = %v, want 50", g.NextEventTime())
+	e1 := g.Schedule(50, 0, "a", func(simtime.Time) {})
+	g.Schedule(70, 0, "b", func(simtime.Time) {})
+	for i := 0; i < 3; i++ {
+		if got := g.NextEventTime(); got != 50 {
+			t.Fatalf("call %d: NextEventTime = %v, want 50", i, got)
+		}
+		if g.Len() != 2 {
+			t.Fatalf("call %d mutated the queue: Len = %d, want 2", i, g.Len())
+		}
 	}
 	g.Cancel(e1)
+	if g.Len() != 1 {
+		t.Errorf("Cancel left Len = %d, want 1 (eager removal)", g.Len())
+	}
 	if g.NextEventTime() != 70 {
 		t.Errorf("after cancel NextEventTime = %v, want 70", g.NextEventTime())
+	}
+	if g.Len() != 1 {
+		t.Errorf("NextEventTime mutated the queue after cancel: Len = %d", g.Len())
+	}
+	g.Run()
+	if g.NextEventTime() != simtime.Never {
+		t.Error("drained queue should report Never")
 	}
 }
 
@@ -296,9 +339,9 @@ func TestOrderingProperty(t *testing.T) {
 		for i := 0; i < n; i++ {
 			k := key{whens[i], prios[i], i}
 			keys[i] = k
-			g.Schedule(simtime.Time(k.when), int(k.prio), "k", func(_ simtime.Time, p any) {
-				got = append(got, p.(key))
-			}, k)
+			g.Schedule(simtime.Time(k.when), int(k.prio), "k", func(simtime.Time) {
+				got = append(got, k)
+			})
 		}
 		g.Run()
 		sort.SliceStable(keys, func(a, b int) bool {
@@ -337,7 +380,7 @@ func TestPeriodicCountProperty(t *testing.T) {
 		}
 		g := NewEngine()
 		n := 0
-		g.SchedulePeriodic(start, period, 0, "clk", func(simtime.Time, any) { n++ }, nil)
+		g.SchedulePeriodic(start, period, 0, "clk", func(simtime.Time) { n++ })
 		g.RunUntil(limit)
 		want := int((limit-start)/period) + 1
 		return n == want
@@ -354,12 +397,12 @@ func TestManyRandomEventsDrainInOrder(t *testing.T) {
 	ok := true
 	for i := 0; i < 5000; i++ {
 		when := simtime.Time(rng.Intn(1_000_000))
-		g.Schedule(when, rng.Intn(8), "r", func(now simtime.Time, _ any) {
+		g.Schedule(when, rng.Intn(8), "r", func(now simtime.Time) {
 			if now < last {
 				ok = false
 			}
 			last = now
-		}, nil)
+		})
 	}
 	g.Run()
 	if !ok {
@@ -367,5 +410,38 @@ func TestManyRandomEventsDrainInOrder(t *testing.T) {
 	}
 	if g.Processed() != 5000 {
 		t.Errorf("processed %d, want 5000", g.Processed())
+	}
+}
+
+// TestRandomCancellations interleaves scheduling and canceling under a
+// deterministic RNG and checks only live events fire, in time order.
+func TestRandomCancellations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewEngine()
+	var evs []*Event
+	fired := map[*Event]bool{}
+	for i := 0; i < 2000; i++ {
+		var ev *Event
+		ev = g.Schedule(simtime.Time(rng.Intn(100_000)), rng.Intn(4), "r",
+			func(simtime.Time) { fired[ev] = true })
+		evs = append(evs, ev)
+	}
+	canceled := map[*Event]bool{}
+	for i := 0; i < 800; i++ {
+		ev := evs[rng.Intn(len(evs))]
+		g.Cancel(ev)
+		canceled[ev] = true
+	}
+	g.Run()
+	for _, ev := range evs {
+		if canceled[ev] && fired[ev] {
+			t.Fatal("canceled event fired")
+		}
+		if !canceled[ev] && !fired[ev] {
+			t.Fatal("live event never fired")
+		}
+	}
+	if g.Len() != 0 {
+		t.Errorf("queue not drained: %d left", g.Len())
 	}
 }

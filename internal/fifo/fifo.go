@@ -105,26 +105,67 @@ type entry[T any] struct {
 	visibleAt simtime.Time
 }
 
-// queue is the storage shared by both Link implementations.
+// queue is the storage shared by every Link implementation: a ring buffer
+// sized to the link's rated capacity at construction. Hardware FIFOs are
+// circular buffers of a configured depth, and modeling them the same way
+// makes the per-item path allocation- and copy-free: a dequeue advances the
+// head index instead of shifting the slice, and in steady state the backing
+// array never grows. (The backing array can exceed the rated capacity:
+// StretchLink admits a new transaction while older items await visibility,
+// so its physical occupancy is not bounded by cap; push grows the ring on
+// demand and the occupancy soon restabilizes.)
 type queue[T any] struct {
-	name    string
-	cap     int
-	entries []entry[T]
-	stats   Stats
+	name  string
+	cap   int        // rated capacity (the CanPut bound)
+	buf   []entry[T] // backing ring; len(buf) >= cap
+	head  int        // index of the oldest entry
+	n     int        // occupancy
+	stats Stats
+}
+
+func newQueue[T any](name string, capacity int) queue[T] {
+	return queue[T]{name: name, cap: capacity, buf: make([]entry[T], capacity)}
 }
 
 func (q *queue[T]) Name() string { return q.name }
-func (q *queue[T]) Len() int     { return len(q.entries) }
+func (q *queue[T]) Len() int     { return q.n }
 func (q *queue[T]) Stats() Stats { return q.stats }
 
+// slot maps a logical position (0 = head) to a buffer index.
+func (q *queue[T]) slot(i int) int {
+	i += q.head
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	return i
+}
+
+func (q *queue[T]) headEntry() *entry[T] { return &q.buf[q.head] }
+
 func (q *queue[T]) headVisible(now simtime.Time) bool {
-	return len(q.entries) > 0 && q.entries[0].visibleAt <= now
+	return q.n > 0 && q.buf[q.head].visibleAt <= now
 }
 
 func (q *queue[T]) push(e entry[T]) {
-	q.entries = append(q.entries, e)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.slot(q.n)] = e
+	q.n++
 	q.stats.Puts++
-	q.stats.OccupancySum += uint64(len(q.entries))
+	q.stats.OccupancySum += uint64(q.n)
+}
+
+// grow doubles the backing ring, relinearizing entries so head returns to
+// index 0. Only reachable through links whose physical occupancy can exceed
+// the rated capacity (see the queue comment).
+func (q *queue[T]) grow() {
+	nb := make([]entry[T], 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[q.slot(i)]
+	}
+	q.buf = nb
+	q.head = 0
 }
 
 func (q *queue[T]) pop(now simtime.Time) (T, simtime.Duration, bool) {
@@ -132,41 +173,50 @@ func (q *queue[T]) pop(now simtime.Time) (T, simtime.Duration, bool) {
 	if !q.headVisible(now) {
 		return zero, 0, false
 	}
-	e := q.entries[0]
-	// Shift rather than reslice so the backing array does not grow without
-	// bound over a long simulation.
-	copy(q.entries, q.entries[1:])
-	q.entries = q.entries[:len(q.entries)-1]
+	e := &q.buf[q.head]
+	item := e.item
 	wait := now - e.enqueued
+	*e = entry[T]{} // do not pin the payload
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
 	q.stats.Gets++
 	q.stats.TotalWait += wait
-	q.stats.OccupancySum += uint64(len(q.entries))
-	return e.item, wait, true
+	q.stats.OccupancySum += uint64(q.n)
+	return item, wait, true
 }
 
 func (q *queue[T]) flushYoungerThan(seq isa.Seq) int {
-	return q.flushMatchingEntry(func(e entry[T]) bool { return e.seq > seq })
+	return q.flushMatchingEntry(func(e *entry[T]) bool { return e.seq > seq })
 }
 
 func (q *queue[T]) flushMatching(doomed func(T) bool) int {
-	return q.flushMatchingEntry(func(e entry[T]) bool { return doomed(e.item) })
+	return q.flushMatchingEntry(func(e *entry[T]) bool { return doomed(e.item) })
 }
 
-func (q *queue[T]) flushMatchingEntry(doomed func(entry[T]) bool) int {
-	kept := q.entries[:0]
-	flushed := 0
-	for _, e := range q.entries {
+// flushMatchingEntry compacts survivors toward the head in order. The write
+// position never passes the read position, so the in-place ring compaction
+// is safe; vacated tail slots are zeroed so flushed payloads do not pin
+// memory.
+func (q *queue[T]) flushMatchingEntry(doomed func(*entry[T]) bool) int {
+	kept := 0
+	for i := 0; i < q.n; i++ {
+		e := &q.buf[q.slot(i)]
 		if doomed(e) {
-			flushed++
-		} else {
-			kept = append(kept, e)
+			continue
 		}
+		if w := q.slot(kept); w != q.slot(i) {
+			q.buf[w] = *e
+		}
+		kept++
 	}
-	// Zero the tail so flushed payloads do not pin memory.
-	for i := len(kept); i < len(q.entries); i++ {
-		q.entries[i] = entry[T]{}
+	flushed := q.n - kept
+	for i := kept; i < q.n; i++ {
+		q.buf[q.slot(i)] = entry[T]{}
 	}
-	q.entries = kept
+	q.n = kept
 	q.stats.Flushed += uint64(flushed)
 	return flushed
 }
@@ -184,11 +234,11 @@ func NewSyncLatch[T any](name string, clk *clock.Domain, capacity int) *SyncLatc
 	if capacity <= 0 {
 		panic(fmt.Sprintf("fifo: latch %q capacity %d must be positive", name, capacity))
 	}
-	return &SyncLatch[T]{queue: queue[T]{name: name, cap: capacity}, clk: clk}
+	return &SyncLatch[T]{queue: newQueue[T](name, capacity), clk: clk}
 }
 
 // CanPut implements Link.
-func (l *SyncLatch[T]) CanPut(now simtime.Time) bool { return len(l.entries) < l.cap }
+func (l *SyncLatch[T]) CanPut(now simtime.Time) bool { return l.n < l.cap }
 
 // Put implements Link.
 func (l *SyncLatch[T]) Put(now simtime.Time, seq isa.Seq, item T) {
@@ -207,7 +257,7 @@ func (l *SyncLatch[T]) Peek(now simtime.Time) (T, bool) {
 	if !l.headVisible(now) {
 		return zero, false
 	}
-	return l.entries[0].item, true
+	return l.headEntry().item, true
 }
 
 // Get implements Link.
@@ -246,7 +296,7 @@ func NewMixedClockFIFO[T any](name string, producer, consumer *clock.Domain, cap
 		panic(fmt.Sprintf("fifo: fifo %q requires both clock domains", name))
 	}
 	return &MixedClockFIFO[T]{
-		queue:     queue[T]{name: name, cap: capacity},
+		queue:     newQueue[T](name, capacity),
 		producer:  producer,
 		consumer:  consumer,
 		syncEdges: int64(syncEdges),
@@ -265,7 +315,7 @@ func (f *MixedClockFIFO[T]) perceivedLen(now simtime.Time) int {
 		}
 	}
 	f.freeAt = kept
-	return len(f.entries) + len(f.freeAt)
+	return f.n + len(f.freeAt)
 }
 
 // CanPut implements Link.
@@ -295,7 +345,7 @@ func (f *MixedClockFIFO[T]) Peek(now simtime.Time) (T, bool) {
 	if !f.headVisible(now) {
 		return zero, false
 	}
-	return f.entries[0].item, true
+	return f.headEntry().item, true
 }
 
 // Get implements Link.

@@ -50,7 +50,7 @@ func NewStretchLink[T any](name string, producer, consumer *clock.Domain, handsh
 		panic(fmt.Sprintf("fifo: stretch link %q requires both clock domains", name))
 	}
 	return &StretchLink[T]{
-		queue:     queue[T]{name: name, cap: width},
+		queue:     newQueue[T](name, width),
 		producer:  producer,
 		consumer:  consumer,
 		handshake: handshake,
@@ -64,7 +64,7 @@ func (s *StretchLink[T]) CanPut(now simtime.Time) bool {
 	if now < s.busyUntil {
 		return s.inFlight > 0 && s.inFlight < s.width
 	}
-	return len(s.entries) < s.cap
+	return s.n < s.cap
 }
 
 // Put implements Link. The first item of a transaction starts the
@@ -97,7 +97,7 @@ func (s *StretchLink[T]) Peek(now simtime.Time) (T, bool) {
 	if !s.headVisible(now) {
 		return zero, false
 	}
-	return s.entries[0].item, true
+	return s.headEntry().item, true
 }
 
 // Get implements Link.
@@ -120,7 +120,7 @@ func (s *StretchLink[T]) FlushMatching(doomed func(T) bool) int {
 }
 
 func (s *StretchLink[T]) resetIfEmpty() {
-	if len(s.entries) == 0 {
+	if s.n == 0 {
 		s.busyUntil = 0
 		s.inFlight = 0
 	}

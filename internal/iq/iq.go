@@ -32,12 +32,13 @@ type Queue struct {
 	occTicks uint64
 }
 
-// New builds an issue queue with the given capacity.
+// New builds an issue queue with the given capacity. The backing array is
+// sized once here; no later operation allocates.
 func New(name string, capacity int) *Queue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("iq: queue %q capacity %d must be positive", name, capacity))
 	}
-	return &Queue{name: name, cap: capacity}
+	return &Queue{name: name, cap: capacity, entries: make([]*isa.Instr, 0, capacity)}
 }
 
 // Name returns the queue's diagnostic name.
@@ -61,19 +62,22 @@ func (q *Queue) Insert(in *isa.Instr) {
 	q.inserts++
 }
 
-// SelectReady removes and returns up to width instructions whose operands
-// are all ready, oldest (lowest sequence number) first. Entries are kept in
-// insertion order, which is program order for a single dispatcher, so a
-// simple scan yields oldest-first selection.
-func (q *Queue) SelectReady(width int, ready ReadyFunc) []*isa.Instr {
+// SelectReady removes up to width instructions whose operands are all
+// ready, oldest (lowest sequence number) first, appending them to dst and
+// returning the extended slice. Entries are kept in insertion order, which
+// is program order for a single dispatcher, so a simple scan yields
+// oldest-first selection. Passing a reused scratch slice as dst keeps the
+// per-cycle select allocation-free; nil is also accepted.
+func (q *Queue) SelectReady(dst []*isa.Instr, width int, ready ReadyFunc) []*isa.Instr {
 	if width <= 0 {
-		return nil
+		return dst
 	}
-	var out []*isa.Instr
+	taken := 0
 	kept := q.entries[:0]
 	for _, in := range q.entries {
-		if len(out) < width && ready(in.PhysSrc[0]) && ready(in.PhysSrc[1]) {
-			out = append(out, in)
+		if taken < width && ready(in.PhysSrc[0]) && ready(in.PhysSrc[1]) {
+			dst = append(dst, in)
+			taken++
 			continue
 		}
 		kept = append(kept, in)
@@ -82,24 +86,26 @@ func (q *Queue) SelectReady(width int, ready ReadyFunc) []*isa.Instr {
 		q.entries[i] = nil
 	}
 	q.entries = kept
-	q.issues += uint64(len(out))
-	return out
+	q.issues += uint64(taken)
+	return dst
 }
 
-// Scan visits entries oldest-first, removing and returning those for which
-// take reports true, up to width of them. The callback sees every entry in
-// program order (including ones it declines), so it can maintain ordering
-// state such as "an older store has not yet issued" — the hook the memory
-// cluster's disambiguation policies use.
-func (q *Queue) Scan(width int, take func(*isa.Instr) bool) []*isa.Instr {
+// Scan visits entries oldest-first, removing those for which take reports
+// true, up to width of them, appending them to dst and returning the
+// extended slice. The callback sees every entry in program order (including
+// ones it declines), so it can maintain ordering state such as "an older
+// store has not yet issued" — the hook the memory cluster's disambiguation
+// policies use.
+func (q *Queue) Scan(dst []*isa.Instr, width int, take func(*isa.Instr) bool) []*isa.Instr {
 	if width <= 0 {
-		return nil
+		return dst
 	}
-	var out []*isa.Instr
+	taken := 0
 	kept := q.entries[:0]
 	for _, in := range q.entries {
-		if len(out) < width && take(in) {
-			out = append(out, in)
+		if taken < width && take(in) {
+			dst = append(dst, in)
+			taken++
 			continue
 		}
 		kept = append(kept, in)
@@ -108,8 +114,8 @@ func (q *Queue) Scan(width int, take func(*isa.Instr) bool) []*isa.Instr {
 		q.entries[i] = nil
 	}
 	q.entries = kept
-	q.issues += uint64(len(out))
-	return out
+	q.issues += uint64(taken)
+	return dst
 }
 
 // FlushWrongPath removes entries matching the squash predicate and returns

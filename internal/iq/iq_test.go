@@ -20,7 +20,7 @@ func TestInsertSelect(t *testing.T) {
 	q := New("int", 4)
 	q.Insert(mk(1))
 	q.Insert(mk(2))
-	got := q.SelectReady(4, allReady)
+	got := q.SelectReady(nil, 4, allReady)
 	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
 		t.Errorf("selected %v", got)
 	}
@@ -34,7 +34,7 @@ func TestOldestFirstSelection(t *testing.T) {
 	for i := 1; i <= 6; i++ {
 		q.Insert(mk(isa.Seq(i)))
 	}
-	got := q.SelectReady(2, allReady)
+	got := q.SelectReady(nil, 2, allReady)
 	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
 		t.Errorf("width-limited selection picked %v, want oldest two", got)
 	}
@@ -49,12 +49,12 @@ func TestReadinessGating(t *testing.T) {
 	q.Insert(mk(2, -1, -1)) // no operands: always ready
 	q.Insert(mk(3, 11))     // waits on phys 11
 	ready := func(p int) bool { return p < 0 || p == 11 }
-	got := q.SelectReady(4, ready)
+	got := q.SelectReady(nil, 4, ready)
 	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
 		t.Errorf("selected %v, want seqs 2,3", got)
 	}
 	// Entry 1 remains, preserving order for later selection.
-	got = q.SelectReady(4, allReady)
+	got = q.SelectReady(nil, 4, allReady)
 	if len(got) != 1 || got[0].Seq != 1 {
 		t.Errorf("leftover = %v", got)
 	}
@@ -64,7 +64,7 @@ func TestBothOperandsMustBeReady(t *testing.T) {
 	q := New("int", 4)
 	q.Insert(mk(1, 5, 6))
 	ready := func(p int) bool { return p != 6 }
-	if got := q.SelectReady(4, ready); len(got) != 0 {
+	if got := q.SelectReady(nil, 4, ready); len(got) != 0 {
 		t.Errorf("selected %v with an unready operand", got)
 	}
 }
@@ -94,7 +94,7 @@ func TestFlushWrongPath(t *testing.T) {
 	if n != 3 || q.Len() != 3 {
 		t.Errorf("flushed %d, len %d", n, q.Len())
 	}
-	got := q.SelectReady(8, allReady)
+	got := q.SelectReady(nil, 8, allReady)
 	for i, in := range got {
 		if in.Seq != isa.Seq(i+1) {
 			t.Errorf("survivor %d has seq %d", i, in.Seq)
@@ -107,7 +107,7 @@ func TestStatsAndOccupancy(t *testing.T) {
 	q.Insert(mk(1))
 	q.Insert(mk(2))
 	q.Tick() // occupancy 2
-	q.SelectReady(1, allReady)
+	q.SelectReady(nil, 1, allReady)
 	q.Tick() // occupancy 1
 	st := q.Stats()
 	if st.Inserts != 2 || st.Issues != 1 {
@@ -130,7 +130,7 @@ func TestScanOrderingState(t *testing.T) {
 	q.Insert(mk2(3, isa.ClassLoad))
 	// Policy: loads after an unready store stay queued.
 	storeSeen := false
-	got := q.Scan(4, func(in *isa.Instr) bool {
+	got := q.Scan(nil, 4, func(in *isa.Instr) bool {
 		if in.Class == isa.ClassStore {
 			storeSeen = true
 			return false // store not ready
@@ -144,7 +144,7 @@ func TestScanOrderingState(t *testing.T) {
 		t.Errorf("len = %d, want 2", q.Len())
 	}
 	// Remaining entries stay in program order.
-	rest := q.Scan(4, func(*isa.Instr) bool { return true })
+	rest := q.Scan(nil, 4, func(*isa.Instr) bool { return true })
 	if len(rest) != 2 || rest[0].Seq != 2 || rest[1].Seq != 3 {
 		t.Errorf("remaining = %v", rest)
 	}
@@ -155,11 +155,11 @@ func TestScanWidthLimit(t *testing.T) {
 	for i := 1; i <= 5; i++ {
 		q.Insert(mk(isa.Seq(i)))
 	}
-	got := q.Scan(2, func(*isa.Instr) bool { return true })
+	got := q.Scan(nil, 2, func(*isa.Instr) bool { return true })
 	if len(got) != 2 || got[0].Seq != 1 {
 		t.Errorf("scan = %v", got)
 	}
-	if got := q.Scan(0, func(*isa.Instr) bool { return true }); got != nil {
+	if got := q.Scan(nil, 0, func(*isa.Instr) bool { return true }); got != nil {
 		t.Errorf("width 0 scan = %v", got)
 	}
 }
@@ -167,7 +167,7 @@ func TestScanWidthLimit(t *testing.T) {
 func TestZeroWidthSelection(t *testing.T) {
 	q := New("int", 4)
 	q.Insert(mk(1))
-	if got := q.SelectReady(0, allReady); got != nil {
+	if got := q.SelectReady(nil, 0, allReady); got != nil {
 		t.Errorf("width 0 selected %v", got)
 	}
 }

@@ -12,6 +12,32 @@
 // the lifecycle timestamps (fetch, decode, dispatch, issue, complete,
 // commit) and the accumulated FIFO residency needed for the paper's slip
 // analysis (Figures 6 and 7).
+//
+// # Instruction arena
+//
+// Dynamic instructions are the simulator's only high-rate heap traffic: one
+// record per fetched instruction, including the wrong-path junk discarded at
+// every misprediction. Pool is a chunked arena with a free list that removes
+// that traffic from the garbage collector. The lifecycle is:
+//
+//   - allocate at fetch: Pool.Get returns a fully re-initialized *Instr
+//     (identical to NewInstr) holding one reference;
+//   - the pipeline takes a second reference when the instruction enters the
+//     reorder buffer, because from that point the record lives in two places
+//     at once (the ROB and whichever queue/link/issue structure it currently
+//     occupies);
+//   - free at commit and at squash: each holder calls Pool.Release as the
+//     instruction leaves it — the ROB at commit or squash-undo, the flow
+//     structures when a doomed entry is flushed or dropped — and the record
+//     returns to the free list only when the last reference is gone, so a
+//     stale *Instr can never be observed through a FIFO, issue queue or ROB.
+//
+// A generation counter increments on every recycle; Instr.Generation lets
+// tests (and debug assertions) detect a pointer held across a free. Callers
+// that intentionally retain records past commit — an OnCommit hook that
+// stores *Instr, for example — must opt out of pooling entirely (the
+// pipeline's RetainInstrs), falling back to NewInstr's ordinary heap
+// allocations; the two allocation paths produce identical records.
 package isa
 
 import (
@@ -214,11 +240,23 @@ type Instr struct {
 	// DCacheHit / L2Hit record the memory system's verdict for loads.
 	DCacheHit bool
 	L2Hit     bool
+
+	// Arena bookkeeping (see the package comment): the number of pipeline
+	// structures referencing this record, and the recycle generation.
+	refs int32
+	gen  uint32
 }
 
-// NewInstr returns a blank instruction with timestamps cleared.
-func NewInstr(seq Seq, pc uint64, class Class) *Instr {
-	return &Instr{
+// Generation returns the record's recycle count: it increments each time the
+// instruction returns to its Pool, so a caller that cached the value at hand-
+// off can detect a pointer held across a free.
+func (in *Instr) Generation() uint32 { return in.gen }
+
+// reset reinitializes every simulation field, preserving the arena
+// bookkeeping. It is the single definition of "blank instruction" shared by
+// NewInstr and Pool.Get.
+func (in *Instr) reset(seq Seq, pc uint64, class Class) {
+	*in = Instr{
 		Seq:          seq,
 		PC:           pc,
 		Class:        class,
@@ -232,7 +270,16 @@ func NewInstr(seq Seq, pc uint64, class Class) *Instr {
 		IssueTime:    simtime.Never,
 		CompleteTime: simtime.Never,
 		CommitTime:   simtime.Never,
+		refs:         in.refs,
+		gen:          in.gen,
 	}
+}
+
+// NewInstr returns a blank instruction with timestamps cleared.
+func NewInstr(seq Seq, pc uint64, class Class) *Instr {
+	in := &Instr{}
+	in.reset(seq, pc, class)
+	return in
 }
 
 // Slip returns the fetch-to-commit latency of a committed instruction: the

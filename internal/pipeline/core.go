@@ -57,6 +57,12 @@ type Core struct {
 	rat  *rename.Table
 	rob  *rob.ROB
 
+	// pool is the instruction arena (see the isa package comment): records
+	// are allocated at fetch and recycled when the last pipeline structure
+	// releases them. nil when the source cannot pool or RetainInstrs opted
+	// out, in which case records come from the heap and are never recycled.
+	pool *isa.Pool
+
 	clocks [NumDomains]*clock.Domain // base: all entries alias one domain
 
 	// Links. decodeToRename is always a same-domain pipe latch; the rest are
@@ -75,6 +81,31 @@ type Core struct {
 	readyAt [NumDomains][]simtime.Time
 
 	exec [NumDomains]*execUnit // int/fp/mem slots used
+
+	// Precomputed link groups, so the per-cycle stages never build slices:
+	// wakeIn[d] lists the wakeup links domain d drains; wakeOut[d] lists the
+	// links a result computed in d must traverse (for DomMem the destination
+	// register file picks between wakeOutMemFP and wakeOut[DomMem]).
+	wakeIn    [NumDomains][]fifo.Link[wakeTag]
+	wakeOut   [NumDomains][]fifo.Link[wakeTag]
+	wakeOutFP []fifo.Link[wakeTag] // DomMem results destined for the FP file
+
+	// Per-cycle scratch, reused so the steady-state hot path is
+	// allocation-free.
+	selScratch []*isa.Instr // issue selection output
+	readyNow   simtime.Time // observation instant for the ready closures
+	readyFn    [NumDomains]func(int) bool
+	memSel     struct { // selectMemOps walk state
+		pendingStores int
+		pendingAddrs  []uint64
+	}
+	memTake func(*isa.Instr) bool // prebuilt Scan callback for selectMemOps
+
+	// Prebuilt squash callbacks (closures allocated once, not per recovery).
+	doomedFn       func(*isa.Instr) bool // pure doomed predicate
+	doomedFlush    func(*isa.Instr) bool // doomed → release + discard
+	doomedTagFlush func(wakeTag) bool
+	undoRelease    func(*isa.Instr) // ROB squash: rename undo + release
 
 	// Fetch state.
 	nextSeq       isa.Seq
@@ -113,11 +144,55 @@ type Core struct {
 // OnCommit registers a hook invoked for every committed instruction, after
 // its timestamps are final. Used for tracing and invariant checking; must
 // be set before Run.
+//
+// The *Instr is recycled into the core's arena after the hook returns: the
+// hook may read every field but must not retain the pointer past the call.
+// A hook that stores *Instr values must call RetainInstrs first.
 func (c *Core) OnCommit(fn func(*isa.Instr)) {
 	if c.started {
 		panic("pipeline: OnCommit after Run")
 	}
 	c.commitHook = fn
+}
+
+// RetainInstrs disables arena recycling for this core: every instruction
+// record is heap-allocated and never reused, so an OnCommit hook may keep
+// *Instr values alive after the hook returns. The trade-off is the garbage-
+// collector traffic the arena exists to remove; results are identical either
+// way. Must be called before Run.
+func (c *Core) RetainInstrs() {
+	if c.started {
+		panic("pipeline: RetainInstrs after Run")
+	}
+	c.pool = nil
+	if pu, ok := c.gen.(workload.PoolUser); ok {
+		pu.UsePool(nil)
+	}
+}
+
+// PoolStats reports the instruction arena's counters (zero after
+// RetainInstrs or with a non-pooling source).
+func (c *Core) PoolStats() isa.PoolStats {
+	if c.pool == nil {
+		return isa.PoolStats{}
+	}
+	return c.pool.Stats()
+}
+
+// retainInstr adds an arena reference: the record is entering a second
+// pipeline structure (the ROB, alongside its current queue or link).
+func (c *Core) retainInstr(in *isa.Instr) {
+	if c.pool != nil {
+		c.pool.Retain(in)
+	}
+}
+
+// releaseInstr drops one arena reference; the last holder's release recycles
+// the record.
+func (c *Core) releaseInstr(in *isa.Instr) {
+	if c.pool != nil {
+		c.pool.Release(in)
+	}
 }
 
 // NewCore builds a machine for the given configuration and benchmark,
@@ -153,6 +228,17 @@ func NewCoreWithSource(cfg Config, name string, src workload.InstrSource) *Core 
 		c.l1iLineShift++
 	}
 
+	// Install the instruction arena when the source can allocate from it;
+	// sources outside this package's contract (UsePool returning false
+	// covers wrappers around them) keep heap allocation and the core then
+	// must not recycle — it cannot know where records came from.
+	if pu, ok := src.(workload.PoolUser); ok {
+		pool := isa.NewPool()
+		if pu.UsePool(pool) {
+			c.pool = pool
+		}
+	}
+
 	c.buildClocks()
 	c.buildLinks()
 
@@ -165,7 +251,81 @@ func NewCoreWithSource(cfg Config, name string, src workload.InstrSource) *Core 
 		fuBusyUntil: make([]simtime.Time, cfg.FPIssueWidth)}
 	c.exec[DomMem] = &execUnit{dom: DomMem, queue: iq.New("mem-iq", cfg.MemIQSize),
 		fuBusyUntil: make([]simtime.Time, cfg.MemIssueWidth)}
+
+	c.buildScratch()
 	return c
+}
+
+// buildScratch precomputes the per-cycle link groups, ready closures and
+// squash callbacks, and sizes the reusable selection buffers — everything
+// the steady-state loop would otherwise allocate.
+func (c *Core) buildScratch() {
+	c.wakeIn[DomInt] = []fifo.Link[wakeTag]{c.wakeMemToInt}
+	c.wakeIn[DomFP] = []fifo.Link[wakeTag]{c.wakeMemToFP}
+	c.wakeIn[DomMem] = []fifo.Link[wakeTag]{c.wakeIntToMem, c.wakeFPToMem}
+	c.wakeOut[DomInt] = []fifo.Link[wakeTag]{c.wakeIntToMem}
+	c.wakeOut[DomFP] = []fifo.Link[wakeTag]{c.wakeFPToMem}
+	c.wakeOut[DomMem] = []fifo.Link[wakeTag]{c.wakeMemToInt}
+	c.wakeOutFP = []fifo.Link[wakeTag]{c.wakeMemToFP}
+
+	maxWidth := c.cfg.IntIssueWidth
+	if c.cfg.FPIssueWidth > maxWidth {
+		maxWidth = c.cfg.FPIssueWidth
+	}
+	if c.cfg.MemIssueWidth > maxWidth {
+		maxWidth = c.cfg.MemIssueWidth
+	}
+	c.selScratch = make([]*isa.Instr, 0, maxWidth)
+	c.memSel.pendingAddrs = make([]uint64, 0, c.cfg.MemIQSize)
+
+	for _, d := range execDomains {
+		d := d
+		c.readyFn[d] = func(p int) bool { return p < 0 || c.readyAt[d][p] <= c.readyNow }
+	}
+	memReady := c.readyFn[DomMem]
+	c.memTake = func(in *isa.Instr) bool {
+		opsReady := memReady(in.PhysSrc[0]) && memReady(in.PhysSrc[1])
+		if in.Class == isa.ClassStore {
+			if opsReady {
+				return true // store issues; its address is now known
+			}
+			c.memSel.pendingStores++
+			c.memSel.pendingAddrs = append(c.memSel.pendingAddrs, in.Addr&^7)
+			return false
+		}
+		if !opsReady {
+			return false
+		}
+		switch c.cfg.MemDisambig {
+		case DisambigConservative:
+			if c.memSel.pendingStores > 0 {
+				c.stats.LoadsBlockedByStores++
+				return false
+			}
+		case DisambigAddrMatch:
+			for _, a := range c.memSel.pendingAddrs {
+				if a == in.Addr&^7 {
+					c.stats.LoadsBlockedByStores++
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	c.doomedFn = c.doomed
+	c.doomedFlush = func(in *isa.Instr) bool {
+		if c.doomed(in) {
+			c.releaseInstr(in)
+			return true
+		}
+		return false
+	}
+	c.doomedTagFlush = c.doomedTag
+	c.undoRelease = func(in *isa.Instr) {
+		c.rat.Undo(in)
+		c.releaseInstr(in)
+	}
 }
 
 // buildClocks creates the clock domains, applies slowdowns and (optionally)
@@ -314,22 +474,23 @@ func gridBlock(d DomainID) power.Block {
 	}
 }
 
-// activityBlocks lists the non-clock blocks owned by each domain.
+// activityBlocksTab lists the non-clock blocks owned by each domain,
+// precomputed at package level so ending a cycle allocates nothing.
+var activityBlocksTab = [NumDomains][]power.Block{
+	DomFetch:  {power.BlockICache, power.BlockBPred},
+	DomDecode: {power.BlockRename, power.BlockRegfile},
+	DomInt:    {power.BlockIntIQ, power.BlockALUs},
+	DomFP:     {power.BlockFPIQ, power.BlockFPALUs},
+	DomMem:    {power.BlockMemIQ, power.BlockDCache, power.BlockL2},
+}
+
+// activityBlocks lists the non-clock blocks owned by a domain. The returned
+// slice is shared; callers must not mutate it.
 func activityBlocks(d DomainID) []power.Block {
-	switch d {
-	case DomFetch:
-		return []power.Block{power.BlockICache, power.BlockBPred}
-	case DomDecode:
-		return []power.Block{power.BlockRename, power.BlockRegfile}
-	case DomInt:
-		return []power.Block{power.BlockIntIQ, power.BlockALUs}
-	case DomFP:
-		return []power.Block{power.BlockFPIQ, power.BlockFPALUs}
-	case DomMem:
-		return []power.Block{power.BlockMemIQ, power.BlockDCache, power.BlockL2}
-	default:
+	if int(d) >= len(activityBlocksTab) {
 		panic(fmt.Sprintf("pipeline: unknown domain %v", d))
 	}
+	return activityBlocksTab[d]
 }
 
 // postSquash is called by the integer domain when a mispredicted
@@ -381,26 +542,26 @@ func (c *Core) doObserve(d DomainID, now simtime.Time) {
 		c.lastFetchLine = ^uint64(0)
 		c.icacheStallTo = 0
 	case DomDecode:
-		c.fetchToDecode.FlushMatching(c.doomed)
-		c.decodeToRename.FlushMatching(c.doomed)
+		c.fetchToDecode.FlushMatching(c.doomedFlush)
+		c.decodeToRename.FlushMatching(c.doomedFlush)
 		for _, ed := range execDomains {
-			c.complete[ed].FlushMatching(c.doomed)
+			c.complete[ed].FlushMatching(c.doomedFlush)
 		}
-		n := c.rob.SquashTail(c.doomed, func(in *isa.Instr) { c.rat.Undo(in) })
+		n := c.rob.SquashTail(c.doomedFn, c.undoRelease)
 		c.stats.SquashedROB += uint64(n)
 	case DomInt:
-		c.exec[DomInt].queue.FlushWrongPath(c.doomed)
-		c.dispatch[DomInt].FlushMatching(c.doomed)
-		c.wakeMemToInt.FlushMatching(c.doomedTag)
+		c.exec[DomInt].queue.FlushWrongPath(c.doomedFlush)
+		c.dispatch[DomInt].FlushMatching(c.doomedFlush)
+		c.wakeMemToInt.FlushMatching(c.doomedTagFlush)
 	case DomFP:
-		c.exec[DomFP].queue.FlushWrongPath(c.doomed)
-		c.dispatch[DomFP].FlushMatching(c.doomed)
-		c.wakeMemToFP.FlushMatching(c.doomedTag)
+		c.exec[DomFP].queue.FlushWrongPath(c.doomedFlush)
+		c.dispatch[DomFP].FlushMatching(c.doomedFlush)
+		c.wakeMemToFP.FlushMatching(c.doomedTagFlush)
 	case DomMem:
-		c.exec[DomMem].queue.FlushWrongPath(c.doomed)
-		c.dispatch[DomMem].FlushMatching(c.doomed)
-		c.wakeIntToMem.FlushMatching(c.doomedTag)
-		c.wakeFPToMem.FlushMatching(c.doomedTag)
+		c.exec[DomMem].queue.FlushWrongPath(c.doomedFlush)
+		c.dispatch[DomMem].FlushMatching(c.doomedFlush)
+		c.wakeIntToMem.FlushMatching(c.doomedTagFlush)
+		c.wakeFPToMem.FlushMatching(c.doomedTagFlush)
 	}
 	for i := range c.sq.observed {
 		if !c.sq.observed[i] {
@@ -461,16 +622,14 @@ func (c *Core) Run(n uint64) Stats {
 
 	if c.cfg.Kind == Base {
 		d := c.clocks[0]
-		c.eng.SchedulePeriodic(d.Phase(), d.Period(), 0, "core-clock",
-			func(now simtime.Time, _ any) { c.tickBase(now) }, nil)
+		c.eng.SchedulePeriodic(d.Phase(), d.Period(), 0, "core-clock", c.tickBase)
 	} else {
 		// Priorities order simultaneous edges commit-side first; any fixed
 		// order is legal for truly asynchronous clocks.
 		prio := [NumDomains]int{DomDecode: 0, DomInt: 1, DomFP: 2, DomMem: 3, DomFetch: 4}
 		for d := DomainID(0); d < NumDomains; d++ {
-			h := c.tickHandler(d)
 			c.tickEvents[d] = c.eng.SchedulePeriodic(c.clocks[d].Phase(), c.clocks[d].Period(), prio[d],
-				d.String()+"-clock", func(now simtime.Time, _ any) { h(now) }, nil)
+				d.String()+"-clock", c.tickHandler(d))
 		}
 	}
 

@@ -196,8 +196,7 @@ func (c *Core) maybeRetune(d DomainID, now simtime.Time) {
 	// with the previous period when it fired.
 	if ev := c.tickEvents[d]; ev != nil {
 		c.eng.Cancel(ev)
-		handler := c.tickHandler(d)
 		c.tickEvents[d] = c.eng.SchedulePeriodic(now+c.clocks[d].Period(), c.clocks[d].Period(),
-			ev.Priority(), ev.Name(), func(t simtime.Time, _ any) { handler(t) }, nil)
+			ev.Priority(), ev.Name(), c.tickHandler(d))
 	}
 }

@@ -106,6 +106,7 @@ func (c *Core) stageDecode(now simtime.Time) {
 		}
 		in, wait, _ := c.fetchToDecode.Get(now)
 		if c.doomed(in) {
+			c.releaseInstr(in)
 			continue
 		}
 		in.DecodeTime = now
@@ -126,6 +127,7 @@ func (c *Core) stageRenameDispatch(now simtime.Time) {
 		}
 		if c.doomed(in) {
 			c.decodeToRename.Get(now)
+			c.releaseInstr(in)
 			continue
 		}
 		if c.rob.Full() {
@@ -149,6 +151,10 @@ func (c *Core) stageRenameDispatch(now simtime.Time) {
 		if in.PhysDest >= 0 {
 			c.resetReady(in.PhysDest)
 		}
+		// The record now lives in two structures at once: the ROB (until
+		// commit or squash) and the dispatch path. Take the second arena
+		// reference for the ROB's hold.
+		c.retainInstr(in)
 		c.rob.Push(in)
 		link.Put(now, in.Seq, in)
 	}
@@ -192,6 +198,10 @@ func (c *Core) stageCommit(now simtime.Time) {
 		if c.commitHook != nil {
 			c.commitHook(h)
 		}
+		// Retirement drops the last reference (the completion drain released
+		// the flow side when it marked the instruction done): the record
+		// returns to the arena for the fetch stage to reuse.
+		c.releaseInstr(h)
 		if c.stats.Committed >= c.targetCommits {
 			c.done = true
 			c.eng.Stop()
@@ -211,31 +221,34 @@ func (c *Core) stageDrainCompletions(now simtime.Time) {
 			}
 			in, wait, _ := link.Get(now)
 			if c.doomed(in) {
+				c.releaseInstr(in)
 				continue
 			}
 			in.Done = true
 			in.FIFOTime += wait
+			// The completion left the flow structures; only the ROB still
+			// holds the record.
+			c.releaseInstr(in)
 		}
 	}
 }
 
 // wakeLinksFor returns the wakeup links a completed result must traverse to
-// reach its remote consumers. Same-domain consumers are woken directly at
-// issue time (back-to-back issue within a cluster, §4.1).
+// reach its remote consumers (precomputed shared slices; callers must not
+// mutate). Same-domain consumers are woken directly at issue time
+// (back-to-back issue within a cluster, §4.1).
 func (c *Core) wakeLinksFor(d DomainID, in *isa.Instr) []fifo.Link[wakeTag] {
 	if in.PhysDest < 0 {
 		return nil
 	}
 	switch d {
-	case DomInt:
-		return []fifo.Link[wakeTag]{c.wakeIntToMem}
-	case DomFP:
-		return []fifo.Link[wakeTag]{c.wakeFPToMem}
+	case DomInt, DomFP:
+		return c.wakeOut[d]
 	case DomMem:
 		if in.Dest.File == isa.RegFP {
-			return []fifo.Link[wakeTag]{c.wakeMemToFP}
+			return c.wakeOutFP
 		}
-		return []fifo.Link[wakeTag]{c.wakeMemToInt}
+		return c.wakeOut[DomMem]
 	default:
 		return nil
 	}
@@ -255,7 +268,8 @@ func (c *Core) stageComplete(d DomainID, now simtime.Time) {
 		}
 		in := op.in
 		if c.doomed(in) {
-			continue // squashed in flight; result discarded
+			c.releaseInstr(in) // squashed in flight; result discarded
+			continue
 		}
 		wls := c.wakeLinksFor(d, in)
 		blocked := !c.complete[d].CanPut(now)
@@ -286,16 +300,7 @@ func (c *Core) stageComplete(d DomainID, now simtime.Time) {
 // stageDrainWakeups delivers remote results into this domain's operand
 // readiness table.
 func (c *Core) stageDrainWakeups(d DomainID, now simtime.Time) {
-	var links []fifo.Link[wakeTag]
-	switch d {
-	case DomInt:
-		links = []fifo.Link[wakeTag]{c.wakeMemToInt}
-	case DomFP:
-		links = []fifo.Link[wakeTag]{c.wakeMemToFP}
-	case DomMem:
-		links = []fifo.Link[wakeTag]{c.wakeIntToMem, c.wakeFPToMem}
-	}
-	for _, l := range links {
+	for _, l := range c.wakeIn[d] {
 		for {
 			if _, ok := l.Peek(now); !ok {
 				break
@@ -321,6 +326,7 @@ func (c *Core) stageDrainDispatch(d DomainID, now simtime.Time) {
 		}
 		in, wait, _ := c.dispatch[d].Get(now)
 		if c.doomed(in) {
+			c.releaseInstr(in)
 			continue
 		}
 		in.DispatchTime = now
@@ -333,39 +339,13 @@ func (c *Core) stageDrainDispatch(d DomainID, now simtime.Time) {
 // selectMemOps applies the configured load/store ordering policy while
 // selecting from the memory issue queue: program order is walked once,
 // tracking older stores whose addresses are still unknown (their operands
-// not ready), and loads that conflict under the policy stay queued.
-func (c *Core) selectMemOps(u *execUnit, width int, ready func(int) bool) []*isa.Instr {
-	pendingStores := 0
-	var pendingAddrs []uint64
-	return u.queue.Scan(width, func(in *isa.Instr) bool {
-		opsReady := ready(in.PhysSrc[0]) && ready(in.PhysSrc[1])
-		if in.Class == isa.ClassStore {
-			if opsReady {
-				return true // store issues; its address is now known
-			}
-			pendingStores++
-			pendingAddrs = append(pendingAddrs, in.Addr&^7)
-			return false
-		}
-		if !opsReady {
-			return false
-		}
-		switch c.cfg.MemDisambig {
-		case DisambigConservative:
-			if pendingStores > 0 {
-				c.stats.LoadsBlockedByStores++
-				return false
-			}
-		case DisambigAddrMatch:
-			for _, a := range pendingAddrs {
-				if a == in.Addr&^7 {
-					c.stats.LoadsBlockedByStores++
-					return false
-				}
-			}
-		}
-		return true
-	})
+// not ready), and loads that conflict under the policy stay queued. The walk
+// state and the callback itself live on the Core (reset here, built once in
+// buildScratch) so a steady-state cycle performs no allocation.
+func (c *Core) selectMemOps(dst []*isa.Instr, u *execUnit, width int) []*isa.Instr {
+	c.memSel.pendingStores = 0
+	c.memSel.pendingAddrs = c.memSel.pendingAddrs[:0]
+	return u.queue.Scan(dst, width, c.memTake)
 }
 
 // stageIssue models pipe stages 5-6: select ready instructions oldest-first,
@@ -384,12 +364,12 @@ func (c *Core) stageIssue(d DomainID, now simtime.Time) {
 	if free == 0 {
 		return
 	}
-	ready := func(p int) bool { return p < 0 || c.readyAt[d][p] <= now }
-	var sel []*isa.Instr
+	c.readyNow = now // observation instant for the prebuilt ready closures
+	sel := c.selScratch[:0]
 	if d == DomMem && c.cfg.MemDisambig != DisambigPerfect {
-		sel = c.selectMemOps(u, free, ready)
+		sel = c.selectMemOps(sel, u, free)
 	} else {
-		sel = u.queue.SelectReady(free, ready)
+		sel = u.queue.SelectReady(sel, free, c.readyFn[d])
 	}
 	period := c.clocks[d].Period()
 	for _, in := range sel {

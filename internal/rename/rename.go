@@ -40,7 +40,13 @@ func New(numInt, numFP int) *Table {
 		panic(fmt.Sprintf("rename: need > %d physical registers per file, got %d int / %d fp",
 			isa.NumArchRegs, numInt, numFP))
 	}
-	t := &Table{numInt: numInt, numFP: numFP}
+	t := &Table{
+		numInt: numInt, numFP: numFP,
+		// Free-list occupancy can never exceed the rename-register count, so
+		// sizing the backing arrays once keeps Commit/Undo allocation-free.
+		freeInt: make([]int, 0, numInt-isa.NumArchRegs),
+		freeFP:  make([]int, 0, numFP-isa.NumArchRegs),
+	}
 	for i := 0; i < isa.NumArchRegs; i++ {
 		t.intMap[i] = i
 		t.fpMap[i] = numInt + i

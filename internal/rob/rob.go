@@ -11,10 +11,14 @@ import (
 	"galsim/internal/isa"
 )
 
-// ROB is a bounded in-order buffer of in-flight instructions.
+// ROB is a bounded in-order buffer of in-flight instructions, stored as a
+// fixed-capacity ring so that a commit advances the head pointer instead of
+// shifting the buffer — hardware ROBs are circular buffers for the same
+// reason.
 type ROB struct {
-	cap     int
-	entries []*isa.Instr // index 0 is the head (oldest)
+	buf  []*isa.Instr // len(buf) is the capacity
+	head int          // index of the oldest entry
+	n    int          // occupancy
 
 	pushes   uint64
 	commits  uint64
@@ -28,20 +32,29 @@ func New(capacity int) *ROB {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("rob: capacity %d must be positive", capacity))
 	}
-	return &ROB{cap: capacity}
+	return &ROB{buf: make([]*isa.Instr, capacity)}
+}
+
+// slot maps a logical position (0 = head) to a buffer index.
+func (r *ROB) slot(i int) int {
+	i += r.head
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
 }
 
 // Len returns the number of in-flight instructions.
-func (r *ROB) Len() int { return len(r.entries) }
+func (r *ROB) Len() int { return r.n }
 
 // Cap returns the capacity.
-func (r *ROB) Cap() int { return r.cap }
+func (r *ROB) Cap() int { return len(r.buf) }
 
 // Full reports whether the buffer has no free entry.
-func (r *ROB) Full() bool { return len(r.entries) >= r.cap }
+func (r *ROB) Full() bool { return r.n >= len(r.buf) }
 
 // Empty reports whether no instruction is in flight.
-func (r *ROB) Empty() bool { return len(r.entries) == 0 }
+func (r *ROB) Empty() bool { return r.n == 0 }
 
 // Push appends an instruction in program order; it panics when full and when
 // program order would be violated.
@@ -49,31 +62,37 @@ func (r *ROB) Push(in *isa.Instr) {
 	if r.Full() {
 		panic("rob: overflow")
 	}
-	if n := len(r.entries); n > 0 && r.entries[n-1].Seq >= in.Seq {
-		panic(fmt.Sprintf("rob: out-of-order push %d after %d", in.Seq, r.entries[n-1].Seq))
+	if r.n > 0 {
+		if tail := r.buf[r.slot(r.n-1)]; tail.Seq >= in.Seq {
+			panic(fmt.Sprintf("rob: out-of-order push %d after %d", in.Seq, tail.Seq))
+		}
 	}
-	in.ROBIndex = len(r.entries)
-	r.entries = append(r.entries, in)
+	in.ROBIndex = r.n
+	r.buf[r.slot(r.n)] = in
+	r.n++
 	r.pushes++
 }
 
 // Head returns the oldest in-flight instruction, or nil when empty.
 func (r *ROB) Head() *isa.Instr {
-	if len(r.entries) == 0 {
+	if r.n == 0 {
 		return nil
 	}
-	return r.entries[0]
+	return r.buf[r.head]
 }
 
 // PopHead removes the oldest instruction (its commit). It panics when empty.
 func (r *ROB) PopHead() *isa.Instr {
-	if len(r.entries) == 0 {
+	if r.n == 0 {
 		panic("rob: PopHead on empty buffer")
 	}
-	in := r.entries[0]
-	copy(r.entries, r.entries[1:])
-	r.entries[len(r.entries)-1] = nil
-	r.entries = r.entries[:len(r.entries)-1]
+	in := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
 	r.commits++
 	return in
 }
@@ -84,30 +103,31 @@ func (r *ROB) PopHead() *isa.Instr {
 // consequence of a single unresolved misprediction at a time — and this is
 // checked. Returns the number squashed.
 func (r *ROB) SquashTail(doomed func(*isa.Instr) bool, undo func(*isa.Instr)) int {
-	cut := len(r.entries)
-	for cut > 0 && doomed(r.entries[cut-1]) {
+	cut := r.n
+	for cut > 0 && doomed(r.buf[r.slot(cut-1)]) {
 		cut--
 	}
 	for i := 0; i < cut; i++ {
-		if doomed(r.entries[i]) {
-			panic(fmt.Sprintf("rob: doomed entry %d not in tail suffix", r.entries[i].Seq))
+		if in := r.buf[r.slot(i)]; doomed(in) {
+			panic(fmt.Sprintf("rob: doomed entry %d not in tail suffix", in.Seq))
 		}
 	}
 	n := 0
-	for i := len(r.entries) - 1; i >= cut; i-- {
-		undo(r.entries[i])
-		r.entries[i] = nil
+	for i := r.n - 1; i >= cut; i-- {
+		s := r.slot(i)
+		undo(r.buf[s])
+		r.buf[s] = nil
 		n++
 	}
-	r.entries = r.entries[:cut]
+	r.n = cut
 	r.squashes += uint64(n)
 	return n
 }
 
 // Walk calls fn on every in-flight instruction from oldest to youngest.
 func (r *ROB) Walk(fn func(*isa.Instr)) {
-	for _, in := range r.entries {
-		fn(in)
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[r.slot(i)])
 	}
 }
 
@@ -115,7 +135,7 @@ func (r *ROB) Walk(fn func(*isa.Instr)) {
 // domain.
 func (r *ROB) Tick() {
 	r.occTicks++
-	r.occSum += uint64(len(r.entries))
+	r.occSum += uint64(r.n)
 }
 
 // Stats reports ROB activity.

@@ -15,7 +15,23 @@ type Recorder struct {
 	inWP bool
 }
 
-var _ workload.InstrSource = (*Recorder)(nil)
+var (
+	_ workload.InstrSource = (*Recorder)(nil)
+	_ workload.PoolUser    = (*Recorder)(nil)
+)
+
+// UsePool implements workload.PoolUser by forwarding the arena to the
+// wrapped source when it supports pooling, reporting false — pooling off —
+// when it does not, so the pipeline never recycles records a non-pooling
+// source heap-allocated. The recorder itself retains no *Instr — every
+// record is serialized before the instruction is handed to the pipeline —
+// so recording composes safely with arena recycling.
+func (r *Recorder) UsePool(p *isa.Pool) bool {
+	if pu, ok := r.src.(workload.PoolUser); ok {
+		return pu.UsePool(p)
+	}
+	return false
+}
 
 // NewRecorder taps src, writing records through w.
 func NewRecorder(src workload.InstrSource, w *Writer) *Recorder {

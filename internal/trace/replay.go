@@ -142,6 +142,8 @@ type ReplaySource struct {
 	r   *Reader
 	buf []Record // decoded-but-undelivered lookahead
 
+	pool *isa.Pool // optional instruction arena (see workload.PoolUser)
+
 	inWP    bool
 	synth   bool
 	synthPC uint64
@@ -151,7 +153,26 @@ type ReplaySource struct {
 	wrapped uint64 // times the stream restarted
 }
 
-var _ workload.InstrSource = (*ReplaySource)(nil)
+var (
+	_ workload.InstrSource = (*ReplaySource)(nil)
+	_ workload.PoolUser    = (*ReplaySource)(nil)
+)
+
+// UsePool implements workload.PoolUser: subsequent instructions are
+// allocated from p (nil reverts to the heap).
+func (s *ReplaySource) UsePool(p *isa.Pool) bool {
+	s.pool = p
+	return true
+}
+
+// newInstr allocates one blank instruction record, from the arena when one
+// is installed.
+func (s *ReplaySource) newInstr(pc uint64, class isa.Class) *isa.Instr {
+	if s.pool != nil {
+		return s.pool.Get(0, pc, class)
+	}
+	return isa.NewInstr(0, pc, class)
+}
 
 // NewReplaySource starts a replay of the trace from its beginning.
 func NewReplaySource(t *Trace) *ReplaySource {
@@ -227,7 +248,8 @@ func (s *ReplaySource) Next() *isa.Instr {
 		panic("trace: Next called while in wrong-path mode")
 	}
 	rec, i := s.findCorrectPath()
-	in := rec.Instr()
+	in := s.newInstr(rec.PC, rec.Class)
+	rec.fillInstr(in)
 	s.buf = s.buf[i+1:]
 	s.served++
 	return in
@@ -259,7 +281,8 @@ func (s *ReplaySource) NextWrongPath() *isa.Instr {
 	}
 	if !s.synth {
 		if rec, ok := s.peekAt(0); ok && rec.Kind == KindInstr && rec.WrongPath {
-			in := rec.Instr()
+			in := s.newInstr(rec.PC, rec.Class)
+			rec.fillInstr(in)
 			s.pop()
 			s.wpNext = in.PC + synthPCStep
 			if in.Class == isa.ClassBranch && in.Taken {
@@ -276,7 +299,7 @@ func (s *ReplaySource) NextWrongPath() *isa.Instr {
 			s.synthPC = rec.Target
 		}
 	}
-	in := isa.NewInstr(0, s.synthPC, isa.ClassIntALU)
+	in := s.newInstr(s.synthPC, isa.ClassIntALU)
 	in.WrongPath = true
 	s.synthPC += synthPCStep
 	return in

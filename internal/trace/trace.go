@@ -113,13 +113,19 @@ type Record struct {
 // Instr materializes a fresh pipeline instruction from an instr record.
 func (r Record) Instr() *isa.Instr {
 	in := isa.NewInstr(0, r.PC, r.Class)
+	r.fillInstr(in)
+	return in
+}
+
+// fillInstr copies the record's payload onto a freshly initialized
+// instruction (heap- or arena-allocated).
+func (r Record) fillInstr(in *isa.Instr) {
 	in.Dest = r.Dest
 	in.Src = r.Src
 	in.Addr = r.Addr
 	in.Taken = r.Taken
 	in.Target = r.Target
 	in.WrongPath = r.WrongPath
-	return in
 }
 
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }

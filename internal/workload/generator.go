@@ -38,10 +38,10 @@ type staticInstr struct {
 
 	// Memory fields.
 	seqStream bool // streams sequentially vs. random within the working set
-}
 
-// branchState is the dynamic ground-truth state of one static branch.
-type branchState struct {
+	// Dynamic ground-truth state of a static branch (advanced only by the
+	// correct-path walk). Folded into the static record so branch outcome
+	// tracking needs no separate map.
 	loopCount int
 	lastTaken bool
 }
@@ -55,8 +55,8 @@ type Generator struct {
 	wp   *rand.Rand // separate stream for wrong-path choices
 
 	program   map[uint64]*staticInstr
-	branches  map[uint64]*branchState
-	classTile []isa.Class // class layout pattern, indexed by (pc/4) % len
+	siChunks  [][]staticInstr // slab storage behind program (stable pointers)
+	classTile []isa.Class     // class layout pattern, indexed by (pc/4) % len
 
 	// Correct-path walk state.
 	pc uint64
@@ -67,10 +67,18 @@ type Generator struct {
 
 	// Register recency rings for dependency-distance sampling, maintained in
 	// static creation order.
-	recentInt []isa.Reg
-	recentFP  []isa.Reg
+	recentInt regRing
+	recentFP  regRing
 	destCtr   int
 	fpDestCtr int
+
+	// pool, when non-nil, supplies instruction records (see
+	// workload.PoolUser); nil falls back to heap allocation.
+	pool *isa.Pool
+
+	// srand is the reusable lazily-seeded RNG for static-instruction
+	// materialization (see staticRng).
+	srand staticRand
 
 	// Data address state.
 	seqCursor uint64
@@ -86,18 +94,19 @@ func NewGenerator(p Profile, seed int64) *Generator {
 		panic(err)
 	}
 	g := &Generator{
-		prof:     p,
-		seed:     seed,
-		rng:      rand.New(rand.NewSource(seed)),
-		wp:       rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
-		program:  make(map[uint64]*staticInstr),
-		branches: make(map[uint64]*branchState),
-		pc:       CodeBase,
+		prof: p,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		wp:   rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
+		// Pre-size for the full static program so steady-state
+		// materialization does not grow the table.
+		program: make(map[uint64]*staticInstr, p.CodeFootprint/4),
+		pc:      CodeBase,
 	}
 	// Seed the recency rings so early instructions have producers to name.
 	for i := 0; i < 8; i++ {
-		g.recentInt = append(g.recentInt, isa.Reg{File: isa.RegInt, Index: uint8(i)})
-		g.recentFP = append(g.recentFP, isa.Reg{File: isa.RegFP, Index: uint8(i)})
+		g.recentInt.push(isa.Reg{File: isa.RegInt, Index: uint8(i)})
+		g.recentFP.push(isa.Reg{File: isa.RegFP, Index: uint8(i)})
 	}
 	g.classTile = buildClassTile(p.Mix, g.rng)
 	return g
@@ -157,7 +166,7 @@ func (g *Generator) WrongPathGenerated() uint64 { return g.wrongGen }
 func (g *Generator) codeEnd() uint64 { return CodeBase + uint64(g.prof.CodeFootprint) }
 
 // geometric samples a dependency distance >= 1 with parameter p, capped.
-func (g *Generator) geometric(rng *rand.Rand) int {
+func (g *Generator) geometric(rng *staticRand) int {
 	d := 1
 	for d < 12 && rng.Float64() > g.prof.DepDistP {
 		d++
@@ -165,37 +174,30 @@ func (g *Generator) geometric(rng *rand.Rand) int {
 	return d
 }
 
-func (g *Generator) pickRecent(rng *rand.Rand, ring []isa.Reg) isa.Reg {
+func (g *Generator) pickRecent(rng *staticRand, ring *regRing) isa.Reg {
 	d := g.geometric(rng)
-	if d > len(ring) {
-		d = len(ring)
+	if d > ring.len() {
+		d = ring.len()
 	}
-	return ring[len(ring)-d]
+	return ring.at(ring.len() - d)
 }
 
 // pickRecentFar is pickRecent with the distance shifted by extra producers:
 // the named value was computed further back in the past.
-func (g *Generator) pickRecentFar(rng *rand.Rand, ring []isa.Reg, extra int) isa.Reg {
+func (g *Generator) pickRecentFar(rng *staticRand, ring *regRing, extra int) isa.Reg {
 	d := g.geometric(rng) + extra
-	if d > len(ring) {
-		d = len(ring)
+	if d > ring.len() {
+		d = ring.len()
 	}
-	return ring[len(ring)-d]
+	return ring.at(ring.len() - d)
 }
 
 func (g *Generator) pushRecent(r isa.Reg) {
-	const window = 24
 	if r.File == isa.RegFP {
-		g.recentFP = append(g.recentFP, r)
-		if len(g.recentFP) > window {
-			g.recentFP = g.recentFP[1:]
-		}
+		g.recentFP.push(r)
 		return
 	}
-	g.recentInt = append(g.recentInt, r)
-	if len(g.recentInt) > window {
-		g.recentInt = g.recentInt[1:]
-	}
+	g.recentInt.push(r)
 }
 
 // nextIntDest allocates the next integer destination register, skipping the
@@ -216,8 +218,11 @@ func (g *Generator) nextFPDest() isa.Reg {
 // instruction at pc. Deriving it from (seed, pc) rather than from a shared
 // stream makes the static program independent of materialization order, so
 // a wrong-path excursion (which may materialize new PCs) cannot perturb the
-// correct path's ground truth.
-func (g *Generator) staticRng(pc uint64) *rand.Rand {
+// correct path's ground truth. The returned RNG is the generator's reusable
+// staticRand, reseeded in place: draw-for-draw identical to
+// rand.New(rand.NewSource(z)) but without expanding the full generator
+// state per pc (see staticrand.go).
+func (g *Generator) staticRng(pc uint64) *staticRand {
 	z := uint64(g.seed) ^ (pc * 0x9E3779B97F4A7C15)
 	// splitmix64 finalizer.
 	z ^= z >> 30
@@ -225,7 +230,8 @@ func (g *Generator) staticRng(pc uint64) *rand.Rand {
 	z ^= z >> 27
 	z *= 0x94D049BB133111EB
 	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	g.srand.reset(int64(z))
+	return &g.srand
 }
 
 // materialize returns the static instruction at pc, creating it on first
@@ -235,13 +241,14 @@ func (g *Generator) materialize(pc uint64) *staticInstr {
 		return si
 	}
 	rng := g.staticRng(pc)
-	si := &staticInstr{class: g.classAt(pc)}
+	si := g.newStatic()
+	si.class = g.classAt(pc)
 	switch si.class {
 	case isa.ClassBranch:
 		// Branch conditions (loop counters, flags) are typically computed
 		// well before the branch: shift the dependency distance so branches
 		// usually find their operand already committed and resolve quickly.
-		si.src[0] = g.pickRecentFar(rng, g.recentInt, 4)
+		si.src[0] = g.pickRecentFar(rng, &g.recentInt, 4)
 		x := rng.Float64()
 		pm := g.prof.Patterns
 		switch {
@@ -260,7 +267,7 @@ func (g *Generator) materialize(pc uint64) *staticInstr {
 			si.target = g.randomTarget(pc, rng)
 		}
 	case isa.ClassLoad:
-		si.src[0] = g.pickRecent(rng, g.recentInt) // address register
+		si.src[0] = g.pickRecent(rng, &g.recentInt) // address register
 		if rng.Float64() < g.prof.FPLoadFrac {
 			si.dest = g.nextFPDest()
 		} else {
@@ -269,22 +276,22 @@ func (g *Generator) materialize(pc uint64) *staticInstr {
 		si.seqStream = rng.Float64() < g.prof.SeqFrac
 		g.pushRecent(si.dest)
 	case isa.ClassStore:
-		si.src[0] = g.pickRecent(rng, g.recentInt) // address register
+		si.src[0] = g.pickRecent(rng, &g.recentInt) // address register
 		if g.prof.FPLoadFrac > 0 && rng.Float64() < g.prof.FPLoadFrac {
-			si.src[1] = g.pickRecent(rng, g.recentFP)
+			si.src[1] = g.pickRecent(rng, &g.recentFP)
 		} else {
-			si.src[1] = g.pickRecent(rng, g.recentInt)
+			si.src[1] = g.pickRecent(rng, &g.recentInt)
 		}
 		si.seqStream = rng.Float64() < g.prof.SeqFrac
 	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
-		si.src[0] = g.pickRecent(rng, g.recentFP)
-		si.src[1] = g.pickRecent(rng, g.recentFP)
+		si.src[0] = g.pickRecent(rng, &g.recentFP)
+		si.src[1] = g.pickRecent(rng, &g.recentFP)
 		si.dest = g.nextFPDest()
 		g.pushRecent(si.dest)
 	default: // integer ALU / multiply
-		si.src[0] = g.pickRecent(rng, g.recentInt)
+		si.src[0] = g.pickRecent(rng, &g.recentInt)
 		if rng.Float64() < 0.45 {
-			si.src[1] = g.pickRecent(rng, g.recentInt)
+			si.src[1] = g.pickRecent(rng, &g.recentInt)
 		}
 		si.dest = g.nextIntDest()
 		g.pushRecent(si.dest)
@@ -317,7 +324,7 @@ func (g *Generator) branchGap() int {
 // branches jump backward. A backward non-loop target would form an
 // unintended tight cycle pinned on its branch, grossly over-representing
 // branch PCs in the dynamic stream.
-func (g *Generator) randomTarget(pc uint64, rng *rand.Rand) uint64 {
+func (g *Generator) randomTarget(pc uint64, rng *staticRand) uint64 {
 	span := uint64(g.prof.CodeFootprint)
 	var hop uint64
 	if rng.Float64() < 0.85 {
@@ -339,7 +346,7 @@ func (g *Generator) randomTarget(pc uint64, rng *rand.Rand) uint64 {
 }
 
 // loopTarget picks a backward target forming a loop body.
-func (g *Generator) loopTarget(pc uint64, rng *rand.Rand) uint64 {
+func (g *Generator) loopTarget(pc uint64, rng *staticRand) uint64 {
 	gap := g.branchGap()
 	body := uint64(rng.Intn(gap)+gap/2+1) * 4
 	if pc < CodeBase+body {
@@ -349,13 +356,9 @@ func (g *Generator) loopTarget(pc uint64, rng *rand.Rand) uint64 {
 }
 
 // outcome computes and advances the ground-truth direction of the branch at
-// pc. Only the correct path mutates branch state.
+// pc. Only the correct path mutates branch state (held on the static
+// record).
 func (g *Generator) outcome(pc uint64, si *staticInstr) bool {
-	st := g.branches[pc]
-	if st == nil {
-		st = &branchState{}
-		g.branches[pc] = st
-	}
 	switch si.pattern {
 	case patBiased:
 		if g.rng.Float64() < 0.97 {
@@ -363,15 +366,15 @@ func (g *Generator) outcome(pc uint64, si *staticInstr) bool {
 		}
 		return !si.biasedTaken
 	case patLoop:
-		st.loopCount++
-		if st.loopCount >= g.prof.LoopLength {
-			st.loopCount = 0
+		si.loopCount++
+		if si.loopCount >= g.prof.LoopLength {
+			si.loopCount = 0
 			return false // exit the loop
 		}
 		return true
 	case patAlternating:
-		st.lastTaken = !st.lastTaken
-		return st.lastTaken
+		si.lastTaken = !si.lastTaken
+		return si.lastTaken
 	default:
 		return g.rng.Float64() < g.prof.RandomTakenProb
 	}
@@ -428,7 +431,7 @@ func (g *Generator) Next() *isa.Instr {
 	}
 	pc := g.pc
 	si := g.materialize(pc)
-	in := isa.NewInstr(0, pc, si.class)
+	in := g.newInstr(pc, si.class)
 	g.fill(in, pc, si, g.rng)
 
 	next := pc + 4
@@ -472,7 +475,7 @@ func (g *Generator) NextWrongPath() *isa.Instr {
 	}
 	pc := g.wpPC
 	si := g.materialize(pc)
-	in := isa.NewInstr(0, pc, si.class)
+	in := g.newInstr(pc, si.class)
 	in.WrongPath = true
 	g.fill(in, pc, si, g.wp)
 
@@ -523,4 +526,78 @@ func (g *Generator) CurrentPC() uint64 {
 func (g *Generator) String() string {
 	return fmt.Sprintf("workload %s (%s): %d instrs generated, %d wrong-path",
 		g.prof.Name, g.prof.Suite, g.generated, g.wrongGen)
+}
+
+// UsePool implements PoolUser: subsequent instructions are allocated from p
+// (nil reverts to the heap).
+func (g *Generator) UsePool(p *isa.Pool) bool {
+	g.pool = p
+	return true
+}
+
+// newInstr allocates one blank instruction record, from the arena when one
+// is installed.
+func (g *Generator) newInstr(pc uint64, class isa.Class) *isa.Instr {
+	if g.pool != nil {
+		return g.pool.Get(0, pc, class)
+	}
+	return isa.NewInstr(0, pc, class)
+}
+
+// recentWindow is the depth of the register recency rings: how far back a
+// sampled dependency can reach.
+const recentWindow = 24
+
+// regRing is a fixed-capacity ring of recently written registers. It
+// replaces an append-and-trim slice so the per-instruction path performs no
+// allocation: pushing into a full ring overwrites the oldest entry in place.
+type regRing struct {
+	buf  [recentWindow]isa.Reg
+	head int // index of the oldest entry
+	n    int
+}
+
+func (r *regRing) len() int { return r.n }
+
+// at returns the i-th entry, oldest first.
+func (r *regRing) at(i int) isa.Reg {
+	i += r.head
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return r.buf[i]
+}
+
+// push appends a register, evicting the oldest entry once full.
+func (r *regRing) push(reg isa.Reg) {
+	if r.n < len(r.buf) {
+		i := r.head + r.n
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		r.buf[i] = reg
+		r.n++
+		return
+	}
+	r.buf[r.head] = reg
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// siChunkLen is the slab growth quantum for static-instruction storage.
+const siChunkLen = 256
+
+// newStatic hands out one zeroed static-instruction record from the slab.
+// Records are stored in fixed-size chunks (never reallocated), so pointers
+// held by the program map stay stable while amortizing allocation to one
+// per siChunkLen materializations.
+func (g *Generator) newStatic() *staticInstr {
+	if n := len(g.siChunks); n == 0 || len(g.siChunks[n-1]) == cap(g.siChunks[n-1]) {
+		g.siChunks = append(g.siChunks, make([]staticInstr, 0, siChunkLen))
+	}
+	c := &g.siChunks[len(g.siChunks)-1]
+	*c = append(*c, staticInstr{})
+	return &(*c)[len(*c)-1]
 }

@@ -27,8 +27,23 @@ type PhasedGenerator struct {
 	idx      int
 	curCount uint64 // correct-path instructions produced in the current phase
 
+	pool *isa.Pool // propagated to each phase generator (see PoolUser)
+
 	generated uint64
 	switches  uint64
+}
+
+// UsePool implements PoolUser, propagating the arena to every phase
+// generator — both the already-constructed ones and those still to be built
+// lazily by cur.
+func (p *PhasedGenerator) UsePool(pool *isa.Pool) bool {
+	p.pool = pool
+	for _, g := range p.gens {
+		if g != nil {
+			g.UsePool(pool)
+		}
+	}
+	return true
 }
 
 // NewPhasedGenerator builds a phased source. The profiles must already be
@@ -53,7 +68,9 @@ func NewPhasedGenerator(name string, profs []Profile, quotas []uint64, seed int6
 // distinct static programs.
 func (p *PhasedGenerator) cur() *Generator {
 	if p.gens[p.idx] == nil {
-		p.gens[p.idx] = NewGenerator(p.profs[p.idx], p.seed+int64(p.idx)*0x9E3779B9)
+		g := NewGenerator(p.profs[p.idx], p.seed+int64(p.idx)*0x9E3779B9)
+		g.UsePool(p.pool)
+		p.gens[p.idx] = g
 	}
 	return p.gens[p.idx]
 }

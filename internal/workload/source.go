@@ -34,8 +34,24 @@ type InstrSource interface {
 	CurrentPC() uint64
 }
 
-// Compile-time checks that the package's sources satisfy the interface.
+// PoolUser is implemented by sources that can allocate their instruction
+// records from a caller-owned arena (isa.Pool) instead of the heap. The
+// pipeline hands its pool to the source before the run starts and recycles
+// each record when the last pipeline structure releases it, making the
+// per-instruction path allocation-free. UsePool reports whether the source
+// will actually allocate from the pool — a wrapper around a non-pooling
+// source must return false so the caller leaves recycling off (recycling
+// heap-allocated records would corrupt the arena's reference accounting).
+// UsePool(nil) reverts the source to ordinary heap allocation; records from
+// either path are identical, so pooling never changes simulation results.
+type PoolUser interface {
+	UsePool(*isa.Pool) bool
+}
+
+// Compile-time checks that the package's sources satisfy the interfaces.
 var (
 	_ InstrSource = (*Generator)(nil)
 	_ InstrSource = (*PhasedGenerator)(nil)
+	_ PoolUser    = (*Generator)(nil)
+	_ PoolUser    = (*PhasedGenerator)(nil)
 )

@@ -1,0 +1,157 @@
+package workload
+
+// staticRand is a bit-exact, lazily-seeded reimplementation of
+// math/rand.Rand over rand.NewSource: for any seed it produces the same
+// Float64/Intn draw sequence as rand.New(rand.NewSource(seed)) — the
+// contract TestStaticRandMatchesMathRand pins.
+//
+// Why it exists: the generator materializes each static instruction from a
+// deterministic RNG derived from (seed, pc), so the static program is
+// independent of materialization order (see Generator.staticRng). With
+// math/rand that means one full rand.NewSource seeding per newly visited pc
+// — 1841 LCG steps expanding all 607 lagged-Fibonacci state words, plus a
+// ~5 KB allocation — and profiles show it dominating whole-simulation cost,
+// because a materialization consumes only a handful of draws.
+//
+// The trick: the stdlib seeding drives a Lehmer LCG, x_{j+1} = 48271·x_j
+// mod 2³¹−1, and state word i is built from LCG elements x_{21+3i},
+// x_{22+3i}, x_{23+3i}. Since x_j = 48271^j·x0 mod M, any word can be
+// computed directly from a precomputed power table with three modular
+// multiplications — so staticRand materializes only the ~dozen words a
+// materialization actually reads, two orders of magnitude less arithmetic,
+// with zero allocation (the struct is reused across reseedings).
+type staticRand struct {
+	x0   uint64 // normalized LCG seed
+	tap  int    // lagged-Fibonacci read positions, as in rngSource
+	feed int
+
+	vec  [lfLen]int64 // lazily computed state words
+	have [lfLen]bool
+	used []int // indices computed since reset, for O(draws) clearing
+}
+
+const (
+	lfLen = 607 // lagged-Fibonacci register length (math/rand rngLen)
+	lfTap = 273 // feedback tap distance (math/rand rngTap)
+
+	lcgM = 1<<31 - 1 // Lehmer modulus (prime)
+	lcgA = 48271     // Lehmer multiplier
+)
+
+// lcgPow[j] = 48271^j mod M. The seeding sequence discards 20 elements and
+// then consumes three per state word, so the largest exponent needed is
+// 20 + 3·607.
+var lcgPow [21 + 3*lfLen]uint64
+
+func init() {
+	p := uint64(1)
+	for j := range lcgPow {
+		lcgPow[j] = p
+		p = p * lcgA % lcgM
+	}
+}
+
+// reset reseeds, normalizing exactly like rngSource.Seed. Previously
+// computed words are invalidated in O(words used), not O(lfLen).
+func (r *staticRand) reset(seed int64) {
+	for _, i := range r.used {
+		r.have[i] = false
+	}
+	r.used = r.used[:0]
+	seed %= lcgM
+	if seed < 0 {
+		seed += lcgM
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	r.x0 = uint64(seed)
+	r.tap = 0
+	r.feed = lfLen - lfTap
+}
+
+// word returns state word i, computing it on first use: rngSource.Seed
+// builds it from LCG elements x_{21+3i..23+3i} XORed with the cooked table.
+func (r *staticRand) word(i int) int64 {
+	if r.have[i] {
+		return r.vec[i]
+	}
+	j := 21 + 3*i
+	x1 := lcgPow[j] * r.x0 % lcgM
+	x2 := lcgPow[j+1] * r.x0 % lcgM
+	x3 := lcgPow[j+2] * r.x0 % lcgM
+	u := int64(x1)<<40 ^ int64(x2)<<20 ^ int64(x3) ^ lfCooked[i]
+	r.vec[i] = u
+	r.have[i] = true
+	r.used = append(r.used, i)
+	return u
+}
+
+// uint64 advances the lagged-Fibonacci register one step, exactly as
+// rngSource.Uint64 (including the feed-back store, so arbitrarily long draw
+// sequences stay exact).
+func (r *staticRand) uint64() uint64 {
+	r.tap--
+	if r.tap < 0 {
+		r.tap += lfLen
+	}
+	r.feed--
+	if r.feed < 0 {
+		r.feed += lfLen
+	}
+	x := r.word(r.feed) + r.word(r.tap)
+	r.vec[r.feed] = x
+	return uint64(x)
+}
+
+func (r *staticRand) int63() int64 { return int64(r.uint64() &^ (1 << 63)) }
+
+func (r *staticRand) int31() int32 { return int32(r.int63() >> 32) }
+
+// Float64 replicates rand.Rand.Float64, including its re-draw on a rounded
+// 1.0.
+func (r *staticRand) Float64() float64 {
+	for {
+		f := float64(r.int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}
+
+// int31n replicates rand.Rand.Int31n's rejection sampling.
+func (r *staticRand) int31n(n int32) int32 {
+	if n&(n-1) == 0 {
+		return r.int31() & (n - 1)
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := r.int31()
+	for v > max {
+		v = r.int31()
+	}
+	return v % n
+}
+
+// int63n replicates rand.Rand.Int63n's rejection sampling.
+func (r *staticRand) int63n(n int64) int64 {
+	if n&(n-1) == 0 {
+		return r.int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.int63()
+	for v > max {
+		v = r.int63()
+	}
+	return v % n
+}
+
+// Intn replicates rand.Rand.Intn's width dispatch.
+func (r *staticRand) Intn(n int) int {
+	if n <= 0 {
+		panic("staticRand: invalid argument to Intn")
+	}
+	if n <= 1<<31-1 {
+		return int(r.int31n(int32(n)))
+	}
+	return int(r.int63n(int64(n)))
+}
