@@ -1,0 +1,166 @@
+// Command galsim-fleet runs the distributed campaign coordinator: it
+// accepts the same /run and /sweep requests as galsimd but shards the work
+// into jobs and dispatches them across a fleet of galsimd workers, merging
+// results deterministically (by unit index, never arrival order) so the
+// output is byte-identical to a single-process run.
+//
+// Workers enroll with galsimd's -join flag, or -spawn starts in-process
+// workers for a single-machine fleet:
+//
+//	galsim-fleet -addr :9090 -spawn 3
+//	curl -s -X POST localhost:9090/sweep \
+//	    -d '{"benchmarks":["gcc","perl"],"instructions":20000,
+//	         "slowdown_grid":[{},{"fp":1.5},{"fp":3}],"machines":["gals"]}'
+//	curl -s localhost:9090/stats          # aggregated fleet stats
+//
+// Multi-process on one machine:
+//
+//	galsim-fleet -addr :9090
+//	galsimd -addr :8081 -join http://localhost:9090
+//	galsimd -addr :8082 -join http://localhost:9090
+//	galsimd -addr :8083 -join http://localhost:9090
+//
+// Fleet endpoints served alongside the galsimd API:
+//
+//	POST /join           worker registration
+//	POST /jobs/lease     job lease (long-polls while the queue is idle)
+//	POST /jobs/complete  streamed per-job completions
+//	GET  /stats          fleet-wide cache counters, queue depth, per-worker health
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/cluster"
+	"galsim/internal/httpjson"
+	"galsim/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":9090", "listen address")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "per-job worker lease; an expired lease re-queues the job on the surviving fleet")
+		maxAttempts = flag.Int("max-attempts", 3, "dispatch attempts per job before its campaign fails")
+		spawn       = flag.Int("spawn", 0, "in-process workers to start (single-machine fleet; 0 = external workers only)")
+		spawnSlots  = flag.Int("spawn-slots", 0, "concurrent jobs per spawned worker (0 = GOMAXPROCS split across spawned workers)")
+		maxUnits    = flag.Int("max-sweep-units", 4096, "reject sweeps expanding beyond this many units (0 = unlimited)")
+		gracePd     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		rdTimeout   = flag.Duration("read-timeout", 60*time.Second, "request read timeout (must exceed the lease long-poll)")
+		wrTimeout   = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
+		idleTimout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+	)
+	flag.Parse()
+
+	coord := cluster.NewCoordinator(cluster.Config{
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+	})
+	// The local engine serves /experiments and validation; campaign batches
+	// go through the coordinator.
+	engine := campaign.NewEngine(0)
+	svc := service.New(engine)
+	svc.MaxSweepUnits = *maxUnits
+	svc.Backend = coord
+
+	mux := http.NewServeMux()
+	coord.Register(mux) // fleet endpoints; its GET /stats shadows the service's per-process one
+	mux.Handle("/", svc)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("galsim-fleet: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *spawn > 0 {
+		self := selfURL(ln.Addr())
+		slots := *spawnSlots
+		if slots <= 0 {
+			slots = max(1, runtime.GOMAXPROCS(0) / *spawn)
+		}
+		for i := 1; i <= *spawn; i++ {
+			wk := &cluster.Worker{
+				Coordinator: self,
+				ID:          fmt.Sprintf("local-%d", i),
+				Engine:      campaign.NewEngine(slots),
+				Slots:       slots,
+				Logf:        log.Printf,
+			}
+			go func() {
+				if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
+					log.Printf("galsim-fleet: worker %s: %v", wk.ID, err)
+				}
+			}()
+		}
+		log.Printf("galsim-fleet: spawned %d in-process workers (%d slots each)", *spawn, slots)
+	} else {
+		log.Printf("galsim-fleet: no local workers; sweeps wait until galsimd workers -join")
+	}
+
+	httpSrv := &http.Server{
+		Handler:           http.Handler(panicGuard(mux)),
+		ReadTimeout:       *rdTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *wrTimeout,
+		IdleTimeout:       *idleTimout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("galsim-fleet: coordinating on %s (lease TTL %s, %d attempts/job)", ln.Addr(), *leaseTTL, *maxAttempts)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("galsim-fleet: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("galsim-fleet: shutting down (grace %s)", *gracePd)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePd)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("galsim-fleet: shutdown: %v", err)
+	}
+	st := coord.Stats()
+	log.Printf("galsim-fleet: at exit: %d workers (%d alive), %d jobs done, %d lease expiries, %d job failures",
+		st.Workers, st.Alive, st.JobsDone, st.LeaseExpiries, st.JobFailures)
+}
+
+// selfURL turns the bound listener address into a URL the spawned local
+// workers can dial: wildcard hosts become loopback.
+func selfURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// panicGuard mirrors the service handler's recover middleware for the
+// fleet endpoints, which are mounted outside the service mux.
+func panicGuard(h http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				httpjson.Error(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	}
+}

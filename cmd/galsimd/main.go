@@ -15,6 +15,12 @@
 //	         "slowdown_grid":[{},{"fp":1.5},{"fp":3}],"machines":["gals"]}'
 //	curl -s 'localhost:8080/experiments/5?format=text'
 //	curl -s localhost:8080/stats
+//
+// Worker mode: -join enrolls the process in a galsim-fleet coordinator's
+// worker pool. The worker loop shares this server's engine, so fleet jobs
+// and direct HTTP requests are served from one result cache:
+//
+//	galsimd -addr :8081 -join http://coordinator:9090
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"galsim/internal/campaign"
+	"galsim/internal/cluster"
 	"galsim/internal/service"
 )
 
@@ -44,6 +51,9 @@ func main() {
 		idleTimout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 		enablePprof = flag.Bool("pprof", false,
 			"serve Go runtime profiles under /debug/pprof/ (off by default; enable only on trusted networks)")
+		join        = flag.String("join", "", "coordinator base URL to pull fleet jobs from (e.g. http://host:9090)")
+		workerID    = flag.String("worker-id", "", "worker name reported to the coordinator (default host-pid-xxxx)")
+		workerSlots = flag.Int("worker-slots", 0, "concurrent fleet jobs to pull (0 = the engine's worker-pool width)")
 	)
 	flag.Parse()
 
@@ -80,6 +90,26 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("galsimd: serving on %s with %d workers", *addr, engine.Workers())
 
+	workerDone := make(chan struct{})
+	if *join != "" {
+		wk := &cluster.Worker{
+			Coordinator: *join,
+			ID:          *workerID,
+			Addr:        *addr,
+			Engine:      engine, // shared with the HTTP handlers: one cache for fleet and direct work
+			Slots:       *workerSlots,
+			Logf:        log.Printf,
+		}
+		go func() {
+			defer close(workerDone)
+			if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("galsimd: fleet worker: %v", err)
+			}
+		}()
+	} else {
+		close(workerDone)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("galsimd: %v", err)
@@ -91,6 +121,10 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("galsimd: shutdown: %v", err)
+	}
+	select {
+	case <-workerDone: // in-flight fleet jobs were abandoned; their leases re-dispatch them
+	case <-shutdownCtx.Done():
 	}
 	st := engine.Stats()
 	log.Printf("galsimd: cache at exit: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)

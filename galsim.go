@@ -362,6 +362,17 @@ func Run(o Options) (Result, error) {
 	return resultFrom(spec.WorkloadName(), o, st), nil
 }
 
+// Backend executes batches of simulation units and returns their stats in
+// input order: the process-local campaign engine (worker pool plus
+// content-addressed result cache) or a distributed fleet coordinator that
+// shards the batch across galsimd workers. Every backend is deterministic —
+// results are byte-identical across backends, worker counts and retries.
+type Backend = campaign.Backend
+
+// LocalBackend returns the process-wide shared engine as a Backend: the
+// default execution substrate of RunMany.
+func LocalBackend() Backend { return campaign.Shared() }
+
 // RunMany executes the given runs concurrently on a worker pool sized to
 // GOMAXPROCS and returns their results in input order. Identical option
 // sets — within one call or across calls — are simulated only once and
@@ -369,6 +380,17 @@ func Run(o Options) (Result, error) {
 // promptly and returns the context's error. Options.OnCommit is not
 // supported (per-instruction tracing is inherently serial; use Run).
 func RunMany(ctx context.Context, opts []Options) ([]Result, error) {
+	return RunManyOn(ctx, campaign.Shared(), opts)
+}
+
+// RunManyOn is RunMany on an explicit execution backend. Within this
+// module the two backends are LocalBackend (the shared engine — RunMany's
+// substrate) and the cluster coordinator used by cmd/galsim-fleet, which
+// fans the batch out across a galsimd worker fleet; external callers
+// wanting distributed execution should drive a galsim-fleet coordinator's
+// HTTP API instead. Results arrive in input order either way,
+// byte-identical across backends.
+func RunManyOn(ctx context.Context, b Backend, opts []Options) ([]Result, error) {
 	if len(opts) == 0 {
 		return nil, nil
 	}
@@ -386,7 +408,7 @@ func RunMany(ctx context.Context, opts []Options) ([]Result, error) {
 		}
 		specs[i] = spec
 	}
-	stats, err := campaign.Shared().RunAll(ctx, specs)
+	stats, err := b.RunAll(ctx, specs)
 	if err != nil {
 		return nil, err
 	}

@@ -235,6 +235,26 @@ func TestRunManyMatchesRun(t *testing.T) {
 	}
 }
 
+// TestRunManyOnLocalBackend: the explicit-backend entry point with the
+// shared local backend is exactly RunMany.
+func TestRunManyOnLocalBackend(t *testing.T) {
+	opts := []Options{
+		{Benchmark: "gcc", Instructions: 6_000},
+		{Benchmark: "gcc", Machine: GALS, Instructions: 6_000},
+	}
+	viaBackend, err := RunManyOn(context.Background(), LocalBackend(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunMany(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaBackend, direct) {
+		t.Error("RunManyOn(LocalBackend()) diverges from RunMany")
+	}
+}
+
 func TestRunManyValidation(t *testing.T) {
 	_, err := RunMany(context.Background(), []Options{
 		{Benchmark: "gcc", Instructions: 5_000},

@@ -1,0 +1,25 @@
+package campaign
+
+import (
+	"context"
+
+	"galsim/internal/pipeline"
+)
+
+// Backend executes a batch of RunSpecs and returns their stats in input
+// order. It is the campaign engine's execution seam: the local Engine (a
+// GOMAXPROCS worker pool with a content-addressed result cache) is the
+// default, and internal/cluster provides a distributed implementation that
+// shards the batch across a fleet of galsimd workers. Both must be
+// deterministic — for a given spec batch the returned stats are
+// byte-identical regardless of scheduling, worker count, or retries — which
+// the differential tests in internal/cluster enforce.
+//
+// Implementations must be safe for concurrent use and must honour ctx
+// cancellation by returning promptly with the context's error.
+type Backend interface {
+	RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats, error)
+}
+
+// Engine is the local, in-process Backend.
+var _ Backend = (*Engine)(nil)

@@ -188,11 +188,20 @@ type UnitResult struct {
 // RunSweep expands the sweep, executes every unit on the engine, and
 // returns the aggregated results in expansion order.
 func (e *Engine) RunSweep(ctx context.Context, s Sweep) ([]UnitResult, error) {
+	return RunSweepOn(ctx, e, s)
+}
+
+// RunSweepOn expands the sweep, executes every unit on the given backend —
+// the local engine or a distributed cluster coordinator — and returns the
+// aggregated results in expansion order. Results are merged by unit index,
+// never by completion order, so the output is byte-identical across
+// backends and worker counts.
+func RunSweepOn(ctx context.Context, b Backend, s Sweep) ([]UnitResult, error) {
 	units, err := s.Units()
 	if err != nil {
 		return nil, err
 	}
-	stats, err := e.RunAll(ctx, units)
+	stats, err := b.RunAll(ctx, units)
 	if err != nil {
 		return nil, err
 	}

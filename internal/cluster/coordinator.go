@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/pipeline"
+)
+
+// Config tunes a Coordinator. The zero value selects production defaults;
+// tests inject short TTLs and a fake clock.
+type Config struct {
+	// LeaseTTL is how long a worker holds a job before the coordinator
+	// assumes the worker is gone and re-queues it (default 30s). Workers
+	// stream completions per job, so the TTL bounds one job, not a batch.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one job may be dispatched before its
+	// whole campaign fails (default 3). Lease expiries and worker-reported
+	// errors both count: a job that deterministically breaks every worker it
+	// touches must not circulate forever.
+	MaxAttempts int
+	// AliveAfter is how recently a worker must have contacted the
+	// coordinator to be reported alive in fleet stats (default 3×LeaseTTL).
+	AliveAfter time.Duration
+	// Now overrides the clock for lease-expiry tests.
+	Now func() time.Time
+}
+
+// Coordinator shards campaign batches into jobs and serves them to a fleet
+// of pull-based workers (see Worker and the /jobs HTTP endpoints). It
+// implements campaign.Backend: RunAll blocks until the fleet has executed
+// every unit, merging results by unit index so output is byte-identical to
+// a serial run regardless of worker count, scheduling, loss, or retries.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	nextID  uint64
+	queue   []uint64        // pending job ids, FIFO; entries may be stale (checked on pop)
+	jobs    map[uint64]*job // all live (pending + leased) jobs
+	workers map[string]*workerState
+	wake    chan struct{} // closed and replaced whenever work becomes available
+
+	jobsDone uint64
+	expiries uint64 // leases re-queued because their worker went silent
+	failures uint64 // worker-reported job failures (re-queued on other workers)
+}
+
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobLeased
+)
+
+// job is one dispatchable unit: a canonical spec plus every result slot it
+// fills (identical specs within a batch collapse into a single job).
+type job struct {
+	id       uint64
+	spec     campaign.RunSpec
+	camp     *campaignRun
+	slots    []int // indices into camp.results
+	state    jobState
+	worker   string    // current lease holder (leased only)
+	deadline time.Time // lease expiry (leased only)
+	attempts int
+	excluded map[string]bool // workers that reported a failure for this job
+	lastErr  string
+}
+
+// campaignRun is one RunAll call in flight: its result slots and completion
+// signal.
+type campaignRun struct {
+	results   []pipeline.Stats
+	remaining int // jobs not yet completed
+	done      chan struct{}
+	err       error
+	finished  bool
+}
+
+// workerState is the coordinator's view of one fleet member.
+type workerState struct {
+	id        string
+	addr      string
+	slots     int
+	lastSeen  time.Time
+	leased    int
+	completed uint64
+	failed    uint64
+	expired   uint64
+	cache     campaign.CacheStats // worker's engine counters, last reported
+}
+
+// NewCoordinator builds a coordinator with the given config (zero fields
+// take defaults).
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.AliveAfter <= 0 {
+		cfg.AliveAfter = 3 * cfg.LeaseTTL
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		jobs:    map[uint64]*job{},
+		workers: map[string]*workerState{},
+		wake:    make(chan struct{}),
+	}
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// LeaseTTL returns the configured lease duration.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+var _ campaign.Backend = (*Coordinator)(nil)
+
+// RunAll implements campaign.Backend: it validates and canonicalizes the
+// batch, enqueues one job per unique spec, and blocks until the fleet has
+// completed all of them (or ctx is cancelled, or a job exhausts its
+// attempts). Stats are returned in spec order.
+func (c *Coordinator) RunAll(ctx context.Context, specs []campaign.RunSpec) ([]pipeline.Stats, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	canon := make([]campaign.RunSpec, len(specs))
+	for i, s := range specs {
+		// Canonicalizing here pins trace digests and profile contents before
+		// anything crosses the wire, so a job's cache identity on every
+		// worker matches what the coordinator validated.
+		s = s.Canonical()
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: unit %d (%s/%s): %w", i, s.Machine, s.WorkloadName(), err)
+		}
+		canon[i] = s
+	}
+	camp := c.submit(canon)
+	// The ticker is a liveness backstop: lease and complete calls already
+	// expire stale leases, but if every worker dies no such call ever comes.
+	tick := time.NewTicker(clampTick(c.cfg.LeaseTTL / 2))
+	defer tick.Stop()
+	for {
+		select {
+		case <-camp.done:
+			c.mu.Lock()
+			results, err := camp.results, camp.err
+			c.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return results, nil
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.finishLocked(camp, ctx.Err())
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		case <-tick.C:
+			c.mu.Lock()
+			c.expireLocked(c.now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+func clampTick(d time.Duration) time.Duration {
+	const lo, hi = 25 * time.Millisecond, 5 * time.Second
+	return min(max(d, lo), hi)
+}
+
+// submit enqueues one job per unique spec key, fanning duplicate specs out
+// to all of their result slots, and wakes long-polling workers.
+func (c *Coordinator) submit(canon []campaign.RunSpec) *campaignRun {
+	camp := &campaignRun{
+		results: make([]pipeline.Stats, len(canon)),
+		done:    make(chan struct{}),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byKey := map[string]*job{}
+	for i, s := range canon {
+		k := s.Key()
+		if j, ok := byKey[k]; ok {
+			j.slots = append(j.slots, i)
+			continue
+		}
+		c.nextID++
+		j := &job{id: c.nextID, spec: s, camp: camp, slots: []int{i}}
+		byKey[k] = j
+		c.jobs[j.id] = j
+		c.queue = append(c.queue, j.id)
+	}
+	camp.remaining = len(byKey)
+	c.wakeLocked()
+	return camp
+}
+
+// wakeLocked signals every long-polling lease request that work may be
+// available.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// tryLease grants up to slots pending jobs to the worker, first expiring
+// stale leases. It returns the granted jobs plus the channel a caller with
+// nothing granted should wait on before retrying.
+func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheStats) ([]Job, <-chan struct{}) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorkerLocked(workerID, now)
+	w.cache = cache
+	c.expireLocked(now)
+	var granted []Job
+	var skipped []uint64 // jobs this worker is excluded from; keep for others
+	for len(c.queue) > 0 && len(granted) < slots {
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		j, ok := c.jobs[id]
+		if !ok || j.state != jobPending {
+			continue // completed, failed campaign, or re-queued under a newer entry
+		}
+		if j.excluded[workerID] {
+			// Held back for a worker that has not already failed it — unless
+			// no live worker remains eligible, in which case waiting is a
+			// wedge, not a retry.
+			if c.noEligibleWorkerLocked(j, now) {
+				c.finishLocked(j.camp, fmt.Errorf(
+					"cluster: unit %d (%s/%s) failed on every live worker (%d); last error: %s",
+					j.slots[0], j.spec.Machine, j.spec.WorkloadName(), len(j.excluded), j.lastErr))
+				continue
+			}
+			skipped = append(skipped, id)
+			continue
+		}
+		j.state = jobLeased
+		j.worker = workerID
+		j.deadline = now.Add(c.cfg.LeaseTTL)
+		w.leased++
+		granted = append(granted, Job{ID: j.id, Spec: j.spec})
+	}
+	if len(skipped) > 0 {
+		c.queue = append(skipped, c.queue...)
+	}
+	return granted, c.wake
+}
+
+// expireLocked re-queues every leased job whose deadline has passed: its
+// worker is presumed dead or wedged, and the surviving fleet picks the job
+// up on its next lease. The expired worker is not excluded — unlike a
+// reported failure, an expiry carries no evidence the job itself is at
+// fault, and excluding the sole member of a one-worker fleet would wedge
+// the queue.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, j := range c.jobs {
+		if j.state != jobLeased || !now.After(j.deadline) {
+			continue
+		}
+		c.expiries++
+		if w := c.workers[j.worker]; w != nil {
+			w.leased--
+			w.expired++
+		}
+		lastWorker := j.worker
+		j.state = jobPending
+		j.worker = ""
+		j.attempts++
+		if j.attempts >= c.cfg.MaxAttempts {
+			c.finishLocked(j.camp, fmt.Errorf(
+				"cluster: job %d (%s/%s) abandoned after %d lease expiries/failures; last worker %s went silent",
+				id, j.spec.Machine, j.spec.WorkloadName(), j.attempts, lastWorker))
+			continue
+		}
+		c.queue = append([]uint64{id}, c.queue...)
+		c.wakeLocked()
+	}
+}
+
+// complete applies a batch of worker results: successes fill their result
+// slots (first result wins; duplicates from re-leased jobs are ignored),
+// failures re-queue the job excluding the reporting worker until attempts
+// run out. Returns how many results were accepted.
+func (c *Coordinator) complete(workerID string, results []JobResult, cache campaign.CacheStats) int {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorkerLocked(workerID, now)
+	w.cache = cache
+	accepted := 0
+	for _, r := range results {
+		j, ok := c.jobs[r.JobID]
+		if !ok {
+			continue // already completed elsewhere, or its campaign is gone
+		}
+		if (r.Error != "" || r.Stats == nil) && !(j.state == jobLeased && j.worker == workerID) {
+			// A failure report from a worker that no longer holds the lease
+			// (it expired, or the job was re-assigned) must not unwind the
+			// current holder's active lease or burn an attempt — the live
+			// run may well succeed. Stale *successes*, by contrast, are
+			// accepted below: results are deterministic, first one wins.
+			continue
+		}
+		if j.state == jobLeased {
+			if lw := c.workers[j.worker]; lw != nil {
+				lw.leased--
+			}
+			// Settle the lease before any finishLocked below, which would
+			// otherwise decrement the holder a second time.
+			j.state = jobPending
+			j.worker = ""
+		}
+		if r.Error != "" || r.Stats == nil {
+			c.failures++
+			w.failed++
+			j.attempts++
+			if j.excluded == nil {
+				j.excluded = map[string]bool{}
+			}
+			j.excluded[workerID] = true
+			j.lastErr = r.Error
+			if j.attempts >= c.cfg.MaxAttempts || c.noEligibleWorkerLocked(j, now) {
+				c.finishLocked(j.camp, fmt.Errorf(
+					"cluster: unit %d (%s/%s) failed on %d worker(s); last error from %s: %s",
+					j.slots[0], j.spec.Machine, j.spec.WorkloadName(), len(j.excluded), workerID, j.lastErr))
+				continue
+			}
+			c.queue = append([]uint64{j.id}, c.queue...)
+			c.wakeLocked()
+			continue
+		}
+		accepted++
+		w.completed++
+		for _, slot := range j.slots {
+			j.camp.results[slot] = *r.Stats
+		}
+		delete(c.jobs, j.id)
+		c.jobsDone++
+		j.camp.remaining--
+		if j.camp.remaining == 0 {
+			c.finishLocked(j.camp, nil)
+		}
+	}
+	return accepted
+}
+
+// noEligibleWorkerLocked reports whether every worker recently in contact
+// has already failed this job: re-queuing it then waits for nobody.
+func (c *Coordinator) noEligibleWorkerLocked(j *job, now time.Time) bool {
+	for id, w := range c.workers {
+		if !j.excluded[id] && now.Sub(w.lastSeen) <= c.cfg.AliveAfter {
+			return false
+		}
+	}
+	return true
+}
+
+// finishLocked settles a campaign exactly once — success (err nil) or
+// failure — removing any of its jobs still live so the queue cannot keep
+// dispatching work nobody will collect.
+func (c *Coordinator) finishLocked(camp *campaignRun, err error) {
+	if camp.finished {
+		return
+	}
+	camp.finished = true
+	camp.err = err
+	for id, j := range c.jobs {
+		if j.camp != camp {
+			continue
+		}
+		if j.state == jobLeased {
+			if w := c.workers[j.worker]; w != nil {
+				w.leased--
+			}
+		}
+		delete(c.jobs, id)
+	}
+	close(camp.done)
+}
+
+// join registers (or refreshes) a worker from an explicit JoinRequest.
+func (c *Coordinator) join(req JoinRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorkerLocked(req.WorkerID, c.now())
+	if req.Addr != "" {
+		w.addr = req.Addr
+	}
+	if req.Slots > 0 {
+		w.slots = req.Slots
+	}
+}
+
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) *workerState {
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerState{id: id}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// WorkerStatus is one worker's row in the fleet /stats view.
+type WorkerStatus struct {
+	ID        string              `json:"id"`
+	Addr      string              `json:"addr,omitempty"`
+	Slots     int                 `json:"slots,omitempty"`
+	Alive     bool                `json:"alive"`
+	IdleMs    int64               `json:"idle_ms"` // since last contact
+	Leased    int                 `json:"leased"`
+	Completed uint64              `json:"completed"`
+	Failed    uint64              `json:"failed,omitempty"`
+	Expired   uint64              `json:"expired,omitempty"`
+	Cache     campaign.CacheStats `json:"cache"`
+}
+
+// FleetStats aggregates the whole fleet for GET /stats: galsimd's own
+// /stats is per-process, so the coordinator sums worker-reported engine
+// counters into one fleet-wide cache view alongside queue depth and
+// per-worker health.
+type FleetStats struct {
+	Workers       int                 `json:"workers"`
+	Alive         int                 `json:"alive"`
+	JobsPending   int                 `json:"jobs_pending"`
+	JobsInFlight  int                 `json:"jobs_in_flight"`
+	JobsDone      uint64              `json:"jobs_done"`
+	LeaseExpiries uint64              `json:"lease_expiries"`
+	JobFailures   uint64              `json:"job_failures"`
+	Cache         campaign.CacheStats `json:"cache"`
+	WorkerList    []WorkerStatus      `json:"worker_list"`
+}
+
+// Stats snapshots the fleet.
+func (c *Coordinator) Stats() FleetStats {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := FleetStats{
+		Workers:       len(c.workers),
+		JobsDone:      c.jobsDone,
+		LeaseExpiries: c.expiries,
+		JobFailures:   c.failures,
+		WorkerList:    make([]WorkerStatus, 0, len(c.workers)),
+	}
+	for _, j := range c.jobs {
+		if j.state == jobLeased {
+			s.JobsInFlight++
+		} else {
+			s.JobsPending++
+		}
+	}
+	for _, w := range c.workers {
+		alive := now.Sub(w.lastSeen) <= c.cfg.AliveAfter
+		if alive {
+			s.Alive++
+		}
+		s.Cache.Hits += w.cache.Hits
+		s.Cache.Misses += w.cache.Misses
+		s.Cache.Entries += w.cache.Entries
+		s.WorkerList = append(s.WorkerList, WorkerStatus{
+			ID:        w.id,
+			Addr:      w.addr,
+			Slots:     w.slots,
+			Alive:     alive,
+			IdleMs:    now.Sub(w.lastSeen).Milliseconds(),
+			Leased:    w.leased,
+			Completed: w.completed,
+			Failed:    w.failed,
+			Expired:   w.expired,
+			Cache:     w.cache,
+		})
+	}
+	sort.Slice(s.WorkerList, func(i, k int) bool { return s.WorkerList[i].ID < s.WorkerList[k].ID })
+	return s
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"galsim/internal/campaign"
+	"galsim/internal/pipeline"
+)
+
+// FuzzJobCodec fuzzes the job/result wire encoding: decoding arbitrary
+// bytes must never panic, and anything that decodes must round-trip to
+// stable bytes (a field that failed to survive the trip — a missing tag,
+// an unexported field — would silently change simulation results or drop
+// them on the floor).
+func FuzzJobCodec(f *testing.F) {
+	seedJob := Job{
+		ID: 42,
+		Spec: campaign.RunSpec{
+			Benchmark:    "gcc",
+			Machine:      "gals",
+			Instructions: 6_000,
+			Slowdowns:    map[string]float64{"fp": 3, "all": 1.5},
+			DynamicDVFS:  true,
+		}.Canonical(),
+	}
+	f.Add(EncodeJob(seedJob))
+	st := pipeline.Stats{Committed: 6_000, Fetched: 7_000}
+	f.Add(EncodeJobResult(JobResult{JobID: 42, Stats: &st}))
+	f.Add(EncodeJobResult(JobResult{JobID: 7, Error: "worker on fire"}))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"id":1}`))
+	f.Add([]byte(`{"job_id":1,"stats":{"Committed":5}}`))
+	f.Add([]byte(`{"id":1,"spec":{"benchmark":"gcc"},"extra":true}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"id":1}{"id":2}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if j, err := DecodeJob(data); err == nil {
+			b := EncodeJob(j)
+			j2, err := DecodeJob(b)
+			if err != nil {
+				t.Fatalf("job round-trip failed to decode: %v\noriginal: %q\nencoded: %q", err, data, b)
+			}
+			if b2 := EncodeJob(j2); !bytes.Equal(b, b2) {
+				t.Fatalf("job round-trip not stable:\nfirst:  %s\nsecond: %s", b, b2)
+			}
+		}
+		if r, err := DecodeJobResult(data); err == nil {
+			b := EncodeJobResult(r)
+			r2, err := DecodeJobResult(b)
+			if err != nil {
+				t.Fatalf("result round-trip failed to decode: %v\noriginal: %q\nencoded: %q", err, data, b)
+			}
+			if b2 := EncodeJobResult(r2); !bytes.Equal(b, b2) {
+				t.Fatalf("result round-trip not stable:\nfirst:  %s\nsecond: %s", b, b2)
+			}
+		}
+	})
+}
+
+// TestJobCodecRejectsMalformed pins the strictness the fuzz target relies
+// on: unknown fields, trailing garbage, and stats+error both set are all
+// decode errors, not silent acceptance.
+func TestJobCodecRejectsMalformed(t *testing.T) {
+	if _, err := DecodeJob([]byte(`{"id":1,"spec":{"benchmark":"gcc"},"bogus":1}`)); err == nil {
+		t.Error("unknown job field accepted")
+	}
+	if _, err := DecodeJob([]byte(`{"id":1}{"id":2}`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := DecodeJobResult([]byte(`{"job_id":1,"stats":{"Committed":1},"error":"x"}`)); err == nil {
+		t.Error("result with both stats and error accepted")
+	}
+	j := Job{ID: 9, Spec: campaign.RunSpec{Benchmark: "swim"}.Canonical()}
+	got, err := DecodeJob(EncodeJob(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 9 || got.Spec.Benchmark != "swim" || got.Spec.Key() != j.Spec.Key() {
+		t.Errorf("round-trip changed the job: %+v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"galsim/internal/httpjson"
+)
+
+// maxBodyBytes bounds fleet-endpoint request bodies. Completion batches
+// carry full Stats structs, but even a generous batch stays far under this.
+const maxBodyBytes = 8 << 20
+
+// maxLeaseWait caps how long one lease request may long-poll; workers
+// simply poll again.
+const maxLeaseWait = 30 * time.Second
+
+// Register mounts the coordinator's fleet endpoints on mux:
+//
+//	POST /join           explicit worker registration
+//	POST /jobs/lease     lease up to N jobs (long-polls while idle)
+//	POST /jobs/complete  post finished jobs (streamed per job)
+//	GET  /stats          aggregated fleet stats (see FleetStats)
+//
+// The paths are chosen so a service.Server can be mounted beneath at "/"
+// (as cmd/galsim-fleet does): ServeMux prefers the more specific pattern,
+// so the fleet-wide /stats shadows the service's per-process one while
+// /run, /sweep, /benchmarks etc. fall through.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /join", c.handleJoin)
+	mux.HandleFunc("POST /jobs/lease", c.handleLease)
+	mux.HandleFunc("POST /jobs/complete", c.handleComplete)
+	mux.HandleFunc("GET /stats", c.handleStats)
+}
+
+// Handler returns a standalone handler serving only the fleet endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Register(mux)
+	return mux
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker_id is required"))
+		return
+	}
+	c.join(req)
+	writeJSON(w, http.StatusOK, JoinResponse{LeaseMs: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker_id is required"))
+		return
+	}
+	slots := req.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	wait := time.Duration(req.WaitMs) * time.Millisecond
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	// Long-poll: wall-clock here, the injectable coordinator clock only for
+	// lease deadlines (fake-clock tests drive tryLease directly).
+	deadline := time.Now().Add(wait)
+	for {
+		jobs, wake := c.tryLease(req.WorkerID, slots, req.Cache)
+		if len(jobs) > 0 || !time.Now().Before(deadline) {
+			writeJSON(w, http.StatusOK, LeaseResponse{
+				Jobs:    jobs,
+				LeaseMs: c.cfg.LeaseTTL.Milliseconds(),
+			})
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return // worker gone; nothing was leased
+		}
+		timer.Stop()
+	}
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker_id is required"))
+		return
+	}
+	for _, res := range req.Results {
+		if res.Stats != nil && res.Error != "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("job result %d carries both stats and an error", res.JobID))
+			return
+		}
+	}
+	accepted := c.complete(req.WorkerID, req.Results, req.Cache)
+	writeJSON(w, http.StatusOK, CompleteResponse{Accepted: accepted})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) { httpjson.Write(w, status, v) }
+
+func writeError(w http.ResponseWriter, status int, err error) { httpjson.Error(w, status, err) }
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return httpjson.Decode(w, r, v, maxBodyBytes)
+}

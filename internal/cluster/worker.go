@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"galsim/internal/campaign"
+)
+
+// Worker pulls jobs from a Coordinator and executes them on a local
+// campaign engine. galsimd runs one (sharing the engine with its own HTTP
+// handlers, so fleet jobs and direct requests hit one result cache) when
+// started with -join; cmd/galsim-fleet can also spawn in-process workers
+// for single-machine fleets.
+type Worker struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:9090".
+	Coordinator string
+	// ID names this worker to the fleet; empty generates "host-pid-xxxx".
+	ID string
+	// Addr is this worker's own HTTP address, if it serves one;
+	// informational, shown in fleet stats.
+	Addr string
+	// Engine executes the jobs (nil creates a GOMAXPROCS-wide engine).
+	Engine *campaign.Engine
+	// Slots is how many jobs run concurrently (default Engine.Workers()).
+	Slots int
+	// PollInterval is the pause after an idle long-poll or a coordinator
+	// error before retrying (default 500ms; the lease long-poll provides
+	// the real pacing).
+	PollInterval time.Duration
+	// Client issues the HTTP calls (nil uses a 2-minute-timeout client —
+	// comfortably above the lease long-poll, far below any lease TTL that
+	// would matter).
+	Client *http.Client
+	// Logf, when non-nil, receives progress and retry diagnostics.
+	Logf func(format string, v ...any)
+}
+
+func (w *Worker) logf(format string, v ...any) {
+	if w.Logf != nil {
+		w.Logf(format, v...)
+	}
+}
+
+// leaseWaitMs is how long each lease request long-polls on the coordinator.
+const leaseWaitMs = 2000
+
+// Run joins the coordinator and pulls jobs until ctx is cancelled,
+// streaming each completion back as the job finishes. A worker dying
+// mid-job (ctx cancelled, process killed) simply never completes it; the
+// coordinator's lease TTL re-queues the job for the surviving fleet.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Engine == nil {
+		w.Engine = campaign.NewEngine(0)
+	}
+	if w.ID == "" {
+		w.ID = defaultWorkerID()
+	}
+	if w.Client == nil {
+		w.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	slots := w.Slots
+	if slots <= 0 {
+		slots = w.Engine.Workers()
+	}
+	if err := w.join(ctx, slots); err != nil {
+		return fmt.Errorf("cluster: worker %s joining %s: %w", w.ID, w.Coordinator, err)
+	}
+	w.logf("cluster: worker %s joined %s (%d slots)", w.ID, w.Coordinator, slots)
+	var wg sync.WaitGroup
+	// One puller per slot: each leases a single job, runs it, and posts the
+	// completion before leasing again — natural backpressure, and a lost
+	// worker forfeits at most `slots` leases.
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.pull(ctx)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+func (w *Worker) pull(ctx context.Context) {
+	for ctx.Err() == nil {
+		lease, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("cluster: worker %s: lease: %v", w.ID, err)
+			sleepCtx(ctx, w.pollInterval())
+			continue
+		}
+		if len(lease.Jobs) == 0 {
+			// The long-poll already waited; a short pause keeps a
+			// misconfigured (wait-free) coordinator from being hammered.
+			sleepCtx(ctx, w.pollInterval())
+			continue
+		}
+		for _, jb := range lease.Jobs {
+			st, err := w.Engine.Run(ctx, jb.Spec)
+			if ctx.Err() != nil {
+				// Dying mid-job: report nothing and let the lease expire, so
+				// the job is re-run whole on a live worker.
+				return
+			}
+			res := JobResult{JobID: jb.ID}
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Stats = &st
+			}
+			if cerr := w.complete(ctx, res); cerr != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				w.logf("cluster: worker %s: completing job %d: %v", w.ID, jb.ID, cerr)
+			}
+		}
+	}
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	if w.PollInterval > 0 {
+		return w.PollInterval
+	}
+	return 500 * time.Millisecond
+}
+
+func (w *Worker) join(ctx context.Context, slots int) error {
+	var resp JoinResponse
+	return w.post(ctx, "/join", JoinRequest{WorkerID: w.ID, Addr: w.Addr, Slots: slots}, &resp)
+}
+
+func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := w.post(ctx, "/jobs/lease", LeaseRequest{
+		WorkerID: w.ID,
+		Slots:    1,
+		WaitMs:   leaseWaitMs,
+		Cache:    w.Engine.Stats(),
+	}, &resp)
+	return resp, err
+}
+
+// complete posts one finished job, retrying a few times so a briefly
+// unreachable coordinator does not cost a finished simulation; if it stays
+// unreachable the lease expires and the job reruns elsewhere.
+func (w *Worker) complete(ctx context.Context, res JobResult) error {
+	req := CompleteRequest{WorkerID: w.ID, Results: []JobResult{res}, Cache: w.Engine.Stats()}
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			sleepCtx(ctx, time.Duration(attempt)*200*time.Millisecond)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		var resp CompleteResponse
+		if err = w.post(ctx, "/jobs/complete", req, &resp); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s (HTTP %d)", path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	// Strict decoding end to end: a coordinator speaking a newer schema
+	// (say, a job field this worker would silently drop) must fail loudly
+	// here, not simulate the wrong configuration.
+	if err := decodeStrict(data, out); err != nil {
+		return fmt.Errorf("%s: decoding response: %w", path, err)
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	var suffix [2]byte
+	rand.Read(suffix[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	return fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(suffix[:]))
+}

@@ -1,0 +1,37 @@
+// Package httpjson holds the JSON-over-HTTP plumbing shared by the galsimd
+// service handlers and the cluster fleet endpoints: one implementation of
+// response encoding, error bodies, and strict request decoding, so a fix
+// to any of them cannot silently miss a package.
+package httpjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Write encodes v as indented JSON with the given status.
+func Write(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// Error writes the canonical {"error": "..."} body.
+func Error(w http.ResponseWriter, status int, err error) {
+	Write(w, status, map[string]string{"error": err.Error()})
+}
+
+// Decode strictly parses a request body of at most maxBytes into v,
+// rejecting unknown fields; on failure it writes a 400 and returns false.
+func Decode(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		Error(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}

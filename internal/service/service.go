@@ -21,6 +21,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -31,6 +32,8 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/experiments"
+	"galsim/internal/httpjson"
+	"galsim/internal/pipeline"
 	"galsim/internal/workload"
 )
 
@@ -56,6 +59,13 @@ type customEntry struct {
 type Server struct {
 	engine *campaign.Engine
 	mux    *http.ServeMux
+
+	// Backend, when set, executes /run and /sweep batches instead of the
+	// local engine — e.g. a cluster coordinator fanning the units out over
+	// a worker fleet (see internal/cluster and cmd/galsim-fleet). The
+	// engine keeps serving /experiments and the per-process /stats. Set
+	// before the server starts handling requests.
+	Backend campaign.Backend
 
 	// MaxSweepUnits rejects sweeps expanding beyond this many units
 	// (0 = unlimited). Protects a shared server from accidental
@@ -90,6 +100,15 @@ func New(engine *campaign.Engine) *Server {
 // Engine returns the server's campaign engine.
 func (s *Server) Engine() *campaign.Engine { return s.engine }
 
+// backend returns the execution backend for runs and sweeps: the local
+// engine unless a distributed one was installed.
+func (s *Server) backend() campaign.Backend {
+	if s.Backend != nil {
+		return s.Backend
+	}
+	return s.engine
+}
+
 // ServeHTTP implements http.Handler. Panics escaping a handler (internal
 // invariant violations in the simulator) become a 500 instead of killing
 // the connection without a response.
@@ -102,26 +121,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
-}
+func writeJSON(w http.ResponseWriter, status int, v any) { httpjson.Write(w, status, v) }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
+func writeError(w http.ResponseWriter, status int, err error) { httpjson.Error(w, status, err) }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
-		return false
-	}
-	return true
+	return httpjson.Decode(w, r, v, maxBodyBytes)
 }
 
 // RunResponse is the POST /run payload.
@@ -165,7 +170,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.engine.Run(r.Context(), spec)
+	st, err := s.runOne(r.Context(), spec)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if r.Context().Err() != nil {
@@ -179,6 +184,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Spec:    spec.Canonical(),
 		Summary: campaign.Summarize(spec, st),
 	})
+}
+
+// runOne executes a single spec: through the engine's singleflight cache
+// normally, or as a one-unit batch on the installed distributed backend
+// (whose workers hold the caches).
+func (s *Server) runOne(ctx context.Context, spec campaign.RunSpec) (pipeline.Stats, error) {
+	if s.Backend == nil {
+		return s.engine.Run(ctx, spec)
+	}
+	stats, err := s.Backend.RunAll(ctx, []campaign.RunSpec{spec})
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return stats[0], nil
 }
 
 // SweepResponse is the POST /sweep payload.
@@ -205,7 +224,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, err := s.engine.RunSweep(r.Context(), sweep)
+	results, err := campaign.RunSweepOn(r.Context(), s.backend(), sweep)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if r.Context().Err() != nil {

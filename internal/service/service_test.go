@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"galsim/internal/campaign"
+	"galsim/internal/pipeline"
 	"galsim/internal/report"
 )
 
@@ -219,6 +221,56 @@ func TestExperimentEndpoint(t *testing.T) {
 	if resp, _ := get(t, ts.URL+"/experiments/5?format=xml&n=6000&benchmarks=gcc,fpppp"); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown format: status %d, want 400", resp.StatusCode)
 	}
+}
+
+// countingBackend records the batches routed through it and delegates to
+// an engine, standing in for a cluster coordinator.
+type countingBackend struct {
+	engine  *campaign.Engine
+	batches [][]campaign.RunSpec
+}
+
+func (b *countingBackend) RunAll(ctx context.Context, specs []campaign.RunSpec) ([]pipeline.Stats, error) {
+	b.batches = append(b.batches, specs)
+	return b.engine.RunAll(ctx, specs)
+}
+
+// TestBackendThreading: with a Backend installed, /run and /sweep execute
+// through it — not the server's own engine — and return the same payloads.
+func TestBackendThreading(t *testing.T) {
+	srv, ts := newTestServer(t)
+	backend := &countingBackend{engine: campaign.NewEngine(2)}
+	srv.Backend = backend
+
+	resp, body := post(t, ts.URL+"/run", `{"benchmark":"gcc","instructions":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run via backend: %d %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Summary.Committed != 5000 {
+		t.Errorf("run summary = %+v", rr.Summary)
+	}
+	resp, body = post(t, ts.URL+"/sweep", `{"benchmarks":["gcc","li"],"machines":["base"],"instructions":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep via backend: %d %s", resp.StatusCode, body)
+	}
+	if len(backend.batches) != 2 || len(backend.batches[0]) != 1 || len(backend.batches[1]) != 2 {
+		t.Errorf("backend saw batches %v, want one 1-unit and one 2-unit", batchSizes(backend.batches))
+	}
+	if st := srv.Engine().Stats(); st.Misses != 0 {
+		t.Errorf("server engine simulated %d units despite the backend: %+v", st.Misses, st)
+	}
+}
+
+func batchSizes(batches [][]campaign.RunSpec) []int {
+	sizes := make([]int, len(batches))
+	for i, b := range batches {
+		sizes[i] = len(b)
+	}
+	return sizes
 }
 
 func TestAuxEndpoints(t *testing.T) {
