@@ -39,12 +39,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"galsim/internal/campaign"
 	"galsim/internal/cluster"
 	"galsim/internal/httpjson"
+	"galsim/internal/machine"
 	"galsim/internal/service"
 )
 
@@ -56,6 +58,7 @@ func main() {
 		spawn       = flag.Int("spawn", 0, "in-process workers to start (single-machine fleet; 0 = external workers only)")
 		spawnSlots  = flag.Int("spawn-slots", 0, "concurrent jobs per spawned worker (0 = GOMAXPROCS split across spawned workers)")
 		maxUnits    = flag.Int("max-sweep-units", 4096, "reject sweeps expanding beyond this many units (0 = unlimited)")
+		machineFile = flag.String("machine", "", "MachineSpec JSON file(s) to pre-register, comma-separated; /run and /sweep requests may then reference them by name")
 		gracePd     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		rdTimeout   = flag.Duration("read-timeout", 60*time.Second, "request read timeout (must exceed the lease long-poll)")
 		wrTimeout   = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
@@ -73,6 +76,24 @@ func main() {
 	svc := service.New(engine)
 	svc.MaxSweepUnits = *maxUnits
 	svc.Backend = coord
+
+	if *machineFile != "" {
+		for _, path := range strings.Split(*machineFile, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatalf("galsim-fleet: -machine: %v", err)
+			}
+			spec, err := machine.Parse(data)
+			if err != nil {
+				log.Fatalf("galsim-fleet: -machine %s: %v", path, err)
+			}
+			if _, err := svc.RegisterMachine(spec); err != nil {
+				log.Fatalf("galsim-fleet: -machine %s: %v", path, err)
+			}
+			log.Printf("galsim-fleet: registered machine %q (%d domains, digest %.12s)",
+				spec.Name, len(spec.Domains), spec.Digest())
+		}
+	}
 
 	mux := http.NewServeMux()
 	coord.Register(mux) // fleet endpoints; its GET /stats shadows the service's per-process one

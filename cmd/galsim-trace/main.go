@@ -69,6 +69,7 @@ run "galsim-trace <command> -h" for the command's flags
 // machineFlags holds the run-configuration flags shared by record and
 // replay.
 type machineFlags struct {
+	fs        *flag.FlagSet
 	machine   *string
 	n         *uint64
 	slow      *string
@@ -82,7 +83,8 @@ type machineFlags struct {
 
 func addMachineFlags(fs *flag.FlagSet) *machineFlags {
 	return &machineFlags{
-		machine:   fs.String("machine", "base", `machine variant: "base" or "gals"`),
+		fs:        fs,
+		machine:   fs.String("machine", "base", `machine: "base", "gals", or a MachineSpec JSON file`),
 		n:         fs.Uint64("n", 0, "instructions to commit (0 = default: 100000, or the recorded length for replay)"),
 		slow:      fs.String("slow", "", `per-domain clock slowdowns, e.g. "fp=3,fetch=1.1"`),
 		noDVS:     fs.Bool("no-dvs", false, "disable voltage scaling of slowed domains"),
@@ -99,8 +101,36 @@ func (m *machineFlags) options() (galsim.Options, error) {
 	if err != nil {
 		return galsim.Options{}, err
 	}
+	// The "base" default must reach the library as "no machine chosen":
+	// replaying a trace recorded on another topology errors loudly unless
+	// the machine is an explicit choice. Anything that is not a built-in
+	// name is read as a MachineSpec JSON file.
+	name := ""
+	var spec *galsim.MachineSpec
+	m.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "machine" {
+			name = *m.machine
+		}
+	})
+	builtin := name == ""
+	for _, b := range galsim.Machines() {
+		builtin = builtin || name == b
+	}
+	if !builtin {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return galsim.Options{}, fmt.Errorf("-machine %q is neither a built-in machine (%s) nor a readable spec file: %v",
+				name, strings.Join(galsim.Machines(), ", "), err)
+		}
+		parsed, err := galsim.ParseMachineSpec(data)
+		if err != nil {
+			return galsim.Options{}, fmt.Errorf("-machine %s: %v", name, err)
+		}
+		spec, name = &parsed, ""
+	}
 	return galsim.Options{
-		Machine:               galsim.Machine(*m.machine),
+		Machine:               galsim.Machine(name),
+		MachineSpec:           spec,
 		Instructions:          *m.n,
 		Slowdowns:             slowdowns,
 		DisableVoltageScaling: *m.noDVS,
@@ -182,6 +212,9 @@ func cmdInspect(args []string) error {
 	fmt.Printf("workload %s\n", meta.Name)
 	fmt.Printf("recorded %d committed instructions\n", meta.Instructions)
 	fmt.Printf("sha256   %s\n", digest)
+	if meta.MachineDigest != "" {
+		fmt.Printf("machine  %s\n", meta.MachineDigest)
+	}
 	if len(meta.SpecJSON) > 0 {
 		fmt.Printf("spec     %s\n", meta.SpecJSON)
 	}

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"galsim"
 )
@@ -29,7 +30,7 @@ func main() {
 		profile   = flag.String("profile", "", "JSON file with a custom (possibly phased) workload profile, instead of -bench")
 		replay    = flag.String("replay", "", "trace file to replay as the workload, instead of -bench")
 		record    = flag.String("record", "", "record the run's instruction stream to this trace file")
-		machine   = flag.String("machine", "base", `machine variant: "base" or "gals"`)
+		machine   = flag.String("machine", "base", `machine: "base", "gals", or a MachineSpec JSON file defining a custom clock-domain topology`)
 		n         = flag.Uint64("n", 0, "instructions to commit (0 = default: 100000, or the recorded length for -replay)")
 		slow      = flag.String("slow", "", `per-domain clock slowdowns, e.g. "fp=3,fetch=1.1" (gals) or "all=1.5" (base)`)
 		noDVS     = flag.Bool("no-dvs", false, "disable voltage scaling of slowed domains")
@@ -61,8 +62,17 @@ func main() {
 	// -bench has a non-empty default that yields to -profile/-replay; an
 	// *explicitly* passed -bench alongside either is a conflict the user
 	// should hear about, exactly as the library API would report it.
-	benchSet := false
-	flag.Visit(func(f *flag.Flag) { benchSet = benchSet || f.Name == "bench" })
+	// -machine likewise defaults to "base", but the default must reach the
+	// library as "no machine chosen": replaying a trace recorded on another
+	// topology errors loudly unless the machine is an explicit choice.
+	benchSet, machineSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		benchSet = benchSet || f.Name == "bench"
+		machineSet = machineSet || f.Name == "machine"
+	})
+	if !machineSet {
+		*machine = ""
+	}
 	if benchSet && (*profile != "" || *replay != "") {
 		fmt.Fprintln(os.Stderr, "galsim: -bench, -profile and -replay are mutually exclusive; pass exactly one")
 		os.Exit(2)
@@ -74,11 +84,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	machineSpec, machineName, err := resolveMachineFlag(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim:", err)
+		os.Exit(2)
+	}
+
 	opts := galsim.Options{
 		Benchmark:             *bench,
 		Trace:                 *replay,
 		RecordTrace:           *record,
-		Machine:               galsim.Machine(*machine),
+		Machine:               galsim.Machine(machineName),
+		MachineSpec:           machineSpec,
 		Instructions:          *n,
 		Slowdowns:             slowdowns,
 		DisableVoltageScaling: *noDVS,
@@ -157,6 +174,26 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// resolveMachineFlag interprets -machine: a built-in machine name stays a
+// name; anything else is read as a MachineSpec JSON file.
+func resolveMachineFlag(v string) (*galsim.MachineSpec, string, error) {
+	for _, name := range append(galsim.Machines(), "") {
+		if v == name {
+			return nil, v, nil
+		}
+	}
+	data, err := os.ReadFile(v)
+	if err != nil {
+		return nil, "", fmt.Errorf("-machine %q is neither a built-in machine (%s) nor a readable spec file: %v",
+			v, strings.Join(galsim.Machines(), ", "), err)
+	}
+	spec, err := galsim.ParseMachineSpec(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("-machine %s: %v", v, err)
+	}
+	return &spec, "", nil
 }
 
 func printResult(r galsim.Result) {

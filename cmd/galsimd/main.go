@@ -13,6 +13,9 @@
 //	curl -s -X POST localhost:8080/sweep \
 //	    -d '{"benchmarks":["gcc","perl"],"instructions":20000,
 //	         "slowdown_grid":[{},{"fp":1.5},{"fp":3}],"machines":["gals"]}'
+//	curl -s -X POST localhost:8080/machines -d @my-machine.json
+//	curl -s -X POST localhost:8080/run \
+//	    -d '{"benchmark":"gcc","machine":"my-machine"}'
 //	curl -s 'localhost:8080/experiments/5?format=text'
 //	curl -s localhost:8080/stats
 //

@@ -1,0 +1,117 @@
+// Partition: the design-space question the MachineSpec API exists to ask —
+// how does the *choice of partitioning* into clock domains affect power and
+// performance? The paper evaluates exactly one partitioning (its Figure
+// 3(b) five-domain machine); here the same workloads run over a small
+// family of user-defined machines between the two built-ins:
+//
+//	base       1 domain  fully synchronous reference (global clock grid)
+//	frontmerge 4 domains fetch+decode share one clock, exec domains split
+//	tri        3 domains front end / int+fp cluster / memory system
+//	gals       5 domains the paper's machine
+//
+// Fewer domains mean fewer mixed-clock FIFO crossings (less slip, less
+// misspeculation) but also fewer independently scalable clocks; the sweep
+// quantifies that tradeoff per benchmark. Every machine here is just a
+// galsim.MachineSpec value — the same JSON-shaped spec accepted by
+// `galsim -machine <file.json>` and `galsimd POST /machines`.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"galsim"
+)
+
+// frontMerge keeps the execution domains of the paper's machine but fuses
+// fetch and decode onto one front-end clock: one fewer synchronizer on the
+// machine's critical fetch->decode path.
+func frontMerge() galsim.MachineSpec {
+	return galsim.MachineSpec{
+		Name: "frontmerge",
+		Domains: []galsim.ClockDomainSpec{
+			{Name: "front"},
+			{Name: "int", DVFS: "dynamic"},
+			{Name: "fp", DVFS: "dynamic"},
+			{Name: "mem", DVFS: "dynamic"},
+		},
+		Assign: map[string]string{
+			"fetch": "front", "decode": "front",
+			"int": "int", "fp": "fp", "mem": "mem",
+		},
+	}
+}
+
+// tri additionally fuses the integer and FP clusters onto one execution
+// clock: only the memory system keeps a private clock.
+func tri() galsim.MachineSpec {
+	return galsim.MachineSpec{
+		Name: "tri",
+		Domains: []galsim.ClockDomainSpec{
+			{Name: "front"},
+			{Name: "exec", DVFS: "dynamic"},
+			{Name: "memsys"},
+		},
+		Assign: map[string]string{
+			"fetch": "front", "decode": "front",
+			"int": "exec", "fp": "exec", "mem": "memsys",
+		},
+	}
+}
+
+func main() {
+	const n = 100_000
+	benchmarks := []string{"gcc", "swim", "perl"}
+
+	fm, tr := frontMerge(), tri()
+	machines := []struct {
+		label string
+		opt   func(galsim.Options) galsim.Options
+	}{
+		{"frontmerge", func(o galsim.Options) galsim.Options { o.MachineSpec = &fm; return o }},
+		{"tri", func(o galsim.Options) galsim.Options { o.MachineSpec = &tr; return o }},
+		{"gals", func(o galsim.Options) galsim.Options { o.Machine = galsim.GALS; return o }},
+	}
+
+	var opts []galsim.Options
+	for _, b := range benchmarks {
+		opts = append(opts, galsim.Options{Benchmark: b, Machine: galsim.Base, Instructions: n})
+		for _, m := range machines {
+			opts = append(opts, m.opt(galsim.Options{Benchmark: b, Instructions: n}))
+		}
+	}
+	results, err := galsim.RunMany(context.Background(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("partitioning sweep, %d instructions (relative to the synchronous base)\n\n", n)
+	fmt.Printf("%-6s %-11s %8s %9s %10s %9s %10s\n",
+		"bench", "machine", "domains", "rel-perf", "rel-energy", "rel-power", "slip-ns")
+	row := 0
+	for _, b := range benchmarks {
+		base := results[row]
+		row++
+		fmt.Printf("%-6s %-11s %8d %9.3f %10.3f %9.3f %10.2f\n",
+			b, "base", 1, 1.0, 1.0, 1.0, base.AvgSlipNs)
+		domains := []int{4, 3, 5}
+		for i, m := range machines {
+			r := results[row]
+			row++
+			fmt.Printf("%-6s %-11s %8d %9.3f %10.3f %9.3f %10.2f\n",
+				b, m.label, domains[i],
+				base.RelativePerformance(r),
+				r.EnergyJoules/base.EnergyJoules,
+				r.PowerWatts/base.PowerWatts,
+				r.AvgSlipNs)
+		}
+	}
+	fmt.Println("\nreading: the boundaries that cost performance are the ones real traffic")
+	fmt.Println("crosses — fusing fetch+decode removes a synchronizer from every fetched")
+	fmt.Println("instruction's path and buys back most of the GALS penalty. Fusing int+fp")
+	fmt.Println("on top of it (tri) is free at equal clocks: no machine link joins the two")
+	fmt.Println("clusters directly, so with every domain at 1 GHz the merge shifts only")
+	fmt.Println("internal waiting, not results — what it gives up is the freedom to scale")
+	fmt.Println("int and fp independently (fp=3 on gals has no tri equivalent).")
+}

@@ -35,13 +35,16 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/isa"
+	"galsim/internal/machine"
 	"galsim/internal/pipeline"
 	"galsim/internal/power"
 	"galsim/internal/trace"
 	"galsim/internal/workload"
 )
 
-// Machine selects the processor variant.
+// Machine names a built-in machine variant. Deprecated in favour of
+// MachineSpec, which can express any clock-domain partitioning; the two
+// built-in names keep working and resolve to the equivalent built-in specs.
 type Machine string
 
 // Machine variants.
@@ -56,9 +59,61 @@ const (
 	GALS Machine = "gals"
 )
 
-// DomainNames lists the clock domain names accepted by Options.Slowdowns,
-// in pipeline order. The returned slice is a fresh copy on every call;
-// callers may mutate it freely.
+// MachineSpec is a declarative machine: named clock domains (each with a
+// nominal frequency, an optional voltage table and a DVFS policy), an
+// assignment of every pipeline structure — fetch, decode/rename/ROB/commit,
+// integer, FP, load/store — to a domain, and per-link synchronization FIFO
+// settings. The two classic variants are just the built-in specs named
+// "base" and "gals" (see BuiltinMachine); any other partitioning of the
+// pipeline is a spec you can write — the design space the paper explores.
+// Its JSON form is accepted by Options.MachineSpec, the galsimd /machines
+// endpoint and the galsim -machine flag.
+type MachineSpec = machine.Spec
+
+// ClockDomainSpec declares one clock domain of a MachineSpec.
+type ClockDomainSpec = machine.DomainSpec
+
+// MachineLinkSpec overrides one link class's synchronization FIFO geometry
+// in a MachineSpec.
+type MachineLinkSpec = machine.LinkSpec
+
+// VoltagePoint is one entry of a clock domain's voltage table.
+type VoltagePoint = machine.VoltPoint
+
+// UnknownMachineError reports a Machine name that names no built-in spec
+// (and, on the galsimd service, no uploaded one). Options.Validate returns
+// it (errors.As-able) so callers can list the alternatives.
+type UnknownMachineError = machine.UnknownError
+
+// ParseMachineSpec decodes and validates a JSON machine spec (the format
+// accepted by the galsimd /machines endpoint and the -machine <file.json>
+// CLI flag). Unknown fields are rejected so typos fail loudly.
+func ParseMachineSpec(data []byte) (MachineSpec, error) {
+	return machine.Parse(data)
+}
+
+// Machines returns the built-in machine names. The returned slice is a
+// fresh copy on every call; callers may mutate it freely.
+func Machines() []string { return machine.BuiltinNames() }
+
+// BuiltinMachine returns a built-in machine as a full MachineSpec — the
+// natural starting point for a custom topology ("" selects base). Running
+// an unmodified built-in spec is bit-identical to naming it via
+// Options.Machine and hits the same result-cache entries.
+func BuiltinMachine(name string) (MachineSpec, error) {
+	return machine.ByName(name)
+}
+
+// MachineStructures lists the pipeline structures a MachineSpec assigns to
+// clock domains, in pipeline order. The returned slice is a fresh copy on
+// every call.
+func MachineStructures() []string { return machine.Structures() }
+
+// DomainNames lists the clock domain names of the built-in gals machine —
+// the keys its runs accept in Options.Slowdowns — in pipeline order. A
+// custom machine's runs key slowdowns by its own MachineSpec.DomainNames.
+// The returned slice is a fresh copy on every call; callers may mutate it
+// freely.
 func DomainNames() []string { return campaign.DomainNames() }
 
 // Benchmarks returns the available synthetic benchmark names (stand-ins for
@@ -177,8 +232,17 @@ type Options struct {
 	// by Run only (RunMany may serve results from cache, where there is no
 	// stream to record).
 	RecordTrace string
-	// Machine is the processor variant (default Base).
+	// Machine names a built-in processor variant (default Base).
+	//
+	// Deprecated: prefer MachineSpec, which can express any clock-domain
+	// topology; Machine remains as an alias resolving to the built-in spec
+	// of the same name. Setting both is an error.
 	Machine Machine
+	// MachineSpec runs a user-defined machine: a named clock-domain
+	// topology over the pipeline structures (see MachineSpec). Identical
+	// spec contents produce identical cache identities under RunMany and
+	// across a galsim-fleet, regardless of pointer or upload path.
+	MachineSpec *MachineSpec
 	// Instructions is the number committed before the run ends (default
 	// 100000).
 	Instructions uint64
@@ -277,9 +341,11 @@ func (r Result) RelativePerformance(other Result) float64 {
 
 // Validate reports the first problem with the options without running
 // anything: unknown benchmarks, machines, memory orderings, link styles,
-// and slowdown keys outside DomainNames all produce errors that list the
-// accepted values. Run, RunMany and the galsimd HTTP API all surface the
-// same messages.
+// malformed MachineSpecs, and slowdown keys outside the machine's domain
+// names all produce errors that list the accepted values. An unknown
+// Machine name is reported as an UnknownMachineError (errors.As-able)
+// naming the built-ins. Run, RunMany and the galsimd HTTP API all surface
+// the same messages.
 func (o Options) Validate() error {
 	_, err := o.spec()
 	return err
@@ -294,6 +360,7 @@ func (o Options) spec() (campaign.RunSpec, error) {
 		Benchmark:      o.Benchmark,
 		Profile:        o.Profile,
 		Machine:        string(o.Machine),
+		MachineSpec:    o.MachineSpec,
 		Instructions:   o.Instructions,
 		Slowdowns:      o.Slowdowns,
 		FreqOnly:       o.DisableVoltageScaling,
@@ -420,7 +487,10 @@ func RunManyOn(ctx context.Context, b Backend, opts []Options) ([]Result, error)
 }
 
 func resultFrom(name string, o Options, st pipeline.Stats) Result {
-	if o.Machine == "" {
+	switch {
+	case o.MachineSpec != nil:
+		o.Machine = Machine(o.MachineSpec.Name)
+	case o.Machine == "":
 		o.Machine = Base
 	}
 	breakdown := map[string]float64{}

@@ -1,0 +1,132 @@
+package galsim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// triSpec is a user-authored 3-domain machine: merged front end, merged
+// int+fp execution cluster, memory system on its own clock.
+func triSpec() MachineSpec {
+	return MachineSpec{
+		Name: "tri",
+		Domains: []ClockDomainSpec{
+			{Name: "front"},
+			{Name: "exec", DVFS: "dynamic"},
+			{Name: "memsys"},
+		},
+		Assign: map[string]string{
+			"fetch": "front", "decode": "front",
+			"int": "exec", "fp": "exec",
+			"mem": "memsys",
+		},
+	}
+}
+
+func TestMachineSpecRun(t *testing.T) {
+	spec := triSpec()
+	r, err := Run(Options{Benchmark: "gcc", MachineSpec: &spec, Instructions: 6_000,
+		Slowdowns: map[string]float64{"exec": 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Machine != "tri" || r.Committed != 6_000 {
+		t.Fatalf("result = %s/%d", r.Machine, r.Committed)
+	}
+	if r.FinalSlowdowns["int"] != 1.5 || r.FinalSlowdowns["fp"] != 1.5 {
+		t.Errorf("exec slowdown not applied to both merged structures: %v", r.FinalSlowdowns)
+	}
+	if r.FinalSlowdowns["fetch"] != 1 || r.FinalSlowdowns["mem"] != 1 {
+		t.Errorf("slowdown leaked outside the exec domain: %v", r.FinalSlowdowns)
+	}
+
+	// Determinism: a second run reproduces the first.
+	r2, err := Run(Options{Benchmark: "gcc", MachineSpec: &spec, Instructions: 6_000,
+		Slowdowns: map[string]float64{"exec": 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimSeconds != r2.SimSeconds || r.EnergyJoules != r2.EnergyJoules {
+		t.Error("3-domain machine runs are not deterministic")
+	}
+}
+
+func TestMachineSpecRunManyCacheHit(t *testing.T) {
+	// Two distinct copies of the same machine share one cache identity.
+	a, b := triSpec(), triSpec()
+	opts := []Options{
+		{Benchmark: "swim", MachineSpec: &a, Instructions: 4_000},
+		{Benchmark: "swim", MachineSpec: &b, Instructions: 4_000},
+	}
+	results, err := RunMany(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].SimSeconds != results[1].SimSeconds {
+		t.Error("equal machine specs produced different results")
+	}
+}
+
+func TestUnknownMachineError(t *testing.T) {
+	err := Options{Benchmark: "gcc", Machine: "warp9"}.Validate()
+	var unknown UnknownMachineError
+	if !errors.As(err, &unknown) || unknown.Name != "warp9" {
+		t.Fatalf("Validate error = %#v, want UnknownMachineError", err)
+	}
+	for _, name := range Machines() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list built-in %q", err, name)
+		}
+	}
+	spec := triSpec()
+	err = Options{Benchmark: "gcc", Machine: GALS, MachineSpec: &spec}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("both-set error = %v", err)
+	}
+}
+
+func TestBuiltinMachineMatchesNamedRun(t *testing.T) {
+	spec, err := BuiltinMachine("gals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName, err := Run(Options{Benchmark: "gcc", Machine: GALS, Instructions: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpec, err := Run(Options{Benchmark: "gcc", MachineSpec: &spec, Instructions: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.SimSeconds != bySpec.SimSeconds || byName.EnergyJoules != bySpec.EnergyJoules ||
+		byName.IPC != bySpec.IPC || byName.AvgSlipNs != bySpec.AvgSlipNs {
+		t.Error("built-in spec run differs from the named gals run")
+	}
+	if bySpec.Machine != GALS {
+		t.Errorf("machine label = %q, want %q", bySpec.Machine, GALS)
+	}
+}
+
+func TestParseMachineSpec(t *testing.T) {
+	data := []byte(`{
+	  "name": "duo",
+	  "domains": [{"name": "front"}, {"name": "back", "freq_ghz": 0.8}],
+	  "assign": {"fetch": "front", "decode": "front", "int": "back", "fp": "back", "mem": "back"},
+	  "links": {"dispatch": {"depth": 8, "sync_edges": 3}}
+	}`)
+	spec, err := ParseMachineSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Domains) != 2 || spec.Domains[1].FreqGHz != 0.8 {
+		t.Fatalf("parsed spec = %+v", spec)
+	}
+	if _, err := Run(Options{Benchmark: "compress", MachineSpec: &spec, Instructions: 4_000}); err != nil {
+		t.Fatalf("parsed machine does not run: %v", err)
+	}
+	if _, err := ParseMachineSpec([]byte(`{"name":"x","domains":[{"name":"a","warp":1}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

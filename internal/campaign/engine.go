@@ -46,9 +46,10 @@ func ExecuteRecording(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Write
 			return pipeline.Stats{}, fmt.Errorf("campaign: marshaling spec for trace header: %w", merr)
 		}
 		tw, werr := trace.NewWriter(traceOut, trace.Meta{
-			Name:         name,
-			Instructions: spec.Instructions,
-			SpecJSON:     specJSON,
+			Name:          name,
+			Instructions:  spec.Instructions,
+			SpecJSON:      specJSON,
+			MachineDigest: spec.MachineDigest(),
 		})
 		if werr != nil {
 			return pipeline.Stats{}, werr
@@ -58,7 +59,7 @@ func ExecuteRecording(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Write
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("campaign: run %s/%s failed: %v", spec.Machine, spec.WorkloadName(), r)
+			err = fmt.Errorf("campaign: run %s/%s failed: %v", spec.MachineName(), spec.WorkloadName(), r)
 		}
 	}()
 	core := pipeline.NewCoreWithSource(cfg, name, src)
@@ -260,7 +261,7 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats,
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("campaign: unit %d (%s/%s): %w",
-							i, specs[i].Machine, specs[i].WorkloadName(), err)
+							i, specs[i].MachineName(), specs[i].WorkloadName(), err)
 						cancel()
 					})
 					return

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"galsim/internal/bpred"
+	"galsim/internal/machine"
 	"galsim/internal/pipeline"
 	"galsim/internal/trace"
 	"galsim/internal/workload"
@@ -59,8 +60,16 @@ type RunSpec struct {
 	Profile *workload.ProfileSpec `json:"profile,omitempty"`
 	// Trace replays a recorded instruction stream as the workload.
 	Trace *TraceRef `json:"trace,omitempty"`
-	// Machine is "base" or "gals" (default "base").
+	// Machine names a built-in machine: "base" or "gals" (default "base").
+	// Mutually exclusive with MachineSpec.
 	Machine string `json:"machine,omitempty"`
+	// MachineSpec is a full user-defined machine declaration: named clock
+	// domains, a structure-to-domain assignment, and per-link FIFO settings
+	// (see internal/machine). Its canonical content participates in the
+	// cache key and travels with cluster jobs, so equal machines dedup
+	// fleet-wide regardless of naming or upload path. A spec equal to a
+	// built-in canonicalizes to the built-in's name.
+	MachineSpec *machine.Spec `json:"machine_spec,omitempty"`
 	// Instructions is the committed-instruction budget (default 100000).
 	Instructions uint64 `json:"instructions,omitempty"`
 	// Slowdowns stretches named clock domains (keys from DomainNames, or
@@ -103,7 +112,21 @@ const (
 // needed); an unreadable file leaves the digest empty for Validate to
 // report.
 func (s RunSpec) Canonical() RunSpec {
-	if s.Machine == "" {
+	if s.MachineSpec != nil && s.Machine == "" {
+		// An inline spec equal to a built-in collapses to the built-in's
+		// name, so uploads of (say) the literal gals machine share the
+		// built-in's cache entries; anything else is carried in canonical
+		// form. A spec alongside an explicit Machine name is left for
+		// Validate to reject.
+		ms := s.MachineSpec.Canonical()
+		if name, ok := builtinByDigest[ms.Digest()]; ok {
+			s.Machine = name
+			s.MachineSpec = nil
+		} else {
+			s.MachineSpec = &ms
+		}
+	}
+	if s.Machine == "" && s.MachineSpec == nil {
 		s.Machine = pipeline.Base.String()
 	}
 	if s.Instructions == 0 {
@@ -133,18 +156,24 @@ func (s RunSpec) Canonical() RunSpec {
 	if s.Predictor == "" {
 		s.Predictor = defaultPredictor
 	}
-	if s.FIFOSyncEdges == 0 || s.Machine == pipeline.Base.String() {
+	// A fully synchronous machine (the base built-in, or any user spec with
+	// a single clock domain) has one clock at phase zero and no
+	// inter-domain links: phase and link settings cannot influence the run,
+	// so normalize them away to keep its cache keys collision-rich —
+	// sweeping phase seeds over both machines must simulate the
+	// synchronous reference once, not once per seed. An unresolvable
+	// machine is left alone for Validate to report.
+	synchronous := false
+	if ms, err := s.machineSpec(); err == nil {
+		synchronous = len(ms.Domains) == 1
+	}
+	if s.FIFOSyncEdges == 0 || synchronous {
 		s.FIFOSyncEdges = pipeline.DefaultConfig(pipeline.Base).FIFOSyncEdges
 	}
-	if s.FIFOCapacity == 0 || s.Machine == pipeline.Base.String() {
+	if s.FIFOCapacity == 0 || synchronous {
 		s.FIFOCapacity = pipeline.DefaultConfig(pipeline.Base).FIFOCapacity
 	}
-	if s.Machine == pipeline.Base.String() {
-		// The base machine has one clock at phase zero and no inter-domain
-		// links: phase and link settings cannot influence the run, so
-		// normalize them away to keep its cache keys collision-rich —
-		// sweeping phase seeds over both machines must simulate the base
-		// reference once, not once per seed.
+	if synchronous {
 		s.PhaseSeed = defaultPhaseSeed
 		s.ZeroPhases = false
 		s.LinkStyle = defaultLinkStyle
@@ -182,6 +211,62 @@ func (s RunSpec) Key() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// builtinByDigest maps the canonical digest of each built-in machine to its
+// name, for the Canonical collapse; baseMachineDigest is the default
+// machine's identity, which replay provenance checks against.
+var builtinByDigest = func() map[string]string {
+	m := map[string]string{}
+	for _, sp := range machine.Builtins() {
+		m[sp.Canonical().Digest()] = sp.Name
+	}
+	return m
+}()
+
+var baseMachineDigest = machine.Base().Digest()
+
+// machineSpec resolves the spec's machine — the inline declaration, or the
+// built-in the Machine field names — validated either way.
+func (s RunSpec) machineSpec() (machine.Spec, error) {
+	if s.MachineSpec != nil {
+		if s.Machine != "" {
+			return machine.Spec{}, fmt.Errorf("campaign: machine %q and an inline machine spec are mutually exclusive; set one", s.Machine)
+		}
+		if err := s.MachineSpec.Validate(); err != nil {
+			return machine.Spec{}, err
+		}
+		return *s.MachineSpec, nil
+	}
+	sp, err := machine.ByName(s.Machine)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("campaign: %w", err)
+	}
+	return sp, nil
+}
+
+// MachineName returns the human-readable machine label: the built-in name
+// or the inline spec's name.
+func (s RunSpec) MachineName() string {
+	switch {
+	case s.MachineSpec != nil:
+		return s.MachineSpec.Name
+	case s.Machine == "":
+		return pipeline.Base.String()
+	default:
+		return s.Machine
+	}
+}
+
+// MachineDigest returns the canonical content digest of the spec's machine
+// ("" when the machine cannot be resolved) — the topology identity recorded
+// in trace provenance headers.
+func (s RunSpec) MachineDigest() string {
+	ms, err := s.machineSpec()
+	if err != nil {
+		return ""
+	}
+	return ms.Canonical().Digest()
 }
 
 // WorkloadName returns the human-readable name of the spec's workload
@@ -237,11 +322,28 @@ func (s RunSpec) Validate() error {
 			return fmt.Errorf("campaign: trace %s content digest %s does not match the requested %s (file changed?)",
 				s.Trace.Path, digest, s.Trace.SHA256)
 		}
+		// Topology provenance: a replay that names no machine runs on the
+		// default base topology. If the trace records a different topology,
+		// that default would silently change the machine underneath the
+		// replay — error loudly instead. Choosing a machine explicitly is an
+		// intentional what-if ("what would this exact program have done
+		// there") and is always allowed.
+		if s.Machine == "" && s.MachineSpec == nil &&
+			t.Meta.MachineDigest != "" && t.Meta.MachineDigest != baseMachineDigest {
+			recorded := "an unknown machine"
+			var rs RunSpec
+			if json.Unmarshal(t.Meta.SpecJSON, &rs) == nil && rs.MachineName() != "" {
+				recorded = fmt.Sprintf("machine %q", rs.MachineName())
+			}
+			return fmt.Errorf("campaign: trace %s was recorded on %s (topology digest %.12s...), not the default base machine; set the machine explicitly — the recorded one to reproduce the run, or any other for a what-if replay",
+				s.Trace.Path, recorded, t.Meta.MachineDigest)
+		}
 	}
-	if _, err := s.kind(); err != nil {
+	ms, err := s.machineSpec()
+	if err != nil {
 		return err
 	}
-	if err := ValidateSlowdowns(s.Machine, s.Slowdowns); err != nil {
+	if err := ValidateSlowdownsFor(ms, s.Slowdowns); err != nil {
 		return err
 	}
 	if _, err := s.disambig(); err != nil {
@@ -257,47 +359,48 @@ func (s RunSpec) Validate() error {
 		return fmt.Errorf("campaign: FIFO sync edges (%d) and capacity (%d) must be non-negative",
 			s.FIFOSyncEdges, s.FIFOCapacity)
 	}
-	if s.DynamicDVFS && (s.Machine == "" || s.Machine == pipeline.Base.String()) {
-		return fmt.Errorf("campaign: dynamic DVFS requires the gals machine")
+	if s.DynamicDVFS && !ms.DynamicCapable() {
+		return fmt.Errorf("campaign: dynamic DVFS requires a machine with a dynamic-capable clock domain; %q has none (use the gals machine, or declare a domain with \"dvfs\": \"dynamic\")", ms.Name)
 	}
 	return nil
 }
 
-// ValidateSlowdowns checks a slowdown map against the machine's clock
-// structure: keys must come from DomainNames (or be "all"), factors must be
-// >= 1, and the single-clock base machine accepts only "all".
-func ValidateSlowdowns(machine string, slowdowns map[string]float64) error {
+// ValidateSlowdowns checks a slowdown map against a built-in machine named
+// by string, preserving the pre-MachineSpec call shape. Prefer
+// ValidateSlowdownsFor with a resolved spec.
+func ValidateSlowdowns(machineName string, slowdowns map[string]float64) error {
+	ms, err := machine.ByName(machineName)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return ValidateSlowdownsFor(ms, slowdowns)
+}
+
+// ValidateSlowdownsFor checks a slowdown map against a machine's clock
+// structure: keys must name the machine's clock domains (or be "all" for a
+// uniform stretch) and factors must be >= 1. A single-clock machine
+// therefore accepts only "all" and its own domain's name.
+func ValidateSlowdownsFor(ms machine.Spec, slowdowns map[string]float64) error {
 	valid := map[string]bool{"all": true}
-	for _, d := range DomainNames() {
+	for _, d := range ms.DomainNames() {
 		valid[d] = true
 	}
 	for name, f := range slowdowns {
 		if !valid[name] {
-			return fmt.Errorf("campaign: unknown clock domain %q in slowdowns (valid domains: %v, or \"all\" for a uniform slowdown)",
-				name, DomainNames())
+			if len(ms.Domains) == 1 {
+				return fmt.Errorf("campaign: unknown clock domain %q in slowdowns: machine %q has a single clock (domain %q); use \"all\" for a uniform slowdown",
+					name, ms.Name, ms.Domains[0].Name)
+			}
+			return fmt.Errorf("campaign: unknown clock domain %q for machine %q in slowdowns (its domains: %v, or \"all\" for a uniform slowdown)",
+				name, ms.Name, ms.DomainNames())
 		}
 		// !(f >= 1) also rejects NaN, which would otherwise pass every
 		// comparison and blow up later in the JSON content hash.
 		if math.IsInf(f, 0) || !(f >= 1) {
 			return fmt.Errorf("campaign: slowdown %q = %v must be a finite factor >= 1 (1 = full speed, 2 = half frequency)", name, f)
 		}
-		if name != "all" && (machine == "" || machine == pipeline.Base.String()) && f != 1 {
-			return fmt.Errorf("campaign: the base machine has a single clock; only slowdowns[%q] applies (got %q)", "all", name)
-		}
 	}
 	return nil
-}
-
-func (s RunSpec) kind() (pipeline.Kind, error) {
-	switch s.Machine {
-	case "", pipeline.Base.String():
-		return pipeline.Base, nil
-	case pipeline.GALS.String():
-		return pipeline.GALS, nil
-	default:
-		return 0, fmt.Errorf("campaign: unknown machine %q (want %q or %q)",
-			s.Machine, pipeline.Base, pipeline.GALS)
-	}
 }
 
 func (s RunSpec) disambig() (pipeline.MemDisambiguation, error) {
@@ -370,14 +473,25 @@ func (s RunSpec) NewSource() (workload.InstrSource, string, error) {
 	}
 }
 
-// PipelineConfig translates the spec into a full machine configuration.
+// PipelineConfig translates the spec into a full machine configuration:
+// the resolved MachineSpec becomes the pipeline's clock topology, and the
+// run settings (seeds, slowdowns, link ablations) are layered on top.
 func (s RunSpec) PipelineConfig() (pipeline.Config, error) {
 	if err := s.Validate(); err != nil {
 		return pipeline.Config{}, err
 	}
 	s = s.Canonical()
-	kind, _ := s.kind()
+	ms, _ := s.machineSpec() // Validate above vouched for it
+	topo, err := ms.Topology()
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	kind := pipeline.Base
+	if len(topo.Domains) > 1 {
+		kind = pipeline.GALS
+	}
 	cfg := pipeline.DefaultConfig(kind)
+	cfg.Topology = &topo
 	cfg.WorkloadSeed = s.WorkloadSeed
 	cfg.PhaseSeed = s.PhaseSeed
 	cfg.AutoVoltage = !s.FreqOnly
@@ -390,11 +504,14 @@ func (s RunSpec) PipelineConfig() (pipeline.Config, error) {
 	if s.DynamicDVFS {
 		cfg.DynamicDVFS = pipeline.DefaultDynamicDVFS()
 	}
-	domains := map[string]pipeline.DomainID{}
+	// A slowdown key names a clock domain of the machine; it stretches
+	// every structure the domain owns. Apply "all" first so a per-domain
+	// entry may refine a uniform stretch.
+	structsOf := map[string][]pipeline.DomainID{}
 	for d := pipeline.DomainID(0); d < pipeline.NumDomains; d++ {
-		domains[d.String()] = d
+		name := topo.Domains[topo.Of[d]].Name
+		structsOf[name] = append(structsOf[name], d)
 	}
-	// Apply "all" first so a per-domain entry may refine a uniform stretch.
 	if f, ok := s.Slowdowns["all"]; ok {
 		cfg.SetUniformSlowdown(f)
 	}
@@ -406,7 +523,9 @@ func (s RunSpec) PipelineConfig() (pipeline.Config, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		cfg.Slowdowns[domains[name]] = s.Slowdowns[name]
+		for _, d := range structsOf[name] {
+			cfg.Slowdowns[d] = s.Slowdowns[name]
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return pipeline.Config{}, err

@@ -3,7 +3,9 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"sort"
 
+	"galsim/internal/machine"
 	"galsim/internal/pipeline"
 	"galsim/internal/report"
 	"galsim/internal/workload"
@@ -15,13 +17,20 @@ import (
 type Sweep struct {
 	// Benchmarks to run; empty means every registered benchmark.
 	Benchmarks []string `json:"benchmarks,omitempty"`
-	// Machines to run; empty means both "base" and "gals".
+	// Machines to run, by name: built-ins, or (through the galsimd service)
+	// previously uploaded machine specs. Empty means both "base" and "gals"
+	// unless MachineSpecs is set.
 	Machines []string `json:"machines,omitempty"`
+	// MachineSpecs lists inline user-defined machines to cross in alongside
+	// Machines: the partitioning-study axis.
+	MachineSpecs []machine.Spec `json:"machine_specs,omitempty"`
 	// SlowdownGrid lists slowdown assignments to cross in; empty means one
-	// full-speed point. Per-domain entries apply only to GALS units;
-	// base-machine units keep just the "all" key (the base machine has a
-	// single clock), so a sweep over both machines naturally yields a
-	// full-speed base reference against each slowed GALS point.
+	// full-speed point. Each unit keeps only the entries that name one of
+	// its own machine's clock domains (plus "all"), so a grid written for
+	// one machine's domains crosses cleanly with others — e.g. a sweep over
+	// both built-ins naturally yields a full-speed base reference against
+	// each slowed GALS point (the base machine's single clock answers only
+	// to "all").
 	SlowdownGrid []map[string]float64 `json:"slowdown_grid,omitempty"`
 	// WorkloadSeeds to cross in; empty means the default seed.
 	WorkloadSeeds []int64 `json:"workload_seeds,omitempty"`
@@ -41,14 +50,26 @@ type Sweep struct {
 // far above any campaign a process could actually simulate.
 const MaxUnits = 1 << 20
 
-func (s Sweep) axes() (benchmarks, machines []string, grid []map[string]float64, wseeds, pseeds []int64) {
+// machinePoint is one entry of the machine axis: a name or an inline spec.
+type machinePoint struct {
+	name string
+	spec *machine.Spec
+}
+
+func (s Sweep) axes() (benchmarks []string, machines []machinePoint, grid []map[string]float64, wseeds, pseeds []int64) {
 	benchmarks = s.Benchmarks
 	if len(benchmarks) == 0 {
 		benchmarks = Benchmarks()
 	}
-	machines = s.Machines
-	if len(machines) == 0 {
-		machines = []string{pipeline.Base.String(), pipeline.GALS.String()}
+	names := s.Machines
+	if len(names) == 0 && len(s.MachineSpecs) == 0 {
+		names = []string{pipeline.Base.String(), pipeline.GALS.String()}
+	}
+	for _, n := range names {
+		machines = append(machines, machinePoint{name: n})
+	}
+	for i := range s.MachineSpecs {
+		machines = append(machines, machinePoint{spec: &s.MachineSpecs[i]})
 	}
 	grid = s.SlowdownGrid
 	if len(grid) == 0 {
@@ -91,17 +112,63 @@ func (s Sweep) Units() ([]RunSpec, error) {
 	}
 	benchmarks, machines, grid, wseeds, pseeds := s.axes()
 	units := make([]RunSpec, 0, len(benchmarks)*len(machines)*len(grid)*len(wseeds)*len(pseeds))
+	// Resolve each machine point once, to scope grid entries and the
+	// dynamic-DVFS flag to it; an unresolvable machine skips the scoping
+	// and fails unit validation below with the real error.
+	resolved := make([]*machine.Spec, len(machines))
+	anyResolved := false
+	for i, m := range machines {
+		if m.spec != nil {
+			if err := m.spec.Validate(); err == nil {
+				resolved[i] = m.spec
+			}
+		} else if sp, err := machine.ByName(m.name); err == nil {
+			resolved[i] = &sp
+		}
+		anyResolved = anyResolved || resolved[i] != nil
+	}
+	// A grid key must name a clock domain of at least one swept machine (or
+	// "all"): per-machine scoping drops foreign keys silently, so a typo'd
+	// domain would otherwise vanish instead of failing loudly.
+	if anyResolved {
+		valid := map[string]bool{"all": true}
+		var domains []string
+		for _, ms := range resolved {
+			if ms == nil {
+				continue
+			}
+			for _, d := range ms.DomainNames() {
+				if !valid[d] {
+					valid[d] = true
+					domains = append(domains, d)
+				}
+			}
+		}
+		for _, slow := range grid {
+			for name := range slow {
+				if !valid[name] {
+					return nil, fmt.Errorf("campaign: sweep slowdown grid names clock domain %q, which belongs to none of the swept machines (their domains: %v, or \"all\" for a uniform slowdown)",
+						name, domains)
+				}
+			}
+		}
+	}
 	for _, b := range benchmarks {
-		for _, m := range machines {
+		for mi, m := range machines {
+			var ms machine.Spec
+			if resolved[mi] != nil {
+				ms = *resolved[mi]
+			}
 			for _, slow := range grid {
-				if m != pipeline.GALS.String() {
-					slow = uniformOnly(slow)
+				if resolved[mi] != nil {
+					slow = scopedSlowdowns(ms, slow)
 				}
 				for _, ws := range wseeds {
 					for _, ps := range pseeds {
 						u := RunSpec{
 							Benchmark:      b,
-							Machine:        m,
+							Machine:        m.name,
+							MachineSpec:    m.spec,
 							Instructions:   s.Instructions,
 							Slowdowns:      slow,
 							FreqOnly:       s.FreqOnly,
@@ -109,7 +176,7 @@ func (s Sweep) Units() ([]RunSpec, error) {
 							PhaseSeed:      ps,
 							MemoryOrdering: s.MemoryOrdering,
 							LinkStyle:      s.LinkStyle,
-							DynamicDVFS:    s.DynamicDVFS && m == pipeline.GALS.String(),
+							DynamicDVFS:    s.DynamicDVFS && resolved[mi] != nil && ms.DynamicCapable(),
 						}
 						if err := u.Validate(); err != nil {
 							return nil, fmt.Errorf("campaign: sweep unit %d: %w", len(units), err)
@@ -123,13 +190,24 @@ func (s Sweep) Units() ([]RunSpec, error) {
 	return units, nil
 }
 
-// uniformOnly strips per-domain slowdown keys, keeping "all": the single
-// clock of the base machine.
-func uniformOnly(slow map[string]float64) map[string]float64 {
-	if _, ok := slow["all"]; !ok {
-		return nil
+// scopedSlowdowns keeps the grid entries addressed to this machine: "all"
+// plus keys naming one of its clock domains.
+func scopedSlowdowns(ms machine.Spec, slow map[string]float64) map[string]float64 {
+	valid := map[string]bool{"all": true}
+	for _, d := range ms.DomainNames() {
+		valid[d] = true
 	}
-	return map[string]float64{"all": slow["all"]}
+	var out map[string]float64
+	for name, f := range slow {
+		if !valid[name] {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64, len(slow))
+		}
+		out[name] = f
+	}
+	return out
 }
 
 // Benchmarks returns the registered benchmark names (the sweep default).
@@ -161,7 +239,7 @@ func Summarize(spec RunSpec, st pipeline.Stats) Summary {
 	spec = spec.Canonical()
 	return Summary{
 		Benchmark:            spec.WorkloadName(),
-		Machine:              spec.Machine,
+		Machine:              spec.MachineName(),
 		Committed:            st.Committed,
 		SimSeconds:           st.SimTime.Seconds(),
 		IPC:                  st.IPC(),
@@ -223,7 +301,7 @@ func Table(results []UnitResult) *report.Table {
 	for _, r := range results {
 		t.AddRow(
 			r.Summary.Benchmark,
-			r.Spec.Machine,
+			r.Spec.MachineName(),
 			slowdownLabel(r.Spec.Slowdowns),
 			fmt.Sprintf("%d", r.Spec.WorkloadSeed),
 			fmt.Sprintf("%d", r.Spec.PhaseSeed),
@@ -243,13 +321,30 @@ func slowdownLabel(slow map[string]float64) string {
 		return "-"
 	}
 	label := ""
-	for _, name := range append(DomainNames(), "all") {
-		if f, ok := slow[name]; ok {
-			if label != "" {
-				label += ","
-			}
-			label += fmt.Sprintf("%s=%.2g", name, f)
+	add := func(name string, f float64) {
+		if label != "" {
+			label += ","
 		}
+		label += fmt.Sprintf("%s=%.2g", name, f)
+	}
+	known := map[string]bool{}
+	for _, name := range append(DomainNames(), "all") {
+		known[name] = true
+		if f, ok := slow[name]; ok {
+			add(name, f)
+		}
+	}
+	// User machines may name domains outside the built-in set; list those
+	// keys too, sorted for determinism.
+	var rest []string
+	for name := range slow {
+		if !known[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		add(name, slow[name])
 	}
 	return label
 }

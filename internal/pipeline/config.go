@@ -20,7 +20,6 @@ package pipeline
 
 import (
 	"fmt"
-	"math/rand"
 
 	"galsim/internal/bpred"
 	"galsim/internal/cache"
@@ -136,7 +135,17 @@ func (d DomainID) String() string {
 // Config parameterizes a machine. The zero value is not usable; start from
 // DefaultConfig.
 type Config struct {
+	// Kind is a legacy variant label; the machine's actual clock structure
+	// lives in Topology. DefaultConfig keeps the two consistent; code that
+	// sets Topology directly may leave Kind at its DefaultConfig value (the
+	// run's statistics label is derived from the topology, not this field).
 	Kind Kind
+
+	// Topology assigns the five pipeline structures to clock domains and
+	// carries per-domain and per-link-class settings. nil selects the
+	// variant implied by Kind (BaseTopology or GALSTopology), which keeps
+	// configurations written before the topology layer working unchanged.
+	Topology *Topology
 
 	// Widths (instructions per cycle).
 	FetchWidth  int
@@ -165,9 +174,10 @@ type Config struct {
 	// NominalPeriod is the full-speed clock period (1 ns = 1 GHz).
 	NominalPeriod simtime.Duration
 
-	// Slowdowns stretches each domain's clock: period = factor × nominal,
-	// factor >= 1. In the base machine only Slowdowns[0] is used (the single
-	// global clock); it must equal the others if they are set.
+	// Slowdowns stretches each structure's clock: period = factor × nominal,
+	// factor >= 1. Structures that share a clock domain must carry equal
+	// factors (in the fully synchronous machine that is all of them: the
+	// single global clock).
 	Slowdowns [NumDomains]float64
 
 	// AutoVoltage derives each domain's supply voltage from its slowdown via
@@ -234,8 +244,13 @@ type Config struct {
 // DefaultConfig returns the paper's machine (Tables 2 and 3) in the given
 // variant at full speed.
 func DefaultConfig(kind Kind) Config {
+	topo := BaseTopology()
+	if kind == GALS {
+		topo = GALSTopology()
+	}
 	cfg := Config{
 		Kind:        kind,
+		Topology:    &topo,
 		FetchWidth:  4,
 		DecodeWidth: 4,
 		RenameWidth: 4,
@@ -309,24 +324,57 @@ func (c Config) Validate() error {
 			return fmt.Errorf("pipeline: slowdown[%v] = %v < 1", DomainID(d), s)
 		}
 	}
-	if c.Kind == Base {
-		for d := 1; d < int(NumDomains); d++ {
-			if c.Slowdowns[d] != c.Slowdowns[0] {
-				return fmt.Errorf("pipeline: base machine has one clock; slowdown[%v]=%v differs from slowdown[fetch]=%v",
-					DomainID(d), c.Slowdowns[d], c.Slowdowns[0])
+	topo := c.topo()
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	// Structures on one clock must be stretched together.
+	for g := range topo.Domains {
+		owned := topo.structuresOf(g)
+		for _, d := range owned[1:] {
+			if c.Slowdowns[d] != c.Slowdowns[owned[0]] {
+				return fmt.Errorf("pipeline: structures %v and %v share clock domain %q; slowdown[%v]=%v differs from slowdown[%v]=%v",
+					owned[0], d, topo.Domains[g].Name, d, c.Slowdowns[d], owned[0], c.Slowdowns[owned[0]])
+			}
+		}
+	}
+	// Voltage-table ceilings need the DVFS model's nominal supply.
+	for _, dom := range topo.Domains {
+		for _, p := range dom.VoltTable {
+			if p.Voltage > c.DVFS.VNominal {
+				return fmt.Errorf("pipeline: clock domain %q voltage %v exceeds the nominal supply %v",
+					dom.Name, p.Voltage, c.DVFS.VNominal)
 			}
 		}
 	}
 	if err := c.DVFS.Validate(); err != nil {
 		return err
 	}
-	if c.DynamicDVFS.Enable && c.Kind == Base {
-		return fmt.Errorf("pipeline: dynamic DVFS requires the GALS machine (the base machine has one clock)")
+	if c.DynamicDVFS.Enable {
+		scalable := false
+		for _, dom := range topo.Domains {
+			scalable = scalable || dom.Scalable
+		}
+		if !scalable {
+			return fmt.Errorf("pipeline: dynamic DVFS requires a machine with at least one scalable clock domain (the fully synchronous machine has a single clock)")
+		}
 	}
 	if err := c.DynamicDVFS.Validate(); err != nil {
 		return err
 	}
 	return c.Power.Validate()
+}
+
+// topo returns the machine's clock topology: the explicit one, or the
+// variant implied by Kind.
+func (c Config) topo() Topology {
+	if c.Topology != nil {
+		return *c.Topology
+	}
+	if c.Kind == GALS {
+		return GALSTopology()
+	}
+	return BaseTopology()
 }
 
 // SetUniformSlowdown sets every domain to the same slowdown (used for the
@@ -335,19 +383,6 @@ func (c *Config) SetUniformSlowdown(s float64) {
 	for i := range c.Slowdowns {
 		c.Slowdowns[i] = s
 	}
-}
-
-// randomPhases derives the per-domain clock phases for a GALS machine.
-func (c Config) randomPhases(periods [NumDomains]simtime.Duration) [NumDomains]simtime.Time {
-	var phases [NumDomains]simtime.Time
-	if c.Kind == Base || c.ZeroPhases {
-		return phases
-	}
-	rng := rand.New(rand.NewSource(c.PhaseSeed))
-	for d := range phases {
-		phases[d] = simtime.Time(rng.Int63n(int64(periods[d])))
-	}
-	return phases
 }
 
 // BenchmarkProfile is re-exported for convenience of callers configuring a

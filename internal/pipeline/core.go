@@ -46,9 +46,11 @@ type execUnit struct {
 // execDomains lists the three execution domains.
 var execDomains = []DomainID{DomInt, DomFP, DomMem}
 
-// Core is one simulated machine (base or GALS) bound to one workload.
+// Core is one simulated machine — any clock-domain topology over the fixed
+// pipeline structures — bound to one workload.
 type Core struct {
 	cfg  Config
+	topo Topology
 	eng  *event.Engine
 	gen  workload.InstrSource
 	pred *bpred.Predictor
@@ -63,7 +65,11 @@ type Core struct {
 	// out, in which case records come from the heap and are never recycled.
 	pool *isa.Pool
 
-	clocks [NumDomains]*clock.Domain // base: all entries alias one domain
+	// domClocks holds one physical clock per topology domain; clocks aliases
+	// them per structure (structures sharing a domain share the pointer — in
+	// the fully synchronous machine all five entries alias one clock).
+	domClocks []*clock.Domain
+	clocks    [NumDomains]*clock.Domain
 
 	// Links. decodeToRename is always a same-domain pipe latch; the rest are
 	// latches in base and mixed-clock FIFOs in GALS.
@@ -134,9 +140,12 @@ type Core struct {
 
 	commitHook func(*isa.Instr)
 
-	// Dynamic DVFS controller state and the periodic tick events it retunes.
+	// Dynamic DVFS controller state, the per-clock-domain periodic tick
+	// events it retunes, and the scalable-domain scan list.
 	dvfs       dvfsState
-	tickEvents [NumDomains]*event.Event
+	tickEvents []*event.Event
+	tickFns    []func(simtime.Time)
+	scalable   []int
 
 	stats Stats
 }
@@ -213,6 +222,7 @@ func NewCoreWithSource(cfg Config, name string, src workload.InstrSource) *Core 
 	}
 	c := &Core{
 		cfg:  cfg,
+		topo: cfg.topo(),
 		eng:  event.NewEngine(),
 		gen:  src,
 		pred: bpred.New(cfg.Bpred),
@@ -221,7 +231,7 @@ func NewCoreWithSource(cfg Config, name string, src workload.InstrSource) *Core 
 		rat:  rename.New(cfg.PhysInt, cfg.PhysFP),
 		rob:  rob.New(cfg.ROBSize),
 	}
-	c.stats.Kind = cfg.Kind
+	c.stats.Kind = c.topo.kind()
 	c.stats.Benchmark = name
 	c.lastFetchLine = ^uint64(0)
 	for l := cfg.Caches.L1I.LineBytes; l > 1; l >>= 1 {
@@ -241,6 +251,14 @@ func NewCoreWithSource(cfg Config, name string, src workload.InstrSource) *Core 
 
 	c.buildClocks()
 	c.buildLinks()
+	c.dvfs.target = make([]float64, len(c.domClocks))
+	c.dvfs.pending = make([]bool, len(c.domClocks))
+	c.dvfs.frozen = make([]int, len(c.domClocks))
+	for g, dom := range c.topo.Domains {
+		if dom.Scalable {
+			c.scalable = append(c.scalable, g)
+		}
+	}
 
 	for d := range c.readyAt {
 		c.readyAt[d] = make([]simtime.Time, c.rat.NumPhys())
@@ -328,52 +346,80 @@ func (c *Core) buildScratch() {
 	}
 }
 
-// buildClocks creates the clock domains, applies slowdowns and (optionally)
-// the DVFS voltages, and computes per-domain energy scale factors.
+// buildClocks creates one physical clock per topology domain, applies the
+// (per-domain-equal) slowdowns and their voltages, draws the starting
+// phases, and aliases the per-structure clock table onto the domain clocks.
 func (c *Core) buildClocks() {
 	vnom := c.cfg.DVFS.VNominal
-	if c.cfg.Kind == Base {
-		d := clock.NewDomain("core", c.cfg.NominalPeriod, 0, vnom)
-		if s := c.cfg.Slowdowns[0]; s != 1 {
+	c.domClocks = make([]*clock.Domain, len(c.topo.Domains))
+	periods := make([]simtime.Duration, len(c.topo.Domains))
+	for g, dom := range c.topo.Domains {
+		d := clock.NewDomain(dom.Name, c.topo.nominalPeriod(g, c.cfg), 0, vnom)
+		// Validate guaranteed every structure of the domain carries the same
+		// slowdown; read it off the first one.
+		if s := c.cfg.Slowdowns[c.topo.structuresOf(g)[0]]; s != 1 {
 			d.SetSlowdown(s)
 			if c.cfg.AutoVoltage {
-				d.SetVoltage(c.cfg.DVFS.VoltageForSlowdown(s))
+				d.SetVoltage(c.voltageFor(g, s))
 			}
 		}
-		for i := range c.clocks {
-			c.clocks[i] = d
-		}
-		return
+		periods[g] = d.Period()
+		c.domClocks[g] = d
 	}
-	var periods [NumDomains]simtime.Duration
-	tmp := [NumDomains]*clock.Domain{}
-	for i := range tmp {
-		d := clock.NewDomain(DomainID(i).String(), c.cfg.NominalPeriod, 0, vnom)
-		if s := c.cfg.Slowdowns[i]; s != 1 {
-			d.SetSlowdown(s)
-			if c.cfg.AutoVoltage {
-				d.SetVoltage(c.cfg.DVFS.VoltageForSlowdown(s))
-			}
-		}
-		periods[i] = d.Period()
-		tmp[i] = d
+	phases := c.topo.randomPhases(c.cfg, periods)
+	for g, d := range c.domClocks {
+		d.SetPhase(phases[g])
 	}
-	phases := c.cfg.randomPhases(periods)
-	for i, d := range tmp {
-		d.SetPhase(phases[i])
-		c.clocks[i] = d
+	for d := DomainID(0); d < NumDomains; d++ {
+		c.clocks[d] = c.domClocks[c.topo.Of[d]]
 	}
 }
 
-// buildLinks creates the communication fabric: latches for base, mixed-clock
-// FIFOs for GALS. decodeToRename never crosses a domain boundary, so it is a
-// latch in both variants.
+// voltageFor returns clock domain g's supply voltage at the given slowdown:
+// interpolated from the domain's voltage table when one is configured,
+// otherwise solved from the Equation 1 delay model.
+func (c *Core) voltageFor(g int, slow float64) float64 {
+	if tbl := c.topo.Domains[g].VoltTable; len(tbl) > 0 {
+		return voltFromTable(tbl, slow)
+	}
+	return c.cfg.DVFS.VoltageForSlowdown(slow)
+}
+
+// voltFromTable interpolates a voltage table (sorted by ascending slowdown)
+// piecewise-linearly, clamping outside the table's slowdown range.
+func voltFromTable(tbl []VoltPoint, slow float64) float64 {
+	if slow <= tbl[0].Slowdown {
+		return tbl[0].Voltage
+	}
+	for i := 1; i < len(tbl); i++ {
+		if slow <= tbl[i].Slowdown {
+			lo, hi := tbl[i-1], tbl[i]
+			f := (slow - lo.Slowdown) / (hi.Slowdown - lo.Slowdown)
+			return lo.Voltage + f*(hi.Voltage-lo.Voltage)
+		}
+	}
+	return tbl[len(tbl)-1].Voltage
+}
+
+// buildLinks creates the communication fabric. A link between structures on
+// one clock is a synchronous pipe latch; a link crossing clock domains is a
+// mixed-clock FIFO (or a stretchable-clock handshake). decodeToRename never
+// crosses a boundary, so it is a latch under every topology.
 func (c *Core) buildLinks() {
-	edges := func(class int) int {
+	edges := func(class LinkClass) int {
 		if c.cfg.debugEdges != nil {
 			return c.cfg.debugEdges[class]
 		}
+		if e := c.topo.Links[class].SyncEdges; e > 0 {
+			return e
+		}
 		return c.cfg.FIFOSyncEdges
+	}
+	capOf := func(class LinkClass, def int) int {
+		if v := c.topo.Links[class].Capacity; v > 0 {
+			return v
+		}
+		return def
 	}
 	handshake := c.cfg.StretchHandshake
 	if handshake == 0 {
@@ -383,36 +429,36 @@ func (c *Core) buildLinks() {
 	if stretchWidth == 0 {
 		stretchWidth = 4
 	}
-	instrLink := func(name string, from, to DomainID, class int) fifo.Link[*isa.Instr] {
+	instrLink := func(name string, from, to DomainID, class LinkClass) fifo.Link[*isa.Instr] {
 		switch {
-		case c.cfg.Kind == Base:
-			return fifo.NewSyncLatch[*isa.Instr](name, c.clocks[0], c.cfg.LatchCapacity)
+		case !c.topo.Cross(from, to):
+			return fifo.NewSyncLatch[*isa.Instr](name, c.clocks[from], capOf(class, c.cfg.LatchCapacity))
 		case c.cfg.LinkStyle == LinkStretch:
 			return fifo.NewStretchLink[*isa.Instr](name, c.clocks[from], c.clocks[to],
 				handshake, stretchWidth)
 		default:
 			return fifo.NewMixedClockFIFO[*isa.Instr](name, c.clocks[from], c.clocks[to],
-				c.cfg.FIFOCapacity, edges(class))
+				capOf(class, c.cfg.FIFOCapacity), edges(class))
 		}
 	}
 	wakeLink := func(name string, from, to DomainID) fifo.Link[wakeTag] {
 		switch {
-		case c.cfg.Kind == Base:
-			return fifo.NewSyncLatch[wakeTag](name, c.clocks[0], 2*c.cfg.FIFOCapacity)
+		case !c.topo.Cross(from, to):
+			return fifo.NewSyncLatch[wakeTag](name, c.clocks[from], capOf(LinkClassWakeup, 2*c.cfg.FIFOCapacity))
 		case c.cfg.LinkStyle == LinkStretch:
 			return fifo.NewStretchLink[wakeTag](name, c.clocks[from], c.clocks[to],
 				handshake, stretchWidth)
 		default:
 			return fifo.NewMixedClockFIFO[wakeTag](name, c.clocks[from], c.clocks[to],
-				2*c.cfg.FIFOCapacity, edges(3))
+				capOf(LinkClassWakeup, 2*c.cfg.FIFOCapacity), edges(LinkClassWakeup))
 		}
 	}
 
-	c.fetchToDecode = instrLink("fetch->decode", DomFetch, DomDecode, 0)
+	c.fetchToDecode = instrLink("fetch->decode", DomFetch, DomDecode, LinkClassFetch)
 	c.decodeToRename = fifo.NewSyncLatch[*isa.Instr]("decode->rename", c.clocks[DomDecode], c.cfg.LatchCapacity)
 	for _, d := range execDomains {
-		c.dispatch[d] = instrLink(fmt.Sprintf("dispatch->%v", d), DomDecode, d, 1)
-		c.complete[d] = instrLink(fmt.Sprintf("complete<-%v", d), d, DomDecode, 2)
+		c.dispatch[d] = instrLink(fmt.Sprintf("dispatch->%v", d), DomDecode, d, LinkClassDispatch)
+		c.complete[d] = instrLink(fmt.Sprintf("complete<-%v", d), d, DomDecode, LinkClassComplete)
 	}
 	c.wakeIntToMem = wakeLink("wake int->mem", DomInt, DomMem)
 	c.wakeFPToMem = wakeLink("wake fp->mem", DomFP, DomMem)
@@ -509,15 +555,18 @@ func (c *Core) postSquash(br *isa.Instr, now simtime.Time) {
 	c.doObserve(DomInt, now)
 }
 
-// observeSquash lets domain d act on a pending squash once its synchronized
-// copy of the signal has arrived (the resolving domain sees it immediately;
-// others after one edge in base, FIFOSyncEdges edges in GALS).
+// observeSquash lets structure d act on a pending squash once its
+// synchronized copy of the signal has arrived: the resolving structure sees
+// it immediately, structures sharing the resolver's clock one edge later (a
+// synchronous broadcast), and structures in other clock domains after
+// FIFOSyncEdges edges of their own clock (the squash bus crosses a flag
+// synchronizer, like any other cross-domain signal).
 func (c *Core) observeSquash(d DomainID, now simtime.Time) {
 	if !c.sq.active || c.sq.observed[d] {
 		return
 	}
 	edges := int64(1)
-	if c.cfg.Kind == GALS {
+	if c.topo.Cross(d, DomInt) {
 		edges = int64(c.cfg.FIFOSyncEdges)
 	}
 	if now < c.clocks[d].NthEdgeAfter(c.sq.time, edges) {
@@ -589,16 +638,57 @@ func (c *Core) endCycle(d DomainID) {
 	c.stats.Cycles[d]++
 }
 
-// tickHandler returns the tick function for a domain (used both at Run and
-// when dynamic DVFS replaces a domain's periodic event).
-func (c *Core) tickHandler(d DomainID) func(simtime.Time) {
-	switch d {
-	case DomFetch:
-		return c.tickFetchDomain
-	case DomDecode:
-		return c.tickDecodeDomain
-	default:
-		return func(now simtime.Time) { c.tickExecDomain(d, now) }
+// domainTick builds clock domain g's edge handler: every stage of every
+// structure the domain owns, in reverse pipeline order. For the paper's two
+// machines this reproduces the classic handlers exactly — the five
+// single-structure GALS ticks, and the one all-structure synchronous tick
+// that also charges the global clock grid.
+func (c *Core) domainTick(g int) func(simtime.Time) {
+	owned := c.topo.structuresOf(g)
+	hasFetch, hasDecode := false, false
+	var execs []DomainID
+	for _, d := range owned {
+		switch d {
+		case DomFetch:
+			hasFetch = true
+		case DomDecode:
+			hasDecode = true
+		default:
+			execs = append(execs, d)
+		}
+	}
+	globalGrid := c.topo.GlobalGrid
+	dc := c.domClocks[g]
+	return func(now simtime.Time) {
+		c.maybeRetune(g, now)
+		for _, d := range owned {
+			c.observeSquash(d, now)
+		}
+		if hasDecode {
+			c.watchdogAndSamples()
+			c.dvfsController()
+			c.stageCommit(now)
+			c.stageDrainCompletions(now)
+		}
+		for _, d := range execs {
+			c.stageComplete(d, now)
+			c.stageDrainWakeups(d, now)
+			c.stageDrainDispatch(d, now)
+			c.stageIssue(d, now)
+		}
+		if hasDecode {
+			c.stageRenameDispatch(now)
+			c.stageDecode(now)
+		}
+		if hasFetch {
+			c.stageFetch(now)
+		}
+		for _, d := range owned {
+			c.endCycle(d)
+		}
+		if globalGrid {
+			c.mtr.EndClockCycle(power.BlockGlobalClock, dc.EnergyScale())
+		}
 	}
 }
 
@@ -614,86 +704,28 @@ func (c *Core) Run(n uint64) Stats {
 	c.started = true
 	c.targetCommits = n
 
-	for i := range c.clocks {
-		if !c.clocks[i].Started() {
-			c.clocks[i].MarkStarted()
+	for _, d := range c.domClocks {
+		if !d.Started() {
+			d.MarkStarted()
 		}
 	}
 
-	if c.cfg.Kind == Base {
-		d := c.clocks[0]
-		c.eng.SchedulePeriodic(d.Phase(), d.Period(), 0, "core-clock", c.tickBase)
-	} else {
-		// Priorities order simultaneous edges commit-side first; any fixed
-		// order is legal for truly asynchronous clocks.
-		prio := [NumDomains]int{DomDecode: 0, DomInt: 1, DomFP: 2, DomMem: 3, DomFetch: 4}
-		for d := DomainID(0); d < NumDomains; d++ {
-			c.tickEvents[d] = c.eng.SchedulePeriodic(c.clocks[d].Phase(), c.clocks[d].Period(), prio[d],
-				d.String()+"-clock", c.tickHandler(d))
-		}
+	// Priorities order simultaneous edges commit-side first; any fixed
+	// order is legal for truly asynchronous clocks.
+	prio := c.topo.priorities()
+	c.tickEvents = make([]*event.Event, len(c.domClocks))
+	c.tickFns = make([]func(simtime.Time), len(c.domClocks))
+	for g := range c.domClocks {
+		c.tickFns[g] = c.domainTick(g)
+	}
+	for g, dc := range c.domClocks {
+		c.tickEvents[g] = c.eng.SchedulePeriodic(dc.Phase(), dc.Period(), prio[g],
+			dc.Name()+"-clock", c.tickFns[g])
 	}
 
 	c.eng.Run()
 	c.finalize()
 	return c.stats
-}
-
-// tickBase executes one cycle of the fully synchronous machine: all stages
-// in reverse pipeline order, then one energy cycle for every block plus the
-// global and local clock grids.
-func (c *Core) tickBase(now simtime.Time) {
-	for d := DomainID(0); d < NumDomains; d++ {
-		c.observeSquash(d, now)
-	}
-	c.watchdogAndSamples()
-	c.stageCommit(now)
-	c.stageDrainCompletions(now)
-	for _, d := range execDomains {
-		c.stageComplete(d, now)
-		c.stageDrainWakeups(d, now)
-		c.stageDrainDispatch(d, now)
-		c.stageIssue(d, now)
-	}
-	c.stageRenameDispatch(now)
-	c.stageDecode(now)
-	c.stageFetch(now)
-
-	for d := DomainID(0); d < NumDomains; d++ {
-		c.endCycle(d)
-	}
-	c.mtr.EndClockCycle(power.BlockGlobalClock, c.clocks[0].EnergyScale())
-}
-
-// tickFetchDomain is domain 1's clock edge (GALS).
-func (c *Core) tickFetchDomain(now simtime.Time) {
-	c.maybeRetune(DomFetch, now)
-	c.observeSquash(DomFetch, now)
-	c.stageFetch(now)
-	c.endCycle(DomFetch)
-}
-
-// tickDecodeDomain is domain 2's clock edge (GALS): commit, writeback
-// collection, rename/dispatch and decode, in reverse pipeline order.
-func (c *Core) tickDecodeDomain(now simtime.Time) {
-	c.observeSquash(DomDecode, now)
-	c.watchdogAndSamples()
-	c.dvfsController()
-	c.stageCommit(now)
-	c.stageDrainCompletions(now)
-	c.stageRenameDispatch(now)
-	c.stageDecode(now)
-	c.endCycle(DomDecode)
-}
-
-// tickExecDomain is an execution domain's clock edge (GALS).
-func (c *Core) tickExecDomain(d DomainID, now simtime.Time) {
-	c.maybeRetune(d, now)
-	c.observeSquash(d, now)
-	c.stageComplete(d, now)
-	c.stageDrainWakeups(d, now)
-	c.stageDrainDispatch(d, now)
-	c.stageIssue(d, now)
-	c.endCycle(d)
 }
 
 // watchdogAndSamples advances the decode-cycle counter, samples occupancy

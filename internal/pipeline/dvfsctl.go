@@ -79,30 +79,34 @@ func (c DynamicDVFSConfig) Validate() error {
 	return nil
 }
 
-// scalableDomains are the domains the controller may retune: the three
-// execution domains, whose issue queues provide the feedback signal. The
-// fetch and decode domains stay at full speed (they host the machine's
-// serialization points and have no issue queue to observe).
-var scalableDomains = []DomainID{DomInt, DomFP, DomMem}
+// The controller may retune the topology's scalable clock domains (see
+// TopoDomain.Scalable): domains consisting solely of execution structures,
+// whose issue queues provide the feedback signal. Domains hosting the fetch
+// or decode structures stay at full speed (they hold the machine's
+// serialization points and have no issue queue to observe); topology
+// validation rejects marking them scalable.
 
-// dvfsState is the controller's bookkeeping inside Core.
+// dvfsState is the controller's bookkeeping inside Core. Occupancy counters
+// are tracked per execution structure; targets, pending retunes and freezes
+// are per clock domain (a domain owning several issue queues is judged on
+// their combined occupancy and retuned as one clock).
 type dvfsState struct {
 	lastCheck  uint64 // decodeCycles at the last interval boundary
 	lastOccSum [NumDomains]uint64
 	lastTicks  [NumDomains]uint64
-	target     [NumDomains]float64 // desired slowdown per domain
-	pending    [NumDomains]bool    // retune awaiting the domain's next edge
+	target     []float64 // desired slowdown per clock domain
+	pending    []bool    // retune awaiting the domain's next edge
 
 	lastCommitted uint64
-	probeDomain   DomainID // domain slowed by the last probe
+	probeDomain   int // clock domain slowed by the last probe
 	probeActive   bool
 	probeIPC      float64 // interval IPC before the probe
-	frozen        [NumDomains]int
+	frozen        []int
 }
 
-// dvfsController runs on the decode domain's clock: at each interval
-// boundary it computes per-domain issue-queue occupancy and posts retune
-// requests.
+// dvfsController runs on the decode structure's clock: at each interval
+// boundary it computes per-clock-domain issue-queue occupancy and posts
+// retune requests.
 func (c *Core) dvfsController() {
 	ctl := c.cfg.DynamicDVFS
 	if !ctl.Enable || c.decodeCycles-c.dvfs.lastCheck < ctl.IntervalCycles {
@@ -118,40 +122,47 @@ func (c *Core) dvfsController() {
 	// slowdown step cost more performance than it is allowed to.
 	if c.dvfs.probeActive {
 		c.dvfs.probeActive = false
-		d := c.dvfs.probeDomain
+		g := c.dvfs.probeDomain
 		if intervalIPC < c.dvfs.probeIPC*(1-ctl.MaxStepPerfLoss) {
-			c.dvfs.target[d] = c.dvfs.target[d] / ctl.Step
-			if c.dvfs.target[d] < 1 {
-				c.dvfs.target[d] = 1
+			c.dvfs.target[g] = c.dvfs.target[g] / ctl.Step
+			if c.dvfs.target[g] < 1 {
+				c.dvfs.target[g] = 1
 			}
-			c.dvfs.pending[d] = true
-			c.dvfs.frozen[d] = ctl.FreezeIntervals
+			c.dvfs.pending[g] = true
+			c.dvfs.frozen[g] = ctl.FreezeIntervals
 		}
 	}
 
 	// Pick at most one domain to slow this interval (so a performance drop
 	// is attributable), preferring the emptiest queue; speed-ups are applied
 	// unconditionally.
-	slowCand := DomainID(255)
+	slowCand := -1
 	slowOcc := 1.0
-	for _, d := range scalableDomains {
-		occSum, ticks := c.exec[d].queue.OccupancyCounters()
-		dSum := occSum - c.dvfs.lastOccSum[d]
-		dTicks := ticks - c.dvfs.lastTicks[d]
-		c.dvfs.lastOccSum[d] = occSum
-		c.dvfs.lastTicks[d] = ticks
-		if dTicks == 0 {
+	for _, g := range c.scalable {
+		var num, denom float64
+		var ticksTotal uint64
+		for _, d := range c.topo.structuresOf(g) {
+			occSum, ticks := c.exec[d].queue.OccupancyCounters()
+			dSum := occSum - c.dvfs.lastOccSum[d]
+			dTicks := ticks - c.dvfs.lastTicks[d]
+			c.dvfs.lastOccSum[d] = occSum
+			c.dvfs.lastTicks[d] = ticks
+			num += float64(dSum)
+			denom += float64(dTicks) * float64(c.exec[d].queue.Cap())
+			ticksTotal += dTicks
+		}
+		if ticksTotal == 0 {
 			continue
 		}
-		if c.dvfs.frozen[d] > 0 {
-			c.dvfs.frozen[d]--
+		if c.dvfs.frozen[g] > 0 {
+			c.dvfs.frozen[g]--
 			continue
 		}
-		occFrac := float64(dSum) / (float64(dTicks) * float64(c.exec[d].queue.Cap()))
-		cur := c.dvfs.target[d]
+		occFrac := num / denom
+		cur := c.dvfs.target[g]
 		if cur == 0 {
-			cur = c.clocks[d].Slowdown()
-			c.dvfs.target[d] = cur
+			cur = c.domClocks[g].Slowdown()
+			c.dvfs.target[g] = cur
 		}
 		switch {
 		case occFrac > ctl.HighOcc && cur > 1:
@@ -159,14 +170,14 @@ func (c *Core) dvfsController() {
 			if next < 1 {
 				next = 1
 			}
-			c.dvfs.target[d] = next
-			c.dvfs.pending[d] = true
+			c.dvfs.target[g] = next
+			c.dvfs.pending[g] = true
 		case occFrac < ctl.LowOcc && cur*ctl.Step <= ctl.MaxSlowdown && occFrac < slowOcc:
-			slowCand = d
+			slowCand = g
 			slowOcc = occFrac
 		}
 	}
-	if slowCand != DomainID(255) {
+	if slowCand >= 0 {
 		c.dvfs.target[slowCand] *= ctl.Step
 		c.dvfs.pending[slowCand] = true
 		c.dvfs.probeActive = true
@@ -175,28 +186,29 @@ func (c *Core) dvfsController() {
 	}
 }
 
-// maybeRetune applies a pending frequency/voltage change to domain d at one
-// of its own clock edges (now). The periodic tick event is rescheduled to
-// the new period, and the clock itself is rebased so that edge arithmetic
-// (FIFO synchronizers, squash observation) follows the new regime.
-func (c *Core) maybeRetune(d DomainID, now simtime.Time) {
-	if !c.dvfs.pending[d] {
+// maybeRetune applies a pending frequency/voltage change to clock domain g
+// at one of its own clock edges (now). The periodic tick event is
+// rescheduled to the new period, and the clock itself is rebased so that
+// edge arithmetic (FIFO synchronizers, squash observation) follows the new
+// regime.
+func (c *Core) maybeRetune(g int, now simtime.Time) {
+	if !c.dvfs.pending[g] {
 		return
 	}
-	c.dvfs.pending[d] = false
-	slow := c.dvfs.target[d]
+	c.dvfs.pending[g] = false
+	slow := c.dvfs.target[g]
 	volt := 0.0
 	if c.cfg.AutoVoltage {
-		volt = c.cfg.DVFS.VoltageForSlowdown(slow)
+		volt = c.voltageFor(g, slow)
 	}
-	c.clocks[d].Retune(now, slow, volt)
+	c.domClocks[g].Retune(now, slow, volt)
 	c.stats.Retunes++
 
 	// Replace the domain's tick event: the old one was already rescheduled
 	// with the previous period when it fired.
-	if ev := c.tickEvents[d]; ev != nil {
+	if ev := c.tickEvents[g]; ev != nil {
 		c.eng.Cancel(ev)
-		c.tickEvents[d] = c.eng.SchedulePeriodic(now+c.clocks[d].Period(), c.clocks[d].Period(),
-			ev.Priority(), ev.Name(), c.tickHandler(d))
+		c.tickEvents[g] = c.eng.SchedulePeriodic(now+c.domClocks[g].Period(), c.domClocks[g].Period(),
+			ev.Priority(), ev.Name(), c.tickFns[g])
 	}
 }

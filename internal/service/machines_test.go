@@ -1,0 +1,214 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"galsim/internal/campaign"
+	"galsim/internal/machine"
+)
+
+const triMachineJSON = `{
+  "name": "svc-tri",
+  "domains": [
+    {"name": "front"},
+    {"name": "exec", "dvfs": "dynamic"},
+    {"name": "memsys"}
+  ],
+  "assign": {
+    "fetch": "front", "decode": "front",
+    "int": "exec", "fp": "exec",
+    "mem": "memsys"
+  }
+}`
+
+func TestMachinesEndpointListsBuiltins(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/machines")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var mr MachinesResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Builtin) != len(machine.BuiltinNames()) {
+		t.Fatalf("listed %d builtins, want %d", len(mr.Builtin), len(machine.BuiltinNames()))
+	}
+	if mr.Builtin[0].Name != "base" || mr.Builtin[0].Digest == "" || len(mr.Builtin[0].Domains) != 1 {
+		t.Errorf("base entry = %+v", mr.Builtin[0])
+	}
+	if mr.Builtin[1].Name != "gals" || !mr.Builtin[1].Dynamic || len(mr.Builtin[1].Domains) != 5 {
+		t.Errorf("gals entry = %+v", mr.Builtin[1])
+	}
+	if len(mr.Custom) != 0 {
+		t.Errorf("fresh server lists custom machines: %v", mr.Custom)
+	}
+}
+
+func TestUploadAndRunCustomMachine(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, body := post(t, ts.URL+"/machines", triMachineJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, body %s", resp.StatusCode, body)
+	}
+	var up MachineUploadResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Name != "svc-tri" || up.Domains != 3 || up.Digest == "" {
+		t.Fatalf("upload response = %+v", up)
+	}
+
+	// Re-upload is idempotent and the digest is stable — the property cache
+	// identities across uploads rest on.
+	resp, body = post(t, ts.URL+"/machines", triMachineJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload status = %d, body %s", resp.StatusCode, body)
+	}
+	var up2 MachineUploadResponse
+	if err := json.Unmarshal(body, &up2); err != nil {
+		t.Fatal(err)
+	}
+	if up2.Digest != up.Digest {
+		t.Fatalf("digest changed across uploads: %s vs %s", up.Digest, up2.Digest)
+	}
+
+	// A run may now reference the machine by name; the canonical spec in
+	// the response carries the full topology (the fleet-portable identity).
+	runReq := `{"benchmark":"gcc","machine":"svc-tri","instructions":4000,"slowdowns":{"exec":1.5}}`
+	resp, body = post(t, ts.URL+"/run", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Summary.Machine != "svc-tri" || rr.Summary.Committed != 4000 {
+		t.Errorf("summary = %+v", rr.Summary)
+	}
+	if rr.Spec.MachineSpec == nil || rr.Spec.MachineSpec.Digest() != up.Digest {
+		t.Errorf("canonical spec does not carry the uploaded topology: %+v", rr.Spec)
+	}
+
+	// Identical second run: served from the cache under the same key.
+	resp, body = post(t, ts.URL+"/run", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second run status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr2 RunResponse
+	if err := json.Unmarshal(body, &rr2); err != nil {
+		t.Fatal(err)
+	}
+	if rr2.Key != rr.Key {
+		t.Errorf("cache key unstable across runs of an uploaded machine: %s vs %s", rr2.Key, rr.Key)
+	}
+
+	// GET /machines lists it.
+	resp, body = get(t, ts.URL+"/machines")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var mr MachinesResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Custom) != 1 || mr.Custom[0].Name != "svc-tri" || mr.Custom[0].Digest != up.Digest {
+		t.Errorf("custom listing = %+v", mr.Custom)
+	}
+}
+
+func TestSweepResolvesUploadedMachine(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, body := post(t, ts.URL+"/machines", triMachineJSON); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, body %s", resp.StatusCode, body)
+	}
+	req := mustJSON(t, campaign.Sweep{
+		Benchmarks:   []string{"gcc"},
+		Machines:     []string{"base", "svc-tri"},
+		SlowdownGrid: []map[string]float64{nil, {"exec": 2}},
+		Instructions: 3_000,
+	})
+	resp, body := post(t, ts.URL+"/sweep", string(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// 1 benchmark x 2 machines x 2 grid points; axis order is preserved and
+	// the exec slowdown collapses to full speed on the single-clock base.
+	if sr.Units != 4 {
+		t.Fatalf("units = %d, want 4", sr.Units)
+	}
+	if sr.Results[0].Summary.Machine != "base" || sr.Results[2].Summary.Machine != "svc-tri" {
+		t.Errorf("machine axis order: %s, %s", sr.Results[0].Summary.Machine, sr.Results[2].Summary.Machine)
+	}
+	if sr.Results[0].Key != sr.Results[1].Key {
+		t.Errorf("base units differ across exec-only grid points (keys %s vs %s)", sr.Results[0].Key, sr.Results[1].Key)
+	}
+	if sr.Results[2].Key == sr.Results[3].Key {
+		t.Error("slowed tri unit shares a key with the full-speed one")
+	}
+	// The built-in axis entries keep their classic cache identity even
+	// though resolution rewrote them as specs.
+	want := campaign.RunSpec{Benchmark: "gcc", Machine: "base", Instructions: 3_000}.Key()
+	if sr.Results[0].Key != want {
+		t.Errorf("base unit key = %s, want the classic %s", sr.Results[0].Key, want)
+	}
+}
+
+func TestSweepUnknownMachineBlamesTheTypo(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, body := post(t, ts.URL+"/machines", triMachineJSON); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, body %s", resp.StatusCode, body)
+	}
+	req := mustJSON(t, campaign.Sweep{
+		Benchmarks:   []string{"gcc"},
+		Machines:     []string{"svc-tri", "typo"},
+		Instructions: 3_000,
+	})
+	resp, body := post(t, ts.URL+"/sweep", string(req))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`\"typo\"`)) && !bytes.Contains(body, []byte("typo")) {
+		t.Errorf("error %s does not name the unknown machine", body)
+	}
+	if bytes.Contains(body, []byte(`unknown machine \"svc-tri\"`)) {
+		t.Errorf("error %s blames the registered machine", body)
+	}
+}
+
+func TestUploadMachineValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"reserved name", `{"name":"gals","domains":[{"name":"core"}],"assign":{"fetch":"core","decode":"core","int":"core","fp":"core","mem":"core"}}`},
+		{"unassigned structure", `{"name":"x","domains":[{"name":"core"}],"assign":{"fetch":"core"}}`},
+		{"dynamic front end", `{"name":"x","domains":[{"name":"a"},{"name":"b","dvfs":"dynamic"}],"assign":{"fetch":"b","decode":"a","int":"a","fp":"a","mem":"a"}}`},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/machines", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, body %s", c.name, resp.StatusCode, body)
+		}
+	}
+	// An unknown machine in /run names the built-ins.
+	resp, body := post(t, ts.URL+"/run", `{"benchmark":"gcc","machine":"nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown machine run status = %d", resp.StatusCode)
+	}
+	for _, b := range machine.BuiltinNames() {
+		if !bytes.Contains(body, []byte(b)) {
+			t.Errorf("unknown-machine body %s does not list %q", body, b)
+		}
+	}
+}

@@ -16,6 +16,11 @@
 //	                          plus uploaded custom profiles
 //	POST /workloads           upload a custom (possibly phased) profile;
 //	                          later /run requests may reference it by name
+//	GET  /machines            built-in machine specs (base, gals) plus
+//	                          uploaded custom machines, with content digests
+//	POST /machines            upload a machine spec (a clock-domain
+//	                          topology); later /run and /sweep requests may
+//	                          reference it by name
 //	GET  /stats               cache hit/miss/entry counters
 //	GET  /healthz             liveness probe
 package service
@@ -33,6 +38,7 @@ import (
 	"galsim/internal/campaign"
 	"galsim/internal/experiments"
 	"galsim/internal/httpjson"
+	"galsim/internal/machine"
 	"galsim/internal/pipeline"
 	"galsim/internal/workload"
 )
@@ -44,14 +50,23 @@ const maxBodyBytes = 1 << 20
 // registry in entries and in total stored bytes (specs are kept for the
 // server's lifetime and uploads are unauthenticated, so both axes need a
 // ceiling — 1024 one-MiB specs would otherwise pin a gigabyte of heap).
+// The machine registry is bounded the same way.
 const (
 	maxCustomWorkloads     = 1024
 	maxCustomWorkloadBytes = 16 << 20
+	maxCustomMachines      = 1024
+	maxCustomMachineBytes  = 16 << 20
 )
 
 // customEntry is one uploaded profile plus its accounted size.
 type customEntry struct {
 	spec workload.ProfileSpec
+	size int
+}
+
+// machineEntry is one uploaded machine spec plus its accounted size.
+type machineEntry struct {
+	spec machine.Spec
 	size int
 }
 
@@ -76,6 +91,11 @@ type Server struct {
 	customMu    sync.RWMutex
 	custom      map[string]customEntry
 	customBytes int // total accounted size of all entries
+
+	// machines is the uploaded-machine registry: name -> validated spec.
+	machinesMu    sync.RWMutex
+	machines      map[string]machineEntry
+	machinesBytes int // total accounted size of all entries
 }
 
 // New builds a server around the given engine (nil creates a fresh
@@ -85,13 +105,15 @@ func New(engine *campaign.Engine) *Server {
 		engine = campaign.NewEngine(0)
 	}
 	s := &Server{engine: engine, mux: http.NewServeMux(), MaxSweepUnits: 4096,
-		custom: map[string]customEntry{}}
+		custom: map[string]customEntry{}, machines: map[string]machineEntry{}}
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /experiments/{figure}", s.handleExperiment)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /workloads", s.handleUploadWorkload)
+	s.mux.HandleFunc("GET /machines", s.handleMachines)
+	s.mux.HandleFunc("POST /machines", s.handleUploadMachine)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -152,6 +174,26 @@ func (s *Server) resolveWorkload(spec *campaign.RunSpec) {
 	}
 }
 
+// resolveMachine substitutes an uploaded machine when the spec's machine
+// field names one: the run then carries the full topology content, so its
+// cache identity (and the jobs a fleet coordinator ships to workers) covers
+// what the machine *is*, not what it is called.
+func (s *Server) resolveMachine(spec *campaign.RunSpec) {
+	if spec.Machine == "" || spec.MachineSpec != nil {
+		return
+	}
+	if _, err := machine.ByName(spec.Machine); err == nil {
+		return // built-ins resolve everywhere; never shadow them
+	}
+	s.machinesMu.RLock()
+	ent, ok := s.machines[spec.Machine]
+	s.machinesMu.RUnlock()
+	if ok {
+		spec.Machine = ""
+		spec.MachineSpec = &ent.spec
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var spec campaign.RunSpec
 	if !decodeBody(w, r, &spec) {
@@ -166,6 +208,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.resolveWorkload(&spec)
+	s.resolveMachine(&spec)
 	if err := spec.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -207,9 +250,53 @@ type SweepResponse struct {
 	Results []campaign.UnitResult `json:"results"`
 }
 
+// resolveSweepMachines rewrites a sweep whose machine axis references
+// uploaded machines: every name entry becomes a full spec (built-ins
+// included, preserving axis order — RunSpec canonicalization collapses
+// built-in-equal specs back to their names, so cache identities are
+// untouched). A name that is neither a built-in nor uploaded is an error
+// naming the offender, so a typo'd entry cannot shift blame onto a
+// correctly registered machine.
+func (s *Server) resolveSweepMachines(sweep *campaign.Sweep) error {
+	needed := false
+	for _, name := range sweep.Machines {
+		if _, err := machine.ByName(name); err != nil {
+			needed = true
+		}
+	}
+	if !needed {
+		return nil
+	}
+	s.machinesMu.RLock()
+	defer s.machinesMu.RUnlock()
+	var specs []machine.Spec
+	for _, name := range sweep.Machines {
+		if sp, err := machine.ByName(name); err == nil {
+			specs = append(specs, sp)
+		} else if ent, ok := s.machines[name]; ok {
+			specs = append(specs, ent.spec)
+		} else {
+			uploaded := make([]string, 0, len(s.machines))
+			for n := range s.machines {
+				uploaded = append(uploaded, n)
+			}
+			sort.Strings(uploaded)
+			return fmt.Errorf("unknown machine %q in sweep (built-in machines: %s; uploaded: %v)",
+				name, strings.Join(machine.BuiltinNames(), ", "), uploaded)
+		}
+	}
+	sweep.Machines = nil
+	sweep.MachineSpecs = append(specs, sweep.MachineSpecs...)
+	return nil
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var sweep campaign.Sweep
 	if !decodeBody(w, r, &sweep) {
+		return
+	}
+	if err := s.resolveSweepMachines(&sweep); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Size the expansion before materializing it: the cross product of a
@@ -387,6 +474,113 @@ func (s *Server) handleUploadWorkload(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK // idempotent re-upload / replacement
 	}
 	writeJSON(w, status, UploadResponse{Name: spec.Name, Phases: len(spec.Phases)})
+}
+
+// MachineInfo is one GET /machines entry: the canonical spec plus its
+// content digest (the identity cache keys and trace provenance record) and
+// a domain summary.
+type MachineInfo struct {
+	Name    string       `json:"name"`
+	Digest  string       `json:"digest"`
+	Domains []string     `json:"domains"`
+	Dynamic bool         `json:"dynamic"` // has a dynamic-DVFS-capable domain
+	Spec    machine.Spec `json:"spec"`
+}
+
+// MachinesResponse is the GET /machines payload.
+type MachinesResponse struct {
+	Builtin []MachineInfo `json:"builtin"`
+	Custom  []MachineInfo `json:"custom"`
+}
+
+func machineInfo(sp machine.Spec) MachineInfo {
+	c := sp.Canonical()
+	return MachineInfo{
+		Name:    c.Name,
+		Digest:  c.Digest(),
+		Domains: c.DomainNames(),
+		Dynamic: c.DynamicCapable(),
+		Spec:    c,
+	}
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	resp := MachinesResponse{Custom: []MachineInfo{}}
+	for _, sp := range machine.Builtins() {
+		resp.Builtin = append(resp.Builtin, machineInfo(sp))
+	}
+	s.machinesMu.RLock()
+	for _, ent := range s.machines {
+		resp.Custom = append(resp.Custom, machineInfo(ent.spec))
+	}
+	s.machinesMu.RUnlock()
+	sort.Slice(resp.Custom, func(i, j int) bool { return resp.Custom[i].Name < resp.Custom[j].Name })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MachineUploadResponse is the POST /machines payload. The digest is stable
+// across uploads of equal specs — the property fleet-wide cache dedup and
+// replay provenance rest on.
+type MachineUploadResponse struct {
+	Name    string `json:"name"`
+	Digest  string `json:"digest"`
+	Domains int    `json:"domains"`
+}
+
+func (s *Server) handleUploadMachine(w http.ResponseWriter, r *http.Request) {
+	var spec machine.Spec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	exists, err := s.RegisterMachine(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == errMachineRegistryFull {
+			status = http.StatusInsufficientStorage
+		}
+		writeError(w, status, err)
+		return
+	}
+	status := http.StatusCreated
+	if exists {
+		status = http.StatusOK // idempotent re-upload / replacement
+	}
+	writeJSON(w, status, MachineUploadResponse{
+		Name:    spec.Name,
+		Digest:  spec.Digest(),
+		Domains: len(spec.Domains),
+	})
+}
+
+var errMachineRegistryFull = fmt.Errorf("custom machine registry is full (%d entries / %d bytes max)",
+	maxCustomMachines, maxCustomMachineBytes)
+
+// RegisterMachine validates and stores a machine spec in the server's
+// registry, so /run and /sweep requests may reference it by name; replaced
+// reports whether an entry of the same name existed. Used by the /machines
+// upload handler and by front ends (galsim-fleet -machine) that pre-load
+// machines at startup. Built-in names are reserved.
+func (s *Server) RegisterMachine(spec machine.Spec) (replaced bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return false, err
+	}
+	if _, err := machine.ByName(spec.Name); err == nil {
+		return false, fmt.Errorf("machine name %q is reserved for the built-in machine", spec.Name)
+	}
+	encoded, err := json.Marshal(spec)
+	if err != nil {
+		return false, fmt.Errorf("encoding machine spec: %w", err)
+	}
+	s.machinesMu.Lock()
+	defer s.machinesMu.Unlock()
+	old, exists := s.machines[spec.Name]
+	newTotal := s.machinesBytes - old.size + len(encoded)
+	if (!exists && len(s.machines) >= maxCustomMachines) || newTotal > maxCustomMachineBytes {
+		return false, errMachineRegistryFull
+	}
+	s.machines[spec.Name] = machineEntry{spec: spec, size: len(encoded)}
+	s.machinesBytes = newTotal
+	return exists, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

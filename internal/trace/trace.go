@@ -22,10 +22,12 @@
 //
 //	header:
 //	  magic   "GTRC" (4 bytes)
-//	  version byte (currently 1)
+//	  version byte (currently 2; version 1 is still read)
 //	  uvarint committed-instruction target of the recorded run
 //	  uvarint name length, name bytes (workload name)
 //	  uvarint spec length, spec bytes (canonical RunSpec JSON, provenance)
+//	  uvarint digest length, digest bytes (canonical machine-topology
+//	          digest; version >= 2 only)
 //
 //	record:
 //	  tag byte: bits 0-1 kind (0 instr, 1 start-wrong-path, 2 end-wrong-path)
@@ -59,15 +61,18 @@ import (
 	"galsim/internal/isa"
 )
 
-// Version is the current trace format version.
-const Version = 1
+// Version is the current trace format version. Version 2 added the
+// machine-topology digest to the header; version 1 traces (no digest) are
+// still read.
+const Version = 2
 
 var magic = [4]byte{'G', 'T', 'R', 'C'}
 
 // Limits on header fields; traces are untrusted input.
 const (
-	maxNameLen = 1 << 12
-	maxSpecLen = 1 << 20
+	maxNameLen   = 1 << 12
+	maxSpecLen   = 1 << 20
+	maxDigestLen = 128
 )
 
 // Kind discriminates trace records.
@@ -91,6 +96,11 @@ type Meta struct {
 	// SpecJSON is the canonical RunSpec of the recording run, for provenance
 	// and inspection; replay does not interpret it.
 	SpecJSON []byte
+	// MachineDigest is the canonical content digest of the recording run's
+	// machine topology (see internal/machine). Replays that do not choose a
+	// machine explicitly are checked against it, so a trace recorded on one
+	// topology cannot silently replay on another. Empty in version 1 traces.
+	MachineDigest string
 }
 
 // Record is one decoded trace event.
@@ -171,6 +181,9 @@ func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
 	if len(meta.SpecJSON) > maxSpecLen {
 		return nil, fmt.Errorf("trace: spec of %d bytes exceeds the %d limit", len(meta.SpecJSON), maxSpecLen)
 	}
+	if len(meta.MachineDigest) > maxDigestLen {
+		return nil, fmt.Errorf("trace: machine digest of %d bytes exceeds the %d limit", len(meta.MachineDigest), maxDigestLen)
+	}
 	tw := &Writer{w: bufio.NewWriter(w), buf: make([]byte, 0, 64)}
 	tw.w.Write(magic[:])    //nolint:errcheck // sticky via Flush
 	tw.w.WriteByte(Version) //nolint:errcheck
@@ -179,6 +192,8 @@ func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
 	tw.w.WriteString(meta.Name) //nolint:errcheck
 	tw.uvarint(uint64(len(meta.SpecJSON)))
 	tw.w.Write(meta.SpecJSON) //nolint:errcheck
+	tw.uvarint(uint64(len(meta.MachineDigest)))
+	tw.w.WriteString(meta.MachineDigest) //nolint:errcheck
 	if err := tw.w.Flush(); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
@@ -278,8 +293,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading version: %w", noEOF(err))
 	}
-	if ver != Version {
-		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", ver, Version)
+	if ver < 1 || ver > Version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want 1..%d)", ver, Version)
 	}
 	tr := &Reader{r: br}
 	if tr.meta.Instructions, err = binary.ReadUvarint(br); err != nil {
@@ -292,6 +307,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 	tr.meta.Name = string(name)
 	if tr.meta.SpecJSON, err = readBlock(br, maxSpecLen, "spec"); err != nil {
 		return nil, err
+	}
+	if ver >= 2 {
+		digest, err := readBlock(br, maxDigestLen, "machine digest")
+		if err != nil {
+			return nil, err
+		}
+		tr.meta.MachineDigest = string(digest)
 	}
 	return tr, nil
 }

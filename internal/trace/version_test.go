@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestReadsVersion1Header: traces recorded before the machine-digest field
+// (format version 1) must keep replaying; their digest reads as empty, which
+// provenance checks treat as "unknown, allow".
+func TestReadsVersion1Header(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(1) // version 1: header ends after the spec block
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 1234)]) // instructions
+	name := "oldtrace"
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(name)))])
+	buf.WriteString(name)
+	spec := `{"benchmark":"gcc"}`
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(spec)))])
+	buf.WriteString(spec)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Meta()
+	if m.Name != name || m.Instructions != 1234 || string(m.SpecJSON) != spec {
+		t.Fatalf("meta = %+v", m)
+	}
+	if m.MachineDigest != "" {
+		t.Errorf("v1 trace reports a machine digest %q", m.MachineDigest)
+	}
+}
+
+// TestCurrentHeaderCarriesDigest: version 2 writes round-trip the machine
+// digest; versions above the current one are rejected.
+func TestCurrentHeaderCarriesDigest(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Name: "x", Instructions: 7, MachineDigest: "abc123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Meta().MachineDigest; got != "abc123" {
+		t.Fatalf("digest = %q", got)
+	}
+
+	future := append([]byte(nil), buf.Bytes()...)
+	future[4] = Version + 1
+	if _, err := NewReader(bytes.NewReader(future)); err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("future version error = %v", err)
+	}
+}
