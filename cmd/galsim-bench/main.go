@@ -13,7 +13,11 @@
 //     ns/op, allocs/op and B/op;
 //   - sweep/serial: a cold-cache campaign over several benchmarks on both
 //     machines through one worker (BenchmarkSweep/serial), the end-to-end
-//     figure the campaign engine and galsimd inherit.
+//     figure the campaign engine and galsimd inherit;
+//   - sampler/off and sampler/on: the GALS core with interval sampling
+//     disabled versus sampling every 1000 decode cycles, establishing the
+//     observability overhead (sampler_regression in the report; the PR 6
+//     acceptance bound is <= 5%).
 //
 // When -baseline names a previous output file, the report embeds it and
 // computes per-benchmark speedup (baseline ns/op ÷ current ns/op) and the
@@ -57,6 +61,11 @@ type Report struct {
 
 	Benchmarks []Measurement `json:"benchmarks"`
 
+	// SamplerRegression is the throughput cost of interval sampling:
+	// 1 - (sampler/on ÷ sampler/off sim-instrs/s). Positive = slower with
+	// sampling enabled.
+	SamplerRegression float64 `json:"sampler_regression,omitempty"`
+
 	// Baseline, when present, is the report this run is compared against;
 	// Speedup and AllocReduction are keyed by benchmark name.
 	Baseline       *Report            `json:"baseline,omitempty"`
@@ -96,6 +105,26 @@ func benchThroughput(kind pipeline.Kind, instrs uint64) func(b *testing.B) {
 	}
 }
 
+// benchSampler is the sampler-overhead pair: the GALS core with interval
+// sampling off (interval 0) or on. The two runs differ only in
+// Config.SampleInterval, so their throughput ratio isolates the sampler.
+func benchSampler(interval, instrs uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		prof, err := workload.ByName("gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := pipeline.DefaultConfig(pipeline.GALS)
+			cfg.SampleInterval = interval
+			pipeline.NewCore(cfg, prof).Run(instrs)
+		}
+		b.ReportMetric(float64(instrs*uint64(b.N))/b.Elapsed().Seconds(), "sim-instrs/s")
+	}
+}
+
 // benchSweep is BenchmarkSweep/serial: a cold-cache campaign through one
 // worker, the figure the sweep and experiment layers inherit.
 func benchSweep(instrs uint64) func(b *testing.B) {
@@ -124,11 +153,12 @@ func benchSweep(instrs uint64) func(b *testing.B) {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH.json", "output file")
-		label    = flag.String("label", "current", "label recorded in the report")
-		baseline = flag.String("baseline", "", "previous report to embed and compare against")
-		instrs   = flag.Uint64("n", 20_000, "instructions per throughput run")
-		sweepN   = flag.Uint64("sweep-n", 4_000, "instructions per sweep unit")
+		out       = flag.String("out", "BENCH.json", "output file")
+		label     = flag.String("label", "current", "label recorded in the report")
+		baseline  = flag.String("baseline", "", "previous report to embed and compare against")
+		instrs    = flag.Uint64("n", 20_000, "instructions per throughput run")
+		sweepN    = flag.Uint64("sweep-n", 4_000, "instructions per sweep unit")
+		sampleIvl = flag.Uint64("sample-interval", 1_000, "decode-cycle interval for the sampler/on benchmark")
 	)
 	flag.Parse()
 
@@ -148,6 +178,8 @@ func main() {
 		{"throughput/gals", benchThroughput(pipeline.GALS, *instrs)},
 		{"throughput/base", benchThroughput(pipeline.Base, *instrs)},
 		{"sweep/serial", benchSweep(*sweepN)},
+		{"sampler/off", benchSampler(0, *instrs)},
+		{"sampler/on", benchSampler(*sampleIvl, *instrs)},
 	}
 	for _, bb := range benches {
 		fmt.Fprintf(os.Stderr, "running %s...\n", bb.name)
@@ -155,6 +187,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %d iterations, %d ns/op, %d allocs/op, %d B/op, %.0f sim-instrs/s\n",
 			m.Iterations, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SimInstrsPerSec)
 		rep.Benchmarks = append(rep.Benchmarks, m)
+	}
+	var samplerOff, samplerOn float64
+	for _, m := range rep.Benchmarks {
+		switch m.Name {
+		case "sampler/off":
+			samplerOff = m.SimInstrsPerSec
+		case "sampler/on":
+			samplerOn = m.SimInstrsPerSec
+		}
+	}
+	if samplerOff > 0 {
+		rep.SamplerRegression = 1 - samplerOn/samplerOff
+		fmt.Fprintf(os.Stderr, "sampler regression: %.2f%%\n", 100*rep.SamplerRegression)
 	}
 
 	if *baseline != "" {

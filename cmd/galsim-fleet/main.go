@@ -12,6 +12,7 @@
 //	    -d '{"benchmarks":["gcc","perl"],"instructions":20000,
 //	         "slowdown_grid":[{},{"fp":1.5},{"fp":3}],"machines":["gals"]}'
 //	curl -s localhost:9090/stats          # aggregated fleet stats
+//	curl -s localhost:9090/metrics        # fleet + service Prometheus page
 //
 // Multi-process on one machine:
 //
@@ -25,7 +26,14 @@
 //	POST /join           worker registration
 //	POST /jobs/lease     job lease (long-polls while the queue is idle)
 //	POST /jobs/complete  streamed per-job completions
-//	GET  /stats          fleet-wide cache counters, queue depth, per-worker health
+//	GET  /stats          fleet-wide cache counters, queue depth, uptime, per-worker health
+//	GET  /metrics        Prometheus text exposition (fleet queue/lease/job
+//	                     metrics merged with the service's HTTP metrics)
+//
+// Logging is structured (log/slog; -log-level, -log-format). Campaign
+// submissions are logged with a request ID that every job of the campaign
+// carries to its worker, so one sweep's lifecycle is greppable across the
+// whole fleet.
 package main
 
 import (
@@ -33,7 +41,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -48,6 +55,7 @@ import (
 	"galsim/internal/httpjson"
 	"galsim/internal/machine"
 	"galsim/internal/service"
+	"galsim/internal/telemetry"
 )
 
 func main() {
@@ -63,45 +71,61 @@ func main() {
 		rdTimeout   = flag.Duration("read-timeout", 60*time.Second, "request read timeout (must exceed the lease long-poll)")
 		wrTimeout   = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
 		idleTimout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text|json")
 	)
 	flag.Parse()
 
-	coord := cluster.NewCoordinator(cluster.Config{
-		LeaseTTL:    *leaseTTL,
-		MaxAttempts: *maxAttempts,
-	})
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	// The local engine serves /experiments and validation; campaign batches
-	// go through the coordinator.
+	// go through the coordinator. The coordinator shares the service's
+	// metrics registry so the shadowing GET /metrics covers both.
 	engine := campaign.NewEngine(0)
 	svc := service.New(engine)
 	svc.MaxSweepUnits = *maxUnits
+	svc.Log = log
+	coord := cluster.NewCoordinator(cluster.Config{
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		Metrics:     svc.Metrics(),
+		Log:         log,
+	})
 	svc.Backend = coord
 
 	if *machineFile != "" {
 		for _, path := range strings.Split(*machineFile, ",") {
 			data, err := os.ReadFile(strings.TrimSpace(path))
 			if err != nil {
-				log.Fatalf("galsim-fleet: -machine: %v", err)
+				fatal("-machine unreadable", "error", err)
 			}
 			spec, err := machine.Parse(data)
 			if err != nil {
-				log.Fatalf("galsim-fleet: -machine %s: %v", path, err)
+				fatal("-machine invalid", "file", path, "error", err)
 			}
 			if _, err := svc.RegisterMachine(spec); err != nil {
-				log.Fatalf("galsim-fleet: -machine %s: %v", path, err)
+				fatal("-machine rejected", "file", path, "error", err)
 			}
-			log.Printf("galsim-fleet: registered machine %q (%d domains, digest %.12s)",
-				spec.Name, len(spec.Domains), spec.Digest())
+			log.Info("registered machine", "name", spec.Name,
+				"domains", len(spec.Domains), "digest", spec.Digest()[:12])
 		}
 	}
 
 	mux := http.NewServeMux()
-	coord.Register(mux) // fleet endpoints; its GET /stats shadows the service's per-process one
+	coord.Register(mux) // fleet endpoints; GET /stats and /metrics shadow the service's
 	mux.Handle("/", svc)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("galsim-fleet: %v", err)
+		fatal("listen failed", "addr", *addr, "error", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -119,17 +143,18 @@ func main() {
 				ID:          fmt.Sprintf("local-%d", i),
 				Engine:      campaign.NewEngine(slots),
 				Slots:       slots,
-				Logf:        log.Printf,
+				Log:         log,
+				Metrics:     svc.Metrics(), // galsim_worker_* aggregates across the spawned workers
 			}
 			go func() {
 				if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
-					log.Printf("galsim-fleet: worker %s: %v", wk.ID, err)
+					log.Error("worker failed", "worker", wk.ID, "error", err)
 				}
 			}()
 		}
-		log.Printf("galsim-fleet: spawned %d in-process workers (%d slots each)", *spawn, slots)
+		log.Info("spawned in-process workers", "workers", *spawn, "slots_each", slots)
 	} else {
-		log.Printf("galsim-fleet: no local workers; sweeps wait until galsimd workers -join")
+		log.Info("no local workers; sweeps wait until galsimd workers -join")
 	}
 
 	httpSrv := &http.Server{
@@ -141,23 +166,25 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("galsim-fleet: coordinating on %s (lease TTL %s, %d attempts/job)", ln.Addr(), *leaseTTL, *maxAttempts)
+	log.Info("coordinating", "addr", ln.Addr().String(),
+		"lease_ttl", leaseTTL.String(), "max_attempts", *maxAttempts)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("galsim-fleet: %v", err)
+		fatal("serve failed", "error", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("galsim-fleet: shutting down (grace %s)", *gracePd)
+	log.Info("shutting down", "grace", gracePd.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePd)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("galsim-fleet: shutdown: %v", err)
+		log.Warn("shutdown incomplete", "error", err)
 	}
 	st := coord.Stats()
-	log.Printf("galsim-fleet: at exit: %d workers (%d alive), %d jobs done, %d lease expiries, %d job failures",
-		st.Workers, st.Alive, st.JobsDone, st.LeaseExpiries, st.JobFailures)
+	log.Info("fleet at exit", "workers", st.Workers, "alive", st.Alive,
+		"jobs_done", st.JobsDone, "lease_expiries", st.LeaseExpiries,
+		"job_failures", st.JobFailures, "uptime_seconds", st.UptimeSeconds)
 }
 
 // selfURL turns the bound listener address into a URL the spawned local

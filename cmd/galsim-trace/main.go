@@ -14,8 +14,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -79,6 +81,9 @@ type machineFlags struct {
 	memOrder  *string
 	linkStyle *string
 	dynDVFS   *bool
+	sample    *uint64
+	sampleOut *string
+	sampleFmt *string
 }
 
 func addMachineFlags(fs *flag.FlagSet) *machineFlags {
@@ -93,7 +98,36 @@ func addMachineFlags(fs *flag.FlagSet) *machineFlags {
 		memOrder:  fs.String("mem-order", "perfect", "memory disambiguation: perfect, conservative, addr-match"),
 		linkStyle: fs.String("links", "fifo", "GALS link style: fifo or stretch"),
 		dynDVFS:   fs.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)"),
+		sample:    fs.Uint64("sample", 0, "sample per-domain occupancy/IPC/DVFS state every N decode cycles (0 = off, min 100)"),
+		sampleOut: fs.String("sample-out", "", "write the sample series to this file (default stdout after the summary)"),
+		sampleFmt: fs.String("sample-format", "csv", "sample encoding: csv or json"),
 	}
+}
+
+// emitSamples writes a run's interval series per the -sample-* flags; a
+// no-op unless -sample was set.
+func (m *machineFlags) emitSamples(samples []galsim.Sample) error {
+	if *m.sample == 0 {
+		return nil
+	}
+	var w io.Writer = os.Stdout
+	if *m.sampleOut != "" {
+		f, err := os.Create(*m.sampleOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *m.sampleFmt {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(samples)
+	case "csv":
+		return galsim.WriteSamplesCSV(w, samples)
+	}
+	return fmt.Errorf("-sample-format %q: want csv or json", *m.sampleFmt)
 }
 
 func (m *machineFlags) options() (galsim.Options, error) {
@@ -139,6 +173,7 @@ func (m *machineFlags) options() (galsim.Options, error) {
 		MemoryOrdering:        *m.memOrder,
 		LinkStyle:             *m.linkStyle,
 		DynamicDVFS:           *m.dynDVFS,
+		SampleInterval:        *m.sample,
 	}, nil
 }
 
@@ -185,7 +220,7 @@ func cmdRecord(args []string) error {
 	fmt.Printf("recorded %s: %d committed, %.3f us simulated\n", res.Benchmark, res.Committed, res.SimSeconds*1e6)
 	fmt.Printf("  %s: %d bytes, %d instructions (%d wrong-path, %d excursions)\n",
 		*out, info.Size(), t.Stats.Instrs, t.Stats.WrongPath, t.Stats.Excursions)
-	return nil
+	return mf.emitSamples(res.Samples)
 }
 
 func cmdInspect(args []string) error {
@@ -223,11 +258,20 @@ func cmdInspect(args []string) error {
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	fs.Parse(args) //nolint:errcheck
-	if fs.NArg() != 1 {
-		return fmt.Errorf("stats: usage: galsim-trace stats <file>")
+	mf := addMachineFlags(fs)
+	// Accept the trace file before the flags, as replay does.
+	var file string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file, args = args[0], args[1:]
 	}
-	t, err := trace.Load(fs.Arg(0))
+	fs.Parse(args) //nolint:errcheck
+	if file == "" && fs.NArg() == 1 {
+		file = fs.Arg(0)
+	}
+	if file == "" || fs.NArg() > 1 {
+		return fmt.Errorf("stats: usage: galsim-trace stats <file> [flags]")
+	}
+	t, err := trace.Load(file)
 	if err != nil {
 		return err
 	}
@@ -247,6 +291,20 @@ func cmdStats(args []string) error {
 			continue
 		}
 		fmt.Printf("    %-8s %8d  %5.1f%%\n", isa.Class(c), s.ByClass[c], 100*float64(s.ByClass[c])/float64(s.Instrs))
+	}
+	// With -sample, additionally replay the trace through a machine (the
+	// machine flags match replay's) and emit the interval time-series.
+	if *mf.sample > 0 {
+		opts, err := mf.options()
+		if err != nil {
+			return err
+		}
+		opts.Trace = file
+		res, err := galsim.Run(opts)
+		if err != nil {
+			return err
+		}
+		return mf.emitSamples(res.Samples)
 	}
 	return nil
 }
@@ -286,5 +344,5 @@ func cmdReplay(args []string) error {
 		fmt.Printf("  dvfs        %d retunes; final slowdowns int %.2f, fp %.2f, mem %.2f\n",
 			res.Retunes, res.FinalSlowdowns["int"], res.FinalSlowdowns["fp"], res.FinalSlowdowns["mem"])
 	}
-	return nil
+	return mf.emitSamples(res.Samples)
 }

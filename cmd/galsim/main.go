@@ -8,13 +8,16 @@
 //	galsim -profile phases.json -machine gals -dyn-dvfs
 //	galsim -bench gcc -record gcc.trace
 //	galsim -replay gcc.trace -machine gals
+//	galsim -bench gcc -machine gals -dyn-dvfs -sample 2000 -sample-out gcc.csv
 //	galsim -list
 //	galsim -config
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -40,6 +43,9 @@ func main() {
 		memOrder  = flag.String("mem-order", "perfect", "memory disambiguation: perfect, conservative, addr-match")
 		linkStyle = flag.String("links", "fifo", "GALS link style: fifo or stretch")
 		dynDVFS   = flag.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)")
+		sample    = flag.Uint64("sample", 0, "sample per-domain occupancy/IPC/DVFS state every N decode cycles (0 = off, min 100)")
+		sampleOut = flag.String("sample-out", "", "write the sample series to this file (default stdout after the run summary)")
+		sampleFmt = flag.String("sample-format", "csv", "sample encoding: csv or json")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		config    = flag.Bool("config", false, "print the machine configuration (paper Tables 2-3) and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -104,6 +110,11 @@ func main() {
 		MemoryOrdering:        *memOrder,
 		LinkStyle:             *linkStyle,
 		DynamicDVFS:           *dynDVFS,
+		SampleInterval:        *sample,
+	}
+	if *sampleFmt != "csv" && *sampleFmt != "json" {
+		fmt.Fprintf(os.Stderr, "galsim: -sample-format %q: want csv or json\n", *sampleFmt)
+		os.Exit(2)
 	}
 	if *profile != "" || *replay != "" {
 		opts.Benchmark = "" // -bench's default yields to an explicit source
@@ -157,6 +168,12 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
+	if *sample > 0 {
+		if err := writeSamples(res.Samples, *sampleOut, *sampleFmt); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+	}
 	if *memProf != "" {
 		// os.Exit skips defers: flush the CPU profile before any error exit
 		// so -cpuprofile output stays readable (no-op when profiling is off).
@@ -174,6 +191,27 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// writeSamples emits the interval series: CSV via the library's shared
+// column layout, or a JSON array. An empty path writes to stdout, after the
+// run summary.
+func writeSamples(samples []galsim.Sample, path, format string) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(samples)
+	}
+	return galsim.WriteSamplesCSV(w, samples)
 }
 
 // resolveMachineFlag interprets -machine: a built-in machine name stays a

@@ -18,10 +18,17 @@
 //	    -d '{"benchmark":"gcc","machine":"my-machine"}'
 //	curl -s 'localhost:8080/experiments/5?format=text'
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics    # Prometheus text exposition
+//
+// Logging is structured (log/slog): -log-level selects the threshold and
+// -log-format switches between human-readable text and JSON lines. Every
+// request is access-logged with a request ID (adopted from X-Request-Id
+// when present) and counted in the /metrics registry.
 //
 // Worker mode: -join enrolls the process in a galsim-fleet coordinator's
 // worker pool. The worker loop shares this server's engine, so fleet jobs
-// and direct HTTP requests are served from one result cache:
+// and direct HTTP requests are served from one result cache; worker job
+// metrics land on the same /metrics page.
 //
 //	galsimd -addr :8081 -join http://coordinator:9090
 package main
@@ -30,7 +37,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -41,6 +47,7 @@ import (
 	"galsim/internal/campaign"
 	"galsim/internal/cluster"
 	"galsim/internal/service"
+	"galsim/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +59,8 @@ func main() {
 		rdTimeout   = flag.Duration("read-timeout", 30*time.Second, "request read timeout")
 		wrTimeout   = flag.Duration("write-timeout", 10*time.Minute, "response write timeout (long sweeps stream slowly)")
 		idleTimout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text|json")
 		enablePprof = flag.Bool("pprof", false,
 			"serve Go runtime profiles under /debug/pprof/ (off by default; enable only on trusted networks)")
 		join        = flag.String("join", "", "coordinator base URL to pull fleet jobs from (e.g. http://host:9090)")
@@ -60,9 +69,20 @@ func main() {
 	)
 	flag.Parse()
 
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	engine := campaign.NewEngine(*workers)
 	srv := service.New(engine)
 	srv.MaxSweepUnits = *maxUnits
+	srv.Log = log
 
 	var handler http.Handler = srv
 	if *enablePprof {
@@ -74,7 +94,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", srv)
 		handler = mux
-		log.Printf("galsimd: runtime profiles enabled at /debug/pprof/")
+		log.Info("runtime profiles enabled at /debug/pprof/")
 	}
 
 	httpSrv := &http.Server{
@@ -91,7 +111,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("galsimd: serving on %s with %d workers", *addr, engine.Workers())
+	log.Info("galsimd serving", "addr", *addr, "workers", engine.Workers())
 
 	workerDone := make(chan struct{})
 	if *join != "" {
@@ -101,12 +121,13 @@ func main() {
 			Addr:        *addr,
 			Engine:      engine, // shared with the HTTP handlers: one cache for fleet and direct work
 			Slots:       *workerSlots,
-			Logf:        log.Printf,
+			Log:         log,
+			Metrics:     srv.Metrics(), // worker job metrics on the same /metrics page
 		}
 		go func() {
 			defer close(workerDone)
 			if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
-				log.Printf("galsimd: fleet worker: %v", err)
+				log.Error("fleet worker failed", "error", err)
 			}
 		}()
 	} else {
@@ -115,20 +136,20 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("galsimd: %v", err)
+		fatal("serve failed", "error", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("galsimd: shutting down (grace %s)", *gracePd)
+	log.Info("shutting down", "grace", gracePd.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePd)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("galsimd: shutdown: %v", err)
+		log.Warn("shutdown incomplete", "error", err)
 	}
 	select {
 	case <-workerDone: // in-flight fleet jobs were abandoned; their leases re-dispatch them
 	case <-shutdownCtx.Done():
 	}
 	st := engine.Stats()
-	log.Printf("galsimd: cache at exit: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)
+	log.Info("cache at exit", "entries", st.Entries, "hits", st.Hits, "misses", st.Misses)
 }

@@ -274,6 +274,12 @@ type Options struct {
 	// domains sped back up — the application-driven dynamic scaling the
 	// paper's conclusion anticipates.
 	DynamicDVFS bool
+	// SampleInterval enables interval sampling: every this many decode-domain
+	// cycles the simulator snapshots per-domain IPC, issue-queue occupancy,
+	// FIFO depths, stall deltas and DVFS slowdowns into Result.Samples. Zero
+	// (the default) disables sampling entirely — the hot path is untouched.
+	// Values below 100 cycles are rejected by Validate.
+	SampleInterval uint64
 	// OnCommit, when non-nil, is invoked for every committed instruction in
 	// program order — a tracing hook.
 	OnCommit func(CommitEvent)
@@ -331,6 +337,10 @@ type Result struct {
 	// Dynamic DVFS activity (zero unless Options.DynamicDVFS).
 	Retunes        uint64
 	FinalSlowdowns map[string]float64 // domain name -> final clock slowdown
+
+	// Samples is the interval time-series (nil unless
+	// Options.SampleInterval > 0). See WriteSamplesCSV for tabular export.
+	Samples []Sample
 }
 
 // RelativePerformance returns other's speed normalized to r (values < 1
@@ -369,6 +379,7 @@ func (o Options) spec() (campaign.RunSpec, error) {
 		MemoryOrdering: o.MemoryOrdering,
 		LinkStyle:      o.LinkStyle,
 		DynamicDVFS:    o.DynamicDVFS,
+		SampleInterval: o.SampleInterval,
 	}
 	if o.Trace != "" {
 		spec.Trace = &campaign.TraceRef{Path: o.Trace}
@@ -458,6 +469,21 @@ func RunMany(ctx context.Context, opts []Options) ([]Result, error) {
 // HTTP API instead. Results arrive in input order either way,
 // byte-identical across backends.
 func RunManyOn(ctx context.Context, b Backend, opts []Options) ([]Result, error) {
+	return RunManyProgressOn(ctx, b, opts, nil)
+}
+
+// RunManyProgress is RunMany with live progress reporting: fn (when non-nil)
+// receives a snapshot after every finished unit — completed, failed and
+// cache-served counts out of the batch total. fn is called from worker
+// goroutines and must be safe for concurrent use.
+func RunManyProgress(ctx context.Context, opts []Options, fn ProgressFunc) ([]Result, error) {
+	return RunManyProgressOn(ctx, campaign.Shared(), opts, fn)
+}
+
+// RunManyProgressOn is RunManyProgress on an explicit execution backend.
+// Backends without native progress support still work: fn then receives a
+// single terminal snapshot.
+func RunManyProgressOn(ctx context.Context, b Backend, opts []Options, fn ProgressFunc) ([]Result, error) {
 	if len(opts) == 0 {
 		return nil, nil
 	}
@@ -475,7 +501,7 @@ func RunManyOn(ctx context.Context, b Backend, opts []Options) ([]Result, error)
 		}
 		specs[i] = spec
 	}
-	stats, err := b.RunAll(ctx, specs)
+	stats, err := campaign.RunAllOn(ctx, b, specs, fn)
 	if err != nil {
 		return nil, err
 	}
@@ -525,5 +551,6 @@ func resultFrom(name string, o Options, st pipeline.Stats) Result {
 		L2HitRate:            st.L2.HitRate(),
 		Retunes:              st.Retunes,
 		FinalSlowdowns:       finalSlow,
+		Samples:              st.Samples,
 	}
 }

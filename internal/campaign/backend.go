@@ -21,5 +21,52 @@ type Backend interface {
 	RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats, error)
 }
 
+// Progress is a point-in-time view of a batch execution. Completed counts
+// units whose stats are final (including cache hits); Failed counts units
+// whose execution errored (at most one for backends that stop at the first
+// error). Completed+Failed never exceeds Total, and snapshots delivered to
+// one callback are monotone in Completed+Failed.
+type Progress struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// CacheHits counts completed units served from a result cache rather
+	// than simulated. Backends without cache visibility (e.g. a cluster
+	// coordinator, whose workers cache locally) report zero.
+	CacheHits int `json:"cache_hits"`
+}
+
+// ProgressFunc receives progress snapshots during a batch execution. It may
+// be called concurrently from worker goroutines and must not block for
+// long; it must not call back into the backend.
+type ProgressFunc func(Progress)
+
+// ProgressBackend is optionally implemented by backends that can report
+// per-unit completion while a batch runs. Both the local Engine and the
+// cluster Coordinator implement it; the base Backend interface stays
+// unchanged so third-party backends keep working.
+type ProgressBackend interface {
+	Backend
+	RunAllProgress(ctx context.Context, specs []RunSpec, fn ProgressFunc) ([]pipeline.Stats, error)
+}
+
+// RunAllOn executes specs on b, routing through RunAllProgress when fn is
+// non-nil and b supports it. A backend without progress support still runs
+// the batch; fn then only sees the terminal snapshot.
+func RunAllOn(ctx context.Context, b Backend, specs []RunSpec, fn ProgressFunc) ([]pipeline.Stats, error) {
+	if pb, ok := b.(ProgressBackend); ok && fn != nil {
+		return pb.RunAllProgress(ctx, specs, fn)
+	}
+	stats, err := b.RunAll(ctx, specs)
+	if fn != nil {
+		p := Progress{Total: len(specs), Completed: len(specs)}
+		if err != nil {
+			p.Completed, p.Failed = 0, 1
+		}
+		fn(p)
+	}
+	return stats, err
+}
+
 // Engine is the local, in-process Backend.
-var _ Backend = (*Engine)(nil)
+var _ ProgressBackend = (*Engine)(nil)

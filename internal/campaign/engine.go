@@ -172,6 +172,14 @@ func hexNibble(c byte) byte {
 // cancellation abandons the wait (an already-started simulation still
 // completes and populates the cache).
 func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) {
+	st, _, err := e.run(ctx, spec)
+	return st, err
+}
+
+// run is Run plus a cache-hit report: hit is true when the result came from
+// a completed cache entry or joined an in-flight simulation — the signal
+// Progress.CacheHits aggregates.
+func (e *Engine) run(ctx context.Context, spec RunSpec) (pipeline.Stats, bool, error) {
 	// Canonicalize once up front: this pins a trace's content digest, so
 	// the cache key below and the execution's own Validate see the same
 	// content. A trace file swapped between keying and execution then fails
@@ -179,13 +187,13 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) 
 	// content's results under the old content's key.
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
-		return pipeline.Stats{}, err
+		return pipeline.Stats{}, false, err
 	}
 	key := spec.Key()
 	sh := e.shardFor(key)
 	for {
 		if err := ctx.Err(); err != nil {
-			return pipeline.Stats{}, err
+			return pipeline.Stats{}, false, err
 		}
 		sh.mu.Lock()
 		if ent, ok := sh.entries[key]; ok {
@@ -200,9 +208,9 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) 
 				if (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) && ctx.Err() == nil {
 					continue
 				}
-				return ent.st, ent.err
+				return ent.st, true, ent.err
 			case <-ctx.Done():
-				return pipeline.Stats{}, ctx.Err()
+				return pipeline.Stats{}, false, ctx.Err()
 			}
 		}
 		ent := &entry{done: make(chan struct{})}
@@ -226,7 +234,7 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) 
 			sh.mu.Unlock()
 		}
 		close(ent.done)
-		return ent.st, ent.err
+		return ent.st, false, ent.err
 	}
 }
 
@@ -235,11 +243,36 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) 
 // a cancelled ctx stops the pool promptly (units not yet started are never
 // simulated). Duplicate specs within one call are simulated once.
 func (e *Engine) RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats, error) {
+	return e.RunAllProgress(ctx, specs, nil)
+}
+
+// RunAllProgress is RunAll with live progress reporting: fn (when non-nil)
+// receives a monotone Progress snapshot after every completed unit, from
+// the completing worker goroutines. Implements ProgressBackend.
+func (e *Engine) RunAllProgress(ctx context.Context, specs []RunSpec, fn ProgressFunc) ([]pipeline.Stats, error) {
 	if len(specs) == 0 {
+		if fn != nil {
+			fn(Progress{})
+		}
 		return nil, nil
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	var (
+		progMu sync.Mutex
+		prog   = Progress{Total: len(specs)}
+	)
+	report := func(mutate func(*Progress)) {
+		if fn == nil {
+			return
+		}
+		progMu.Lock()
+		mutate(&prog)
+		snap := prog
+		progMu.Unlock()
+		fn(snap)
+	}
 
 	results := make([]pipeline.Stats, len(specs))
 	var (
@@ -257,16 +290,30 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec) ([]pipeline.Stats,
 				if ctx.Err() != nil {
 					return
 				}
-				st, err := e.Run(ctx, specs[i])
+				st, hit, err := e.run(ctx, specs[i])
 				if err != nil {
+					// Only the winning (first) error counts as a failed
+					// unit; the cancellation errors it induces in the other
+					// workers are not failures of their units.
+					won := false
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("campaign: unit %d (%s/%s): %w",
 							i, specs[i].MachineName(), specs[i].WorkloadName(), err)
 						cancel()
+						won = true
 					})
+					if won {
+						report(func(p *Progress) { p.Failed++ })
+					}
 					return
 				}
 				results[i] = st
+				report(func(p *Progress) {
+					p.Completed++
+					if hit {
+						p.CacheHits++
+					}
+				})
 			}
 		}()
 	}

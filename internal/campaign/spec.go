@@ -87,6 +87,11 @@ type RunSpec struct {
 	LinkStyle string `json:"link_style,omitempty"`
 	// DynamicDVFS enables the online per-domain frequency/voltage controller.
 	DynamicDVFS bool `json:"dynamic_dvfs,omitempty"`
+	// SampleInterval, when non-zero, records an interval time-series of the
+	// machine's internal state every that many decode cycles (see
+	// pipeline.Sample). Zero — the default — disables sampling; the
+	// omitempty tag keeps every pre-existing spec's cache key unchanged.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
 
 	// Ablation knobs; zero selects the paper's machine.
 	FIFOSyncEdges int    `json:"fifo_sync_edges,omitempty"`
@@ -359,6 +364,9 @@ func (s RunSpec) Validate() error {
 		return fmt.Errorf("campaign: FIFO sync edges (%d) and capacity (%d) must be non-negative",
 			s.FIFOSyncEdges, s.FIFOCapacity)
 	}
+	if s.SampleInterval != 0 && s.SampleInterval < 100 {
+		return fmt.Errorf("campaign: sample_interval %d is too short (minimum 100 decode cycles, or 0 to disable sampling)", s.SampleInterval)
+	}
 	if s.DynamicDVFS && !ms.DynamicCapable() {
 		return fmt.Errorf("campaign: dynamic DVFS requires a machine with a dynamic-capable clock domain; %q has none (use the gals machine, or declare a domain with \"dvfs\": \"dynamic\")", ms.Name)
 	}
@@ -504,6 +512,7 @@ func (s RunSpec) PipelineConfig() (pipeline.Config, error) {
 	if s.DynamicDVFS {
 		cfg.DynamicDVFS = pipeline.DefaultDynamicDVFS()
 	}
+	cfg.SampleInterval = s.SampleInterval
 	// A slowdown key names a clock domain of the machine; it stretches
 	// every structure the domain owns. Apply "all" first so a per-domain
 	// entry may refine a uniform stretch.

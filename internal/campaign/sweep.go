@@ -275,11 +275,17 @@ func (e *Engine) RunSweep(ctx context.Context, s Sweep) ([]UnitResult, error) {
 // never by completion order, so the output is byte-identical across
 // backends and worker counts.
 func RunSweepOn(ctx context.Context, b Backend, s Sweep) ([]UnitResult, error) {
+	return RunSweepProgress(ctx, b, s, nil)
+}
+
+// RunSweepProgress is RunSweepOn with a live progress callback (see
+// ProgressFunc); fn may be nil.
+func RunSweepProgress(ctx context.Context, b Backend, s Sweep, fn ProgressFunc) ([]UnitResult, error) {
 	units, err := s.Units()
 	if err != nil {
 		return nil, err
 	}
-	stats, err := b.RunAll(ctx, units)
+	stats, err := RunAllOn(ctx, b, units, fn)
 	if err != nil {
 		return nil, err
 	}

@@ -127,7 +127,7 @@ func TestLeaseExpiryFakeClock(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec})
+	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatalf("leased %d jobs, want 1", len(jobs))
@@ -170,7 +170,7 @@ func TestLeaseExpiryExhaustsAttempts(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec})
+	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
 	if jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{}); len(jobs) != 1 {
 		t.Fatal("initial lease failed")
 	}
@@ -200,7 +200,7 @@ func TestStaleFailureDoesNotUnwindActiveLease(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec})
+	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatal("initial lease failed")
@@ -243,7 +243,7 @@ func TestFailedJobRetriesOnOtherWorkers(t *testing.T) {
 	c.join(JoinRequest{WorkerID: "w1"})
 	c.join(JoinRequest{WorkerID: "w2"})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec})
+	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatal("initial lease failed")

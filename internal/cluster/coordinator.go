@@ -3,12 +3,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
+	"galsim/internal/telemetry"
 )
 
 // Config tunes a Coordinator. The zero value selects production defaults;
@@ -28,6 +30,13 @@ type Config struct {
 	AliveAfter time.Duration
 	// Now overrides the clock for lease-expiry tests.
 	Now func() time.Time
+	// Metrics is the registry the coordinator exports its fleet metrics to;
+	// nil creates a private one (see Coordinator.Metrics). cmd/galsim-fleet
+	// passes the service's registry so one /metrics page covers both.
+	Metrics *telemetry.Registry
+	// Log receives the coordinator's structured logs (campaign lifecycle,
+	// job retries, lease expiries); nil uses slog.Default().
+	Log *slog.Logger
 }
 
 // Coordinator shards campaign batches into jobs and serves them to a fleet
@@ -36,7 +45,11 @@ type Config struct {
 // every unit, merging results by unit index so output is byte-identical to
 // a serial run regardless of worker count, scheduling, loss, or retries.
 type Coordinator struct {
-	cfg Config
+	cfg       Config
+	log       *slog.Logger
+	metrics   *telemetry.Registry
+	m         coordMetrics
+	startedAt time.Time
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -48,6 +61,20 @@ type Coordinator struct {
 	jobsDone uint64
 	expiries uint64 // leases re-queued because their worker went silent
 	failures uint64 // worker-reported job failures (re-queued on other workers)
+}
+
+// coordMetrics holds the coordinator's metric handles. Queue depth, flight
+// count and worker liveness are function gauges reading coordinator state
+// at scrape time; the rest are event counters and the per-worker job
+// latency histogram.
+type coordMetrics struct {
+	campaigns       telemetry.Counter
+	campaignsFailed telemetry.Counter
+	leasesGranted   telemetry.Counter // label: worker
+	jobsCompleted   telemetry.Counter // label: worker
+	jobFailures     telemetry.Counter // label: worker
+	leaseExpiries   telemetry.Counter // label: worker
+	jobSeconds      telemetry.Histogram
 }
 
 type jobState int
@@ -67,19 +94,32 @@ type job struct {
 	state    jobState
 	worker   string    // current lease holder (leased only)
 	deadline time.Time // lease expiry (leased only)
+	leasedAt time.Time // when the current lease was granted (leased only)
 	attempts int
 	excluded map[string]bool // workers that reported a failure for this job
 	lastErr  string
 }
 
-// campaignRun is one RunAll call in flight: its result slots and completion
-// signal.
+// campaignRun is one RunAll call in flight: its result slots, completion
+// signal, and progress accounting (in result-slot units, so duplicate specs
+// collapsed into one job still advance the caller's sweep-sized total).
 type campaignRun struct {
 	results   []pipeline.Stats
 	remaining int // jobs not yet completed
 	done      chan struct{}
 	err       error
 	finished  bool
+
+	requestID  string
+	onProgress campaign.ProgressFunc
+	total      int
+	completed  int // result slots filled
+	failed     int // result slots of permanently failed jobs
+}
+
+// snapshotLocked builds this campaign's progress view; c.mu must be held.
+func (camp *campaignRun) snapshotLocked() campaign.Progress {
+	return campaign.Progress{Total: camp.total, Completed: camp.completed, Failed: camp.failed}
 }
 
 // workerState is the coordinator's view of one fleet member.
@@ -107,13 +147,81 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.AliveAfter <= 0 {
 		cfg.AliveAfter = 3 * cfg.LeaseTTL
 	}
-	return &Coordinator{
+	log := cfg.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c := &Coordinator{
 		cfg:     cfg,
+		log:     log,
+		metrics: reg,
 		jobs:    map[uint64]*job{},
 		workers: map[string]*workerState{},
 		wake:    make(chan struct{}),
 	}
+	c.startedAt = c.now()
+	c.m = coordMetrics{
+		campaigns:       reg.Counter("galsim_fleet_campaigns_total", "Campaign batches submitted to the fleet."),
+		campaignsFailed: reg.Counter("galsim_fleet_campaigns_failed_total", "Campaign batches that finished with an error."),
+		leasesGranted:   reg.Counter("galsim_fleet_leases_granted_total", "Job leases granted, by worker.", "worker"),
+		jobsCompleted:   reg.Counter("galsim_fleet_jobs_completed_total", "Jobs completed successfully, by worker.", "worker"),
+		jobFailures:     reg.Counter("galsim_fleet_job_failures_total", "Worker-reported job failures, by worker.", "worker"),
+		leaseExpiries:   reg.Counter("galsim_fleet_lease_expiries_total", "Leases re-queued after their worker went silent, by worker.", "worker"),
+		jobSeconds: reg.Histogram("galsim_fleet_job_seconds",
+			"Job latency from lease grant to accepted completion, by worker.", nil, "worker"),
+	}
+	reg.GaugeFunc("galsim_fleet_jobs_pending", "Jobs waiting for a lease.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, j := range c.jobs {
+			if j.state == jobPending {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("galsim_fleet_jobs_in_flight", "Jobs currently leased to workers.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, j := range c.jobs {
+			if j.state == jobLeased {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("galsim_fleet_workers", "Workers ever registered with the coordinator.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.workers))
+	})
+	reg.GaugeFunc("galsim_fleet_workers_alive", "Workers in contact within the liveness window.", func() float64 {
+		now := c.now()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, w := range c.workers {
+			if now.Sub(w.lastSeen) <= c.cfg.AliveAfter {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("galsim_fleet_uptime_seconds", "Seconds since the coordinator started.", func() float64 {
+		return c.now().Sub(c.startedAt).Seconds()
+	})
+	return c
 }
+
+// Metrics returns the registry holding the coordinator's fleet metrics
+// (the one from Config.Metrics, or the private default).
+func (c *Coordinator) Metrics() *telemetry.Registry { return c.metrics }
 
 func (c *Coordinator) now() time.Time {
 	if c.cfg.Now != nil {
@@ -125,14 +233,30 @@ func (c *Coordinator) now() time.Time {
 // LeaseTTL returns the configured lease duration.
 func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
 
-var _ campaign.Backend = (*Coordinator)(nil)
+var _ campaign.ProgressBackend = (*Coordinator)(nil)
 
 // RunAll implements campaign.Backend: it validates and canonicalizes the
 // batch, enqueues one job per unique spec, and blocks until the fleet has
 // completed all of them (or ctx is cancelled, or a job exhausts its
 // attempts). Stats are returned in spec order.
 func (c *Coordinator) RunAll(ctx context.Context, specs []campaign.RunSpec) ([]pipeline.Stats, error) {
+	return c.RunAllProgress(ctx, specs, nil)
+}
+
+// RunAllProgress is RunAll with live progress reporting (see
+// campaign.ProgressBackend). fn receives a snapshot as workers complete
+// jobs; CacheHits is always zero here — caching happens inside each
+// worker's engine and shows up in FleetStats.Cache instead.
+//
+// The batch adopts the request ID carried by ctx (see telemetry.RequestID);
+// without one a fresh ID is generated. Every job of the batch carries the
+// ID to its worker, so one sweep's lifecycle is greppable across the
+// coordinator's and every worker's logs.
+func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSpec, fn campaign.ProgressFunc) ([]pipeline.Stats, error) {
 	if len(specs) == 0 {
+		if fn != nil {
+			fn(campaign.Progress{})
+		}
 		return nil, nil
 	}
 	canon := make([]campaign.RunSpec, len(specs))
@@ -146,7 +270,11 @@ func (c *Coordinator) RunAll(ctx context.Context, specs []campaign.RunSpec) ([]p
 		}
 		canon[i] = s
 	}
-	camp := c.submit(canon)
+	reqID := telemetry.RequestID(ctx)
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	camp := c.submit(canon, reqID, fn)
 	// The ticker is a liveness backstop: lease and complete calls already
 	// expire stale leases, but if every worker dies no such call ever comes.
 	tick := time.NewTicker(clampTick(c.cfg.LeaseTTL / 2))
@@ -156,15 +284,24 @@ func (c *Coordinator) RunAll(ctx context.Context, specs []campaign.RunSpec) ([]p
 		case <-camp.done:
 			c.mu.Lock()
 			results, err := camp.results, camp.err
+			final := camp.snapshotLocked()
 			c.mu.Unlock()
+			if fn != nil {
+				fn(final)
+			}
 			if err != nil {
+				c.m.campaignsFailed.Inc()
+				c.log.Warn("campaign failed", "request_id", reqID, "units", len(specs), "error", err.Error())
 				return nil, err
 			}
+			c.log.Info("campaign done", "request_id", reqID, "units", len(specs))
 			return results, nil
 		case <-ctx.Done():
 			c.mu.Lock()
 			c.finishLocked(camp, ctx.Err())
 			c.mu.Unlock()
+			c.m.campaignsFailed.Inc()
+			c.log.Warn("campaign cancelled", "request_id", reqID, "units", len(specs))
 			return nil, ctx.Err()
 		case <-tick.C:
 			c.mu.Lock()
@@ -181,13 +318,15 @@ func clampTick(d time.Duration) time.Duration {
 
 // submit enqueues one job per unique spec key, fanning duplicate specs out
 // to all of their result slots, and wakes long-polling workers.
-func (c *Coordinator) submit(canon []campaign.RunSpec) *campaignRun {
+func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, fn campaign.ProgressFunc) *campaignRun {
 	camp := &campaignRun{
-		results: make([]pipeline.Stats, len(canon)),
-		done:    make(chan struct{}),
+		results:    make([]pipeline.Stats, len(canon)),
+		done:       make(chan struct{}),
+		requestID:  reqID,
+		onProgress: fn,
+		total:      len(canon),
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	byKey := map[string]*job{}
 	for i, s := range canon {
 		k := s.Key()
@@ -203,6 +342,10 @@ func (c *Coordinator) submit(canon []campaign.RunSpec) *campaignRun {
 	}
 	camp.remaining = len(byKey)
 	c.wakeLocked()
+	jobs := len(byKey)
+	c.mu.Unlock()
+	c.m.campaigns.Inc()
+	c.log.Info("campaign enqueued", "request_id", reqID, "units", len(canon), "jobs", jobs)
 	return camp
 }
 
@@ -237,6 +380,7 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 			// no live worker remains eligible, in which case waiting is a
 			// wedge, not a retry.
 			if c.noEligibleWorkerLocked(j, now) {
+				j.camp.failed += len(j.slots)
 				c.finishLocked(j.camp, fmt.Errorf(
 					"cluster: unit %d (%s/%s) failed on every live worker (%d); last error: %s",
 					j.slots[0], j.spec.Machine, j.spec.WorkloadName(), len(j.excluded), j.lastErr))
@@ -248,11 +392,16 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 		j.state = jobLeased
 		j.worker = workerID
 		j.deadline = now.Add(c.cfg.LeaseTTL)
+		j.leasedAt = now
 		w.leased++
-		granted = append(granted, Job{ID: j.id, Spec: j.spec})
+		granted = append(granted, Job{ID: j.id, Spec: j.spec, RequestID: j.camp.requestID})
 	}
 	if len(skipped) > 0 {
 		c.queue = append(skipped, c.queue...)
+	}
+	for _, jb := range granted {
+		c.m.leasesGranted.Inc(workerID)
+		c.log.Debug("job leased", "request_id", jb.RequestID, "job_id", jb.ID, "worker", workerID)
 	}
 	return granted, c.wake
 }
@@ -274,10 +423,14 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			w.expired++
 		}
 		lastWorker := j.worker
+		c.m.leaseExpiries.Inc(lastWorker)
+		c.log.Warn("lease expired", "request_id", j.camp.requestID, "job_id", id,
+			"worker", lastWorker, "attempts", j.attempts+1)
 		j.state = jobPending
 		j.worker = ""
 		j.attempts++
 		if j.attempts >= c.cfg.MaxAttempts {
+			j.camp.failed += len(j.slots)
 			c.finishLocked(j.camp, fmt.Errorf(
 				"cluster: job %d (%s/%s) abandoned after %d lease expiries/failures; last worker %s went silent",
 				id, j.spec.Machine, j.spec.WorkloadName(), j.attempts, lastWorker))
@@ -294,8 +447,11 @@ func (c *Coordinator) expireLocked(now time.Time) {
 // run out. Returns how many results were accepted.
 func (c *Coordinator) complete(workerID string, results []JobResult, cache campaign.CacheStats) int {
 	now := c.now()
+	// Progress callbacks and log lines collected under the lock fire after
+	// it is released: a callback that called back into the coordinator (or
+	// a slow log writer) must not stall the fleet.
+	var after []func()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	w := c.touchWorkerLocked(workerID, now)
 	w.cache = cache
 	accepted := 0
@@ -330,7 +486,14 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 			}
 			j.excluded[workerID] = true
 			j.lastErr = r.Error
+			c.m.jobFailures.Inc(workerID)
+			reqID, jobID, lastErr := j.camp.requestID, j.id, j.lastErr
+			after = append(after, func() {
+				c.log.Warn("job failed", "request_id", reqID, "job_id", jobID,
+					"worker", workerID, "error", lastErr)
+			})
 			if j.attempts >= c.cfg.MaxAttempts || c.noEligibleWorkerLocked(j, now) {
+				j.camp.failed += len(j.slots)
 				c.finishLocked(j.camp, fmt.Errorf(
 					"cluster: unit %d (%s/%s) failed on %d worker(s); last error from %s: %s",
 					j.slots[0], j.spec.Machine, j.spec.WorkloadName(), len(j.excluded), workerID, j.lastErr))
@@ -348,9 +511,26 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 		delete(c.jobs, j.id)
 		c.jobsDone++
 		j.camp.remaining--
+		j.camp.completed += len(j.slots)
+		c.m.jobsCompleted.Inc(workerID)
+		if !j.leasedAt.IsZero() {
+			c.m.jobSeconds.Observe(now.Sub(j.leasedAt).Seconds(), workerID)
+		}
+		reqID, jobID := j.camp.requestID, j.id
+		after = append(after, func() {
+			c.log.Debug("job completed", "request_id", reqID, "job_id", jobID, "worker", workerID)
+		})
+		if fn := j.camp.onProgress; fn != nil {
+			snap := j.camp.snapshotLocked()
+			after = append(after, func() { fn(snap) })
+		}
 		if j.camp.remaining == 0 {
 			c.finishLocked(j.camp, nil)
 		}
+	}
+	c.mu.Unlock()
+	for _, f := range after {
+		f()
 	}
 	return accepted
 }
@@ -418,7 +598,8 @@ type WorkerStatus struct {
 	Addr      string              `json:"addr,omitempty"`
 	Slots     int                 `json:"slots,omitempty"`
 	Alive     bool                `json:"alive"`
-	IdleMs    int64               `json:"idle_ms"` // since last contact
+	IdleMs    int64               `json:"idle_ms"`   // since last contact
+	LastSeen  time.Time           `json:"last_seen"` // wall-clock time of last contact
 	Leased    int                 `json:"leased"`
 	Completed uint64              `json:"completed"`
 	Failed    uint64              `json:"failed,omitempty"`
@@ -433,6 +614,7 @@ type WorkerStatus struct {
 type FleetStats struct {
 	Workers       int                 `json:"workers"`
 	Alive         int                 `json:"alive"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
 	JobsPending   int                 `json:"jobs_pending"`
 	JobsInFlight  int                 `json:"jobs_in_flight"`
 	JobsDone      uint64              `json:"jobs_done"`
@@ -449,6 +631,7 @@ func (c *Coordinator) Stats() FleetStats {
 	defer c.mu.Unlock()
 	s := FleetStats{
 		Workers:       len(c.workers),
+		UptimeSeconds: now.Sub(c.startedAt).Seconds(),
 		JobsDone:      c.jobsDone,
 		LeaseExpiries: c.expiries,
 		JobFailures:   c.failures,
@@ -475,6 +658,7 @@ func (c *Coordinator) Stats() FleetStats {
 			Slots:     w.slots,
 			Alive:     alive,
 			IdleMs:    now.Sub(w.lastSeen).Milliseconds(),
+			LastSeen:  w.lastSeen,
 			Leased:    w.leased,
 			Completed: w.completed,
 			Failed:    w.failed,

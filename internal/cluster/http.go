@@ -22,16 +22,19 @@ const maxLeaseWait = 30 * time.Second
 //	POST /jobs/lease     lease up to N jobs (long-polls while idle)
 //	POST /jobs/complete  post finished jobs (streamed per job)
 //	GET  /stats          aggregated fleet stats (see FleetStats)
+//	GET  /metrics        Prometheus text exposition of the fleet metrics
 //
 // The paths are chosen so a service.Server can be mounted beneath at "/"
 // (as cmd/galsim-fleet does): ServeMux prefers the more specific pattern,
 // so the fleet-wide /stats shadows the service's per-process one while
-// /run, /sweep, /benchmarks etc. fall through.
+// /run, /sweep, /benchmarks etc. fall through. (Point Config.Metrics at the
+// service's registry so the shadowing /metrics page covers both.)
 func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /join", c.handleJoin)
 	mux.HandleFunc("POST /jobs/lease", c.handleLease)
 	mux.HandleFunc("POST /jobs/complete", c.handleComplete)
 	mux.HandleFunc("GET /stats", c.handleStats)
+	mux.Handle("GET /metrics", c.metrics.Handler())
 }
 
 // Handler returns a standalone handler serving only the fleet endpoints.

@@ -34,6 +34,11 @@ import (
 type Job struct {
 	ID   uint64           `json:"id"`
 	Spec campaign.RunSpec `json:"spec"`
+	// RequestID is the campaign-level correlation ID (see
+	// telemetry.RequestID): every job of one RunAll batch carries the same
+	// ID, and workers attach it to their job logs so a sweep's lifecycle is
+	// greppable across the fleet.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // JobResult is one completed (or failed) job on the wire. Exactly one of

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/telemetry"
+)
+
+// syncBuffer is an io.Writer safe for the worker goroutines' slog handlers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// expositionLine matches one Prometheus sample line: a metric name, an
+// optional label set, and a float value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+
+// TestFleetMetricsScrape is the end-to-end observability contract: a
+// coordinator plus three workers run a sweep over real HTTP, then a scrape
+// of the coordinator's /metrics must render valid exposition text whose
+// per-worker job counters sum to the sweep size, and the campaign's request
+// ID must appear in both the coordinator's and the workers' logs.
+func TestFleetMetricsScrape(t *testing.T) {
+	coordLogs := &syncBuffer{}
+	c := NewCoordinator(Config{
+		Log: slog.New(slog.NewTextHandler(coordLogs, &slog.HandlerOptions{Level: slog.LevelDebug})),
+	})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	const workers = 3
+	workerLogs := make([]*syncBuffer, workers)
+	workerRegs := make([]*telemetry.Registry, workers)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		workerLogs[i] = &syncBuffer{}
+		workerRegs[i] = telemetry.NewRegistry()
+		w := &Worker{
+			Coordinator:  ts.URL,
+			ID:           fmt.Sprintf("w%d", i+1),
+			Engine:       campaign.NewEngine(1),
+			Slots:        1,
+			PollInterval: 10 * time.Millisecond,
+			Log:          slog.New(slog.NewTextHandler(workerLogs[i], nil)),
+			Metrics:      workerRegs[i],
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // exits via ctx cancellation
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	// Six unique specs: every unit is simulated exactly once fleet-wide.
+	var specs []campaign.RunSpec
+	for _, bench := range []string{"gcc", "swim", "perl"} {
+		for _, machine := range []string{"base", "gals"} {
+			specs = append(specs, campaign.RunSpec{
+				Benchmark: bench, Machine: machine, Instructions: 4_000,
+			})
+		}
+	}
+	if _, err := c.RunAll(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("scrape content type = %q", ct)
+	}
+
+	// Every line must be a comment or a syntactically valid sample, and the
+	// per-worker completion counters must account for the whole sweep.
+	var completed float64
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+			continue
+		}
+		if strings.HasPrefix(line, "galsim_fleet_jobs_completed_total{") {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			completed += v
+		}
+	}
+	if completed != float64(len(specs)) {
+		t.Errorf("sum of per-worker completions = %v, want %d\nscrape:\n%s", completed, len(specs), body)
+	}
+	for _, want := range []string{
+		"galsim_fleet_workers 3",
+		"galsim_fleet_jobs_pending 0",
+		"galsim_fleet_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// The workers' own registries carry their execution metrics.
+	var workerOK float64
+	for i, reg := range workerRegs {
+		var buf bytes.Buffer
+		reg.WritePrometheus(&buf)
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, `galsim_worker_jobs_total{result="ok"}`) {
+				v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if err != nil {
+					t.Fatalf("worker %d: parsing %q: %v", i, line, err)
+				}
+				workerOK += v
+			}
+		}
+	}
+	if workerOK != float64(len(specs)) {
+		t.Errorf("sum of worker ok-job counters = %v, want %d", workerOK, len(specs))
+	}
+
+	// The campaign's request ID threads coordinator -> job -> worker logs.
+	m := regexp.MustCompile(`campaign enqueued.*request_id=([0-9a-f]+)`).
+		FindStringSubmatch(coordLogs.String())
+	if m == nil {
+		t.Fatalf("no campaign request_id in coordinator logs:\n%s", coordLogs.String())
+	}
+	reqID := m[1]
+	seen := 0
+	for i, logs := range workerLogs {
+		text := logs.String()
+		if strings.Contains(text, "request_id="+reqID) {
+			seen++
+		} else if strings.Contains(text, "job start") {
+			t.Errorf("worker %d ran jobs but never logged request_id=%s:\n%s", i, reqID, text)
+		}
+	}
+	if seen == 0 {
+		t.Errorf("request_id=%s appears in no worker log", reqID)
+	}
+}
+
+// TestStatsUptimeAndLastSeen pins the injectable-clock surface of /stats:
+// uptime counts from construction, and each worker's last_seen advances
+// only when that worker contacts the coordinator.
+func TestStatsUptimeAndLastSeen(t *testing.T) {
+	clock := newFakeClock()
+	c := NewCoordinator(Config{Now: clock.Now})
+	t0 := clock.Now()
+	c.join(JoinRequest{WorkerID: "w1", Slots: 1})
+
+	clock.Advance(90 * time.Second)
+	st := c.Stats()
+	if st.UptimeSeconds != 90 {
+		t.Errorf("uptime = %v, want 90", st.UptimeSeconds)
+	}
+	if len(st.WorkerList) != 1 || !st.WorkerList[0].LastSeen.Equal(t0) {
+		t.Errorf("worker list = %+v, want last_seen %v", st.WorkerList, t0)
+	}
+
+	// A lease attempt (even an empty one) is a heartbeat.
+	c.tryLease("w1", 1, campaign.CacheStats{})
+	t1 := clock.Now()
+	clock.Advance(5 * time.Second)
+	st = c.Stats()
+	if st.UptimeSeconds != 95 {
+		t.Errorf("uptime = %v, want 95", st.UptimeSeconds)
+	}
+	if !st.WorkerList[0].LastSeen.Equal(t1) {
+		t.Errorf("last_seen = %v, want %v after lease", st.WorkerList[0].LastSeen, t1)
+	}
+}

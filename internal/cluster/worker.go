@@ -8,12 +8,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"galsim/internal/campaign"
+	"galsim/internal/telemetry"
 )
 
 // Worker pulls jobs from a Coordinator and executes them on a local
@@ -41,14 +43,28 @@ type Worker struct {
 	// comfortably above the lease long-poll, far below any lease TTL that
 	// would matter).
 	Client *http.Client
-	// Logf, when non-nil, receives progress and retry diagnostics.
-	Logf func(format string, v ...any)
+	// Log receives structured progress and retry diagnostics; nil uses
+	// slog.Default(). Job lifecycle lines carry the coordinator-assigned
+	// request_id, matching the coordinator's own campaign logs.
+	Log *slog.Logger
+	// Metrics, when non-nil, receives the worker's job execution metrics
+	// (galsim_worker_*). galsimd passes its service registry so worker and
+	// service metrics share one /metrics page.
+	Metrics *telemetry.Registry
+
+	m struct {
+		jobs       telemetry.Counter // label: result (ok|error)
+		jobSeconds telemetry.Histogram
+		leaseErrs  telemetry.Counter
+	}
+	metricsOn bool
 }
 
-func (w *Worker) logf(format string, v ...any) {
-	if w.Logf != nil {
-		w.Logf(format, v...)
+func (w *Worker) log() *slog.Logger {
+	if w.Log != nil {
+		return w.Log
 	}
+	return slog.Default()
 }
 
 // leaseWaitMs is how long each lease request long-polls on the coordinator.
@@ -72,10 +88,19 @@ func (w *Worker) Run(ctx context.Context) error {
 	if slots <= 0 {
 		slots = w.Engine.Workers()
 	}
+	if w.Metrics != nil {
+		w.m.jobs = w.Metrics.Counter("galsim_worker_jobs_total",
+			"Fleet jobs executed by this worker, by result.", "result")
+		w.m.jobSeconds = w.Metrics.Histogram("galsim_worker_job_seconds",
+			"Fleet job execution time on this worker in seconds.", nil)
+		w.m.leaseErrs = w.Metrics.Counter("galsim_worker_lease_errors_total",
+			"Failed lease calls to the coordinator.")
+		w.metricsOn = true
+	}
 	if err := w.join(ctx, slots); err != nil {
 		return fmt.Errorf("cluster: worker %s joining %s: %w", w.ID, w.Coordinator, err)
 	}
-	w.logf("cluster: worker %s joined %s (%d slots)", w.ID, w.Coordinator, slots)
+	w.log().Info("worker joined", "worker", w.ID, "coordinator", w.Coordinator, "slots", slots)
 	var wg sync.WaitGroup
 	// One puller per slot: each leases a single job, runs it, and posts the
 	// completion before leasing again — natural backpressure, and a lost
@@ -98,7 +123,10 @@ func (w *Worker) pull(ctx context.Context) {
 			if ctx.Err() != nil {
 				return
 			}
-			w.logf("cluster: worker %s: lease: %v", w.ID, err)
+			if w.metricsOn {
+				w.m.leaseErrs.Inc()
+			}
+			w.log().Warn("lease failed", "worker", w.ID, "error", err)
 			sleepCtx(ctx, w.pollInterval())
 			continue
 		}
@@ -109,23 +137,37 @@ func (w *Worker) pull(ctx context.Context) {
 			continue
 		}
 		for _, jb := range lease.Jobs {
+			w.log().Info("job start", "worker", w.ID, "job_id", jb.ID,
+				"request_id", jb.RequestID, "benchmark", jb.Spec.Benchmark)
+			start := time.Now()
 			st, err := w.Engine.Run(ctx, jb.Spec)
+			dur := time.Since(start)
 			if ctx.Err() != nil {
 				// Dying mid-job: report nothing and let the lease expire, so
 				// the job is re-run whole on a live worker.
 				return
 			}
 			res := JobResult{JobID: jb.ID}
+			result := "ok"
 			if err != nil {
 				res.Error = err.Error()
+				result = "error"
 			} else {
 				res.Stats = &st
 			}
+			if w.metricsOn {
+				w.m.jobs.Inc(result)
+				w.m.jobSeconds.Observe(dur.Seconds())
+			}
+			w.log().Info("job done", "worker", w.ID, "job_id", jb.ID,
+				"request_id", jb.RequestID, "result", result,
+				"duration_ms", dur.Milliseconds())
 			if cerr := w.complete(ctx, res); cerr != nil {
 				if ctx.Err() != nil {
 					return
 				}
-				w.logf("cluster: worker %s: completing job %d: %v", w.ID, jb.ID, cerr)
+				w.log().Warn("completing job failed", "worker", w.ID,
+					"job_id", jb.ID, "request_id", jb.RequestID, "error", cerr)
 			}
 		}
 	}

@@ -239,6 +239,13 @@ type Config struct {
 	// MaxCycles aborts a run that fails to commit (deadlock guard): the run
 	// panics if this many decode-domain cycles pass without a commit.
 	MaxStallCycles int
+
+	// SampleInterval, when non-zero, snapshots the machine's internal state
+	// every that many decode cycles into Stats.Samples (see Sample). Zero —
+	// the default — disables sampling entirely and keeps the hot path
+	// allocation-free. Non-zero values below 100 cycles are rejected by
+	// Validate: they would record more sampler output than simulation.
+	SampleInterval uint64
 }
 
 // DefaultConfig returns the paper's machine (Tables 2 and 3) in the given
@@ -318,6 +325,9 @@ func (c Config) Validate() error {
 	}
 	if c.NominalPeriod <= 0 {
 		return fmt.Errorf("pipeline: NominalPeriod %v must be positive", c.NominalPeriod)
+	}
+	if c.SampleInterval != 0 && c.SampleInterval < 100 {
+		return fmt.Errorf("pipeline: SampleInterval %d cycles too short (minimum 100, or 0 to disable)", c.SampleInterval)
 	}
 	for d, s := range c.Slowdowns {
 		if s < 1 {

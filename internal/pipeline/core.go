@@ -147,6 +147,9 @@ type Core struct {
 	tickFns    []func(simtime.Time)
 	scalable   []int
 
+	// Interval sampler state (Config.SampleInterval > 0 only).
+	smp samplerState
+
 	stats Stats
 }
 
@@ -666,6 +669,9 @@ func (c *Core) domainTick(g int) func(simtime.Time) {
 		}
 		if hasDecode {
 			c.watchdogAndSamples()
+			if c.cfg.SampleInterval != 0 {
+				c.maybeSample()
+			}
 			c.dvfsController()
 			c.stageCommit(now)
 			c.stageDrainCompletions(now)

@@ -75,6 +75,11 @@ type Stats struct {
 
 	// Per-link activity, keyed by link name.
 	Links map[string]fifo.Stats
+
+	// Interval time-series, present only when Config.SampleInterval > 0.
+	// omitempty keeps the serialized Stats (golden snapshots, cache
+	// payloads, wire results) byte-identical when sampling is off.
+	Samples []Sample `json:"Samples,omitempty"`
 }
 
 // InstrPerSecond is the machine's absolute performance: committed

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"galsim/internal/campaign"
+)
+
+// maxTrackedSweeps bounds the progress tracker: the oldest sweep is evicted
+// once the table is full, so an unauthenticated client hammering /sweep
+// cannot grow server memory through the tracker.
+const maxTrackedSweeps = 256
+
+// sweepStatus is one tracked sweep as served by GET /sweeps and
+// GET /sweeps/{id}/progress. Progress is updated live while the sweep runs
+// (one snapshot per finished unit), so a client can poll mid-flight.
+type sweepStatus struct {
+	ID    string `json:"id"`
+	Units int    `json:"units"`
+	// State is "running", "done" or "failed".
+	State    string            `json:"state"`
+	Progress campaign.Progress `json:"progress"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// trackSweep registers a new sweep and returns its status handle. The
+// returned pointer must only be mutated under sweepsMu.
+func (s *Server) trackSweep(units int) *sweepStatus {
+	s.sweepsMu.Lock()
+	defer s.sweepsMu.Unlock()
+	s.sweepNext++
+	st := &sweepStatus{
+		ID:       fmt.Sprintf("s%d", s.sweepNext),
+		Units:    units,
+		State:    "running",
+		Progress: campaign.Progress{Total: units},
+	}
+	s.sweeps[st.ID] = st
+	s.sweepIDs = append(s.sweepIDs, st.ID)
+	if len(s.sweepIDs) > maxTrackedSweeps {
+		delete(s.sweeps, s.sweepIDs[0])
+		s.sweepIDs = s.sweepIDs[1:]
+	}
+	return st
+}
+
+// sweepProgress records one progress snapshot for st.
+func (s *Server) sweepProgress(st *sweepStatus, p campaign.Progress) {
+	s.sweepsMu.Lock()
+	st.Progress = p
+	s.sweepsMu.Unlock()
+}
+
+// sweepDone marks st terminal. A sweep evicted from the tracker while still
+// running settles harmlessly: the handle stays valid, it is just no longer
+// reachable through the API.
+func (s *Server) sweepDone(st *sweepStatus, err error) {
+	s.sweepsMu.Lock()
+	if err != nil {
+		st.State = "failed"
+		st.Error = err.Error()
+	} else {
+		st.State = "done"
+	}
+	s.sweepsMu.Unlock()
+}
+
+// SweepsResponse is the GET /sweeps payload: tracked sweeps in submission
+// order, oldest first.
+type SweepsResponse struct {
+	Sweeps []sweepStatus `json:"sweeps"`
+}
+
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	s.sweepsMu.Lock()
+	resp := SweepsResponse{Sweeps: make([]sweepStatus, 0, len(s.sweepIDs))}
+	for _, id := range s.sweepIDs {
+		resp.Sweeps = append(resp.Sweeps, *s.sweeps[id])
+	}
+	s.sweepsMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sweepsMu.Lock()
+	st, ok := s.sweeps[id]
+	var snapshot sweepStatus
+	if ok {
+		snapshot = *st
+	}
+	s.sweepsMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown sweep %q (the tracker keeps the most recent %d sweeps)", id, maxTrackedSweeps))
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}

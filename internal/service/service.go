@@ -21,14 +21,26 @@
 //	POST /machines            upload a machine spec (a clock-domain
 //	                          topology); later /run and /sweep requests may
 //	                          reference it by name
+//	GET  /sweeps              recent sweeps with their progress snapshots
+//	GET  /sweeps/{id}/progress  one sweep's live progress (units completed/
+//	                          failed, cache hits)
 //	GET  /stats               cache hit/miss/entry counters
+//	GET  /metrics             Prometheus text exposition (HTTP request
+//	                          counters and latencies, cache and registry
+//	                          gauges; plus worker metrics when galsimd joins
+//	                          a fleet)
 //	GET  /healthz             liveness probe
+//
+// Every request is wrapped in structured access logging (log/slog) carrying
+// a request ID: adopted from the X-Request-Id header when present, generated
+// otherwise, and echoed back on the response.
 package service
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -40,6 +52,7 @@ import (
 	"galsim/internal/httpjson"
 	"galsim/internal/machine"
 	"galsim/internal/pipeline"
+	"galsim/internal/telemetry"
 	"galsim/internal/workload"
 )
 
@@ -87,6 +100,22 @@ type Server struct {
 	// full-cross-product requests.
 	MaxSweepUnits int
 
+	// Log receives the server's structured access logs; nil uses
+	// slog.Default(). Set before the server starts handling requests.
+	Log *slog.Logger
+
+	// metrics holds the server's Prometheus registry; the instrumented
+	// handler is built on first request so Log can be set after New.
+	metrics  *telemetry.Registry
+	initOnce sync.Once
+	handler  http.Handler
+
+	// sweeps tracks recent /sweep requests for the progress API.
+	sweepsMu  sync.Mutex
+	sweeps    map[string]*sweepStatus
+	sweepIDs  []string // insertion order, for bounded eviction
+	sweepNext int
+
 	// custom is the uploaded-profile registry: name -> validated spec.
 	customMu    sync.RWMutex
 	custom      map[string]customEntry
@@ -105,9 +134,12 @@ func New(engine *campaign.Engine) *Server {
 		engine = campaign.NewEngine(0)
 	}
 	s := &Server{engine: engine, mux: http.NewServeMux(), MaxSweepUnits: 4096,
+		metrics: telemetry.NewRegistry(), sweeps: map[string]*sweepStatus{},
 		custom: map[string]customEntry{}, machines: map[string]machineEntry{}}
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /sweeps", s.handleSweeps)
+	s.mux.HandleFunc("GET /sweeps/{id}/progress", s.handleSweepProgress)
 	s.mux.HandleFunc("GET /experiments/{figure}", s.handleExperiment)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
@@ -115,12 +147,49 @@ func New(engine *campaign.Engine) *Server {
 	s.mux.HandleFunc("GET /machines", s.handleMachines)
 	s.mux.HandleFunc("POST /machines", s.handleUploadMachine)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.registerGauges()
 	return s
+}
+
+// registerGauges exposes the engine's cache counters and the upload-registry
+// sizes as gauges sampled at scrape time — no counters to keep in sync with
+// the underlying state.
+func (s *Server) registerGauges() {
+	s.metrics.GaugeFunc("galsim_service_cache_hits",
+		"Runs served from the engine's result cache.",
+		func() float64 { return float64(s.engine.Stats().Hits) })
+	s.metrics.GaugeFunc("galsim_service_cache_misses",
+		"Runs actually simulated by the engine.",
+		func() float64 { return float64(s.engine.Stats().Misses) })
+	s.metrics.GaugeFunc("galsim_service_cache_entries",
+		"Completed runs currently held in the result cache.",
+		func() float64 { return float64(s.engine.Stats().Entries) })
+	s.metrics.GaugeFunc("galsim_service_workloads",
+		"Uploaded custom workload profiles currently registered.",
+		func() float64 {
+			s.customMu.RLock()
+			defer s.customMu.RUnlock()
+			return float64(len(s.custom))
+		})
+	s.metrics.GaugeFunc("galsim_service_machines",
+		"Uploaded custom machine specs currently registered.",
+		func() float64 {
+			s.machinesMu.RLock()
+			defer s.machinesMu.RUnlock()
+			return float64(len(s.machines))
+		})
 }
 
 // Engine returns the server's campaign engine.
 func (s *Server) Engine() *campaign.Engine { return s.engine }
+
+// Metrics returns the server's Prometheus registry — the one /metrics
+// serves. galsimd registers its fleet-worker metrics here, and
+// cmd/galsim-fleet hands it to the coordinator so one scrape page covers
+// service and fleet.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 
 // backend returns the execution backend for runs and sweeps: the local
 // engine unless a distributed one was installed.
@@ -131,10 +200,25 @@ func (s *Server) backend() campaign.Backend {
 	return s.engine
 }
 
-// ServeHTTP implements http.Handler. Panics escaping a handler (internal
-// invariant violations in the simulator) become a 500 instead of killing
-// the connection without a response.
+// ServeHTTP implements http.Handler. The full middleware stack is
+// instrumentation (request ID, metrics, access log) around panic recovery
+// around the mux — so a panicking handler still produces a 500 that is
+// counted, logged and answered instead of killing the connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.initOnce.Do(func() {
+		log := s.Log
+		if log == nil {
+			log = slog.Default()
+		}
+		s.handler = telemetry.Instrument("galsim_service", s.metrics, log,
+			http.HandlerFunc(s.serveRecovered))
+	})
+	s.handler.ServeHTTP(w, r)
+}
+
+// serveRecovered converts panics escaping a handler (internal invariant
+// violations in the simulator) into a 500 response.
+func (s *Server) serveRecovered(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
@@ -151,11 +235,13 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return httpjson.Decode(w, r, v, maxBodyBytes)
 }
 
-// RunResponse is the POST /run payload.
+// RunResponse is the POST /run payload. Samples is present only when the
+// spec enabled interval sampling (sample_interval > 0).
 type RunResponse struct {
-	Key     string           `json:"key"`
-	Spec    campaign.RunSpec `json:"spec"`
-	Summary campaign.Summary `json:"summary"`
+	Key     string            `json:"key"`
+	Spec    campaign.RunSpec  `json:"spec"`
+	Summary campaign.Summary  `json:"summary"`
+	Samples []pipeline.Sample `json:"samples,omitempty"`
 }
 
 // resolveWorkload substitutes an uploaded profile when the spec's benchmark
@@ -226,6 +312,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Key:     spec.Key(),
 		Spec:    spec.Canonical(),
 		Summary: campaign.Summarize(spec, st),
+		Samples: st.Samples,
 	})
 }
 
@@ -243,8 +330,11 @@ func (s *Server) runOne(ctx context.Context, spec campaign.RunSpec) (pipeline.St
 	return stats[0], nil
 }
 
-// SweepResponse is the POST /sweep payload.
+// SweepResponse is the POST /sweep payload. ID names the sweep in the
+// progress tracker: GET /sweeps/{id}/progress serves its terminal snapshot
+// (and live snapshots while the sweep was still running).
 type SweepResponse struct {
+	ID      string                `json:"id"`
 	Units   int                   `json:"units"`
 	Cache   campaign.CacheStats   `json:"cache"`
 	Results []campaign.UnitResult `json:"results"`
@@ -307,11 +397,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("sweep expands to %d units, above the server limit of %d; split the request", n, s.MaxSweepUnits))
 		return
 	}
-	if _, err := sweep.Units(); err != nil {
+	units, err := sweep.Units()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results, err := campaign.RunSweepOn(r.Context(), s.backend(), sweep)
+	tracked := s.trackSweep(len(units))
+	results, err := campaign.RunSweepProgress(r.Context(), s.backend(), sweep,
+		func(p campaign.Progress) { s.sweepProgress(tracked, p) })
+	s.sweepDone(tracked, err)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if r.Context().Err() != nil {
@@ -321,6 +415,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SweepResponse{
+		ID:      tracked.ID,
 		Units:   len(results),
 		Cache:   s.engine.Stats(),
 		Results: results,

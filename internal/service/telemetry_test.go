@@ -1,0 +1,166 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"galsim/internal/campaign"
+)
+
+// lockedBuf is a concurrency-safe slog sink.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSweepProgressAPI: POST /sweep names the sweep, the progress endpoint
+// serves its terminal snapshot, /sweeps lists it, and unknown IDs 404.
+func TestSweepProgressAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/sweep",
+		`{"benchmarks":["gcc","li"],"machines":["base","gals"],"instructions":2000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != "s1" || sr.Units != 4 {
+		t.Fatalf("sweep response id=%q units=%d", sr.ID, sr.Units)
+	}
+
+	resp, body = get(t, ts.URL+"/sweeps/"+sr.ID+"/progress")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress: %d %s", resp.StatusCode, body)
+	}
+	var st sweepStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Progress.Completed != 4 || st.Progress.Total != 4 || st.Progress.Failed != 0 {
+		t.Errorf("terminal progress = %+v", st)
+	}
+
+	var list SweepsResponse
+	_, body = get(t, ts.URL+"/sweeps")
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 1 || list.Sweeps[0].ID != sr.ID {
+		t.Errorf("sweep list = %+v", list)
+	}
+
+	if resp, _ := get(t, ts.URL+"/sweeps/nope/progress"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceMetricsEndpoint: requests show up in the scrape, the cache
+// gauges reflect engine state, and the exposition content type is served.
+func TestServiceMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, body := post(t, ts.URL+"/run",
+		`{"benchmark":"gcc","instructions":2000}`); resp.StatusCode != 200 {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`galsim_service_http_requests_total{method="POST",route="/run",code="200"} 1`,
+		"galsim_service_cache_misses 1",
+		"galsim_service_cache_entries 1",
+		"galsim_service_workloads 0",
+		"galsim_service_machines 0",
+		"galsim_service_http_request_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestAccessLogAndRequestID: the access log carries method, path, status and
+// the request ID; a client-supplied X-Request-Id is adopted and echoed.
+func TestAccessLogAndRequestID(t *testing.T) {
+	logs := &lockedBuf{}
+	srv := New(campaign.NewEngine(0))
+	srv.Log = slog.New(slog.NewTextHandler(logs, nil))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, err := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "feedc0de00000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "feedc0de00000001" {
+		t.Errorf("echoed request id = %q", got)
+	}
+	text := logs.String()
+	for _, want := range []string{
+		"http request", "method=GET", "path=/healthz", "status=200",
+		"request_id=feedc0de00000001",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("access log missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestRunWithSampling: a spec enabling interval sampling returns the sample
+// series over HTTP; without it the field is absent from the JSON.
+func TestRunWithSampling(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/run",
+		`{"benchmark":"gcc","machine":"gals","instructions":6000,"sample_interval":1000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Samples) == 0 {
+		t.Fatal("sampled run returned no samples")
+	}
+	for _, smp := range rr.Samples {
+		if smp.Cycle%1000 != 0 || len(smp.Domains) == 0 {
+			t.Errorf("bad sample %+v", smp)
+		}
+	}
+
+	_, body = post(t, ts.URL+"/run", `{"benchmark":"gcc","instructions":2000}`)
+	if bytes.Contains(body, []byte(`"samples"`)) {
+		t.Error("unsampled run leaked a samples field")
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in Prometheus text
+// exposition format (version 0.0.4). Families are emitted in name order and
+// series in label-value order, so output is deterministic for a given state
+// — which the golden exposition tests rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.typ.String() + "\n")
+		if f.fn != nil {
+			bw.WriteString(f.name + " " + formatFloat(f.fn()) + "\n")
+			continue
+		}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		f.mu.RUnlock()
+		for _, s := range sers {
+			switch f.typ {
+			case typeHistogram:
+				writeHistogram(bw, f, s)
+			default:
+				bw.WriteString(f.name + labelString(f.labels, s.labelVals) +
+					" " + formatFloat(math.Float64frombits(s.val.Load())) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one series' cumulative buckets, sum and count.
+func writeHistogram(w *bufio.Writer, f *family, s *series) {
+	bucketKeys := append(append([]string{}, f.labels...), "le")
+	bucketVals := append(append([]string{}, s.labelVals...), "")
+	le := len(bucketVals) - 1
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += s.counts[i].Load()
+		bucketVals[le] = formatFloat(bound)
+		w.WriteString(f.name + "_bucket" + labelString(bucketKeys, bucketVals) +
+			" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	cum += s.counts[len(f.buckets)].Load()
+	bucketVals[le] = "+Inf"
+	w.WriteString(f.name + "_bucket" + labelString(bucketKeys, bucketVals) +
+		" " + strconv.FormatUint(cum, 10) + "\n")
+	w.WriteString(f.name + "_sum" + labelString(f.labels, s.labelVals) +
+		" " + formatFloat(math.Float64frombits(s.sum.Load())) + "\n")
+	w.WriteString(f.name + "_count" + labelString(f.labels, s.labelVals) +
+		" " + strconv.FormatUint(s.count.Load(), 10) + "\n")
+}
+
+// labelString renders {k1="v1",k2="v2"}, or "" when there are no labels.
+func labelString(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in text exposition
+// format, suitable for mounting at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

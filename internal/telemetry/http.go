@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RequestIDHeader carries the request ID on the wire. Incoming values are
+// trusted (so a caller can correlate coordinator and worker logs with its
+// own ID); absent ones are generated. The ID is echoed on the response and
+// stored in the request context for handlers and backends to propagate.
+const RequestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// ContextWithRequestID returns ctx carrying the given request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the status code written by the wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap supports http.NewResponseController (flush/deadline passthrough
+// for long-polling handlers).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel collapses a request path to its first segment so metric label
+// cardinality stays bounded regardless of path parameters.
+func routeLabel(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		return "/"
+	}
+	return "/" + path
+}
+
+// Instrument wraps next with the shared HTTP observability stack: it
+// assigns (or adopts) a request ID, stores it in the context and response
+// header, counts requests/errors and observes latency in reg under
+// <component>_http_* names, and emits one slog access-log line per request.
+// reg and log may each be nil to disable that half.
+func Instrument(component string, reg *Registry, log *slog.Logger, next http.Handler) http.Handler {
+	var requests, errors Counter
+	var latency Histogram
+	if reg != nil {
+		requests = reg.Counter(component+"_http_requests_total",
+			"HTTP requests served, by method, route and status code.",
+			"method", "route", "code")
+		errors = reg.Counter(component+"_http_errors_total",
+			"HTTP responses with status >= 400, by method, route and status code.",
+			"method", "route", "code")
+		latency = reg.Histogram(component+"_http_request_seconds",
+			"HTTP request latency in seconds, by method and route.",
+			nil, "method", "route")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		route := routeLabel(r.URL.Path)
+		if reg != nil {
+			code := strconv.Itoa(sw.status)
+			requests.Inc(r.Method, route, code)
+			if sw.status >= 400 {
+				errors.Inc(r.Method, route, code)
+			}
+			latency.Observe(elapsed.Seconds(), r.Method, route)
+		}
+		if log != nil {
+			log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+				slog.String("request_id", id),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestInstrument checks the middleware end to end: request-ID generation
+// and adoption, context propagation, metric increments (including the error
+// counter), and the access-log line.
+func TestInstrument(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf bytes.Buffer
+	log, err := NewLogger(&logBuf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seenID string
+	h := Instrument("svc", reg, log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenID = RequestID(r.Context())
+		if r.URL.Path == "/boom" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+
+	// Generated ID: none supplied, one must come back on the response and
+	// reach the handler's context.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/run", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	gotID := rec.Header().Get(RequestIDHeader)
+	if gotID == "" || gotID != seenID {
+		t.Errorf("request id: header %q, context %q", gotID, seenID)
+	}
+
+	// Adopted ID: a caller-supplied ID wins.
+	req := httptest.NewRequest("GET", "/sweeps/s7/progress", nil)
+	req.Header.Set(RequestIDHeader, "cafe0123")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seenID != "cafe0123" || rec.Header().Get(RequestIDHeader) != "cafe0123" {
+		t.Errorf("supplied request id not adopted: context %q", seenID)
+	}
+
+	// Error path increments the error counter.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/boom", nil))
+	if rec.Code != 500 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`svc_http_requests_total{method="GET",route="/run",code="200"} 1`,
+		`svc_http_requests_total{method="GET",route="/sweeps",code="200"} 1`,
+		`svc_http_requests_total{method="POST",route="/boom",code="500"} 1`,
+		`svc_http_errors_total{method="POST",route="/boom",code="500"} 1`,
+		`svc_http_request_seconds_count{method="GET",route="/run"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing metric line %q in:\n%s", want, text)
+		}
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, "request_id=cafe0123") {
+		t.Errorf("access log missing request_id: %s", logs)
+	}
+	if !strings.Contains(logs, "path=/sweeps/s7/progress") || !strings.Contains(logs, "status=500") {
+		t.Errorf("access log missing fields: %s", logs)
+	}
+}

@@ -1,0 +1,232 @@
+// Package telemetry is the repo's zero-dependency observability kit: a
+// concurrency-safe metric registry that renders Prometheus text exposition
+// format, shared slog construction for the binaries, and HTTP middleware
+// that emits access logs and request metrics with propagated request IDs.
+//
+// The registry holds three metric kinds — counters, gauges (value- or
+// function-backed) and histograms — each optionally split by a fixed label
+// set. All mutation paths are lock-free after first touch of a label
+// combination (atomic float64 bit-casts), so instrumenting a hot handler
+// costs a map lookup plus an atomic add.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds,
+// matching the conventional Prometheus client defaults.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry is a set of metric families. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family is one named metric with a fixed type and label schema, holding a
+// series per observed label-value combination.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64      // histogram upper bounds, sorted, without +Inf
+	fn      func() float64 // function-backed gauge; labels must be empty
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is the state behind one label-value combination. Counter and gauge
+// values live in val as float64 bits; histograms use counts/sum/count.
+type series struct {
+	labelVals []string
+	val       atomic.Uint64   // float64 bits
+	counts    []atomic.Uint64 // per-bucket (non-cumulative), histograms only
+	sum       atomic.Uint64   // float64 bits
+	count     atomic.Uint64
+}
+
+func addFloat(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// seriesKey joins label values with a separator that cannot appear in a
+// valid UTF-8 label value boundary ambiguity (0xff is never a standalone
+// rune byte).
+func seriesKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	return strings.Join(vals, "\xff")
+}
+
+func (f *family) get(labelVals []string) *series {
+	if len(labelVals) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q expects %d label values, got %d",
+			f.name, len(f.labels), len(labelVals)))
+	}
+	key := seriesKey(labelVals)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelVals: append([]string(nil), labelVals...)}
+	if f.typ == typeHistogram {
+		s.counts = make([]atomic.Uint64, len(f.buckets)+1) // +Inf overflow bucket
+	}
+	f.series[key] = s
+	return s
+}
+
+// register creates or fetches a family, panicking on any schema conflict —
+// re-registering an existing name is allowed (and returns the same family)
+// only when type and labels match, so packages can idempotently declare
+// their metrics against a shared registry.
+func (r *Registry) register(name, help string, typ metricType, labels []string, buckets []float64, fn func() float64) *family {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with conflicting schema", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("telemetry: metric %q re-registered with conflicting labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		fn:     fn,
+		series: map[string]*series{},
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	if len(labels) == 0 && fn == nil {
+		f.get(nil) // materialize the single series so it renders even at zero
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing metric, optionally labelled.
+type Counter struct{ f *family }
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	return Counter{r.register(name, help, typeCounter, labels, nil, nil)}
+}
+
+// Inc adds 1 to the series identified by labelVals.
+func (c Counter) Inc(labelVals ...string) { c.Add(1, labelVals...) }
+
+// Add adds v (which must be >= 0) to the series identified by labelVals.
+func (c Counter) Add(v float64, labelVals ...string) {
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: counter %q decremented", c.f.name))
+	}
+	addFloat(&c.f.get(labelVals).val, v)
+}
+
+// Gauge is a metric that can go up and down, optionally labelled.
+type Gauge struct{ f *family }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	return Gauge{r.register(name, help, typeGauge, labels, nil, nil)}
+}
+
+// Set stores v in the series identified by labelVals.
+func (g Gauge) Set(v float64, labelVals ...string) {
+	g.f.get(labelVals).val.Store(math.Float64bits(v))
+}
+
+// Add adds v (may be negative) to the series identified by labelVals.
+func (g Gauge) Add(v float64, labelVals ...string) {
+	addFloat(&g.f.get(labelVals).val, v)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at render time.
+// Function gauges cannot carry labels.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if fn == nil {
+		panic(fmt.Sprintf("telemetry: nil GaugeFunc for %q", name))
+	}
+	r.register(name, help, typeGauge, nil, nil, fn)
+}
+
+// Histogram observes value distributions into cumulative buckets.
+type Histogram struct{ f *family }
+
+// Histogram registers (or fetches) a histogram family. A nil or empty
+// buckets slice selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) Histogram {
+	return Histogram{r.register(name, help, typeHistogram, labels, buckets, nil)}
+}
+
+// Observe records v into the series identified by labelVals.
+func (h Histogram) Observe(v float64, labelVals ...string) {
+	s := h.f.get(labelVals)
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	s.counts[i].Add(1)
+	addFloat(&s.sum, v)
+	s.count.Add(1)
+}

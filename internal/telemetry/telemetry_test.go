@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryRace hammers one registry from many goroutines — increments,
+// gauge stores, histogram observations, lazy series creation and concurrent
+// renders — and then checks the final totals. Run under -race this is the
+// registry's data-race proof; the totals check proves no update was lost.
+func TestRegistryRace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "ops", "kind")
+	g := reg.Gauge("depth", "depth")
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1}, "route")
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := fmt.Sprintf("k%d", w%3)
+			for i := 0; i < iters; i++ {
+				c.Inc(kind)
+				c.Add(2, "shared")
+				g.Set(float64(i))
+				h.Observe(float64(i%100)/100, "/run")
+				if i%500 == 0 {
+					var sink bytes.Buffer
+					if err := reg.WritePrometheus(&sink); err != nil {
+						t.Errorf("render: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	wantShared := fmt.Sprintf(`ops_total{kind="shared"} %d`, workers*iters*2)
+	if !strings.Contains(text, wantShared) {
+		t.Errorf("lost counter updates: want line %q in:\n%s", wantShared, text)
+	}
+	wantCount := fmt.Sprintf(`lat_seconds_count{route="/run"} %d`, workers*iters)
+	if !strings.Contains(text, wantCount) {
+		t.Errorf("lost histogram observations: want line %q", wantCount)
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition-format rendering of a
+// registry exercising every metric kind: counters with and without labels,
+// value and function gauges, histograms with cumulative buckets, label
+// escaping, and deterministic family/series ordering.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	jobs := reg.Counter("galsim_jobs_total", "Jobs completed.", "worker", "result")
+	jobs.Add(3, "w1", "ok")
+	jobs.Inc("w0", "ok")
+	jobs.Inc("w1", "error")
+
+	reg.Counter("galsim_requeues_total", "Jobs requeued after lease expiry.")
+
+	depth := reg.Gauge("galsim_queue_depth", "Jobs waiting for a lease.")
+	depth.Set(4)
+
+	reg.GaugeFunc("galsim_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+
+	// Observations chosen to sum exactly in binary floating point so the
+	// rendered _sum is stable.
+	lat := reg.Histogram("galsim_job_seconds", "Job latency.", []float64{0.1, 1, 10})
+	lat.Observe(0.25)
+	lat.Observe(0.5)
+	lat.Observe(0.5)
+	lat.Observe(42)
+
+	esc := reg.Gauge("galsim_escapes", "Label \\ escaping\ncheck.", "path")
+	esc.Set(1, "a\"b\\c\nd")
+
+	const want = `# HELP galsim_escapes Label \\ escaping\ncheck.
+# TYPE galsim_escapes gauge
+galsim_escapes{path="a\"b\\c\nd"} 1
+# HELP galsim_job_seconds Job latency.
+# TYPE galsim_job_seconds histogram
+galsim_job_seconds_bucket{le="0.1"} 0
+galsim_job_seconds_bucket{le="1"} 3
+galsim_job_seconds_bucket{le="10"} 3
+galsim_job_seconds_bucket{le="+Inf"} 4
+galsim_job_seconds_sum 43.25
+galsim_job_seconds_count 4
+# HELP galsim_jobs_total Jobs completed.
+# TYPE galsim_jobs_total counter
+galsim_jobs_total{worker="w0",result="ok"} 1
+galsim_jobs_total{worker="w1",result="error"} 1
+galsim_jobs_total{worker="w1",result="ok"} 3
+# HELP galsim_queue_depth Jobs waiting for a lease.
+# TYPE galsim_queue_depth gauge
+galsim_queue_depth 4
+# HELP galsim_requeues_total Jobs requeued after lease expiry.
+# TYPE galsim_requeues_total counter
+galsim_requeues_total 0
+# HELP galsim_uptime_seconds Seconds since start.
+# TYPE galsim_uptime_seconds gauge
+galsim_uptime_seconds 12.5
+`
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != want {
+		t.Errorf("exposition format diverged\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestExpositionLineSyntax validates every rendered line against the
+// exposition-format grammar the CI live-fleet check greps for.
+func TestExpositionLineSyntax(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "a", "x").Inc("y")
+	reg.Histogram("b_seconds", "b", nil).Observe(0.2)
+	reg.GaugeFunc("c", "c", func() float64 { return math.Inf(1) })
+
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := line[:i]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unterminated label set in %q", line)
+			}
+			name = name[:j]
+		}
+		for _, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Errorf("invalid metric name char %q in %q", r, line)
+			}
+		}
+		val := line[i+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := parseFloat(val); err != nil {
+				t.Errorf("invalid sample value %q in %q", val, line)
+			}
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}
