@@ -17,6 +17,10 @@
 //   - sampler/off and sampler/on: the GALS core with interval sampling
 //     disabled versus sampling every 1000 decode cycles, establishing the
 //     observability overhead (sampler_regression in the report; the PR 6
+//     acceptance bound is <= 5%);
+//   - timeline/off and timeline/on: the GALS core with the event tracer
+//     detached versus attached in flight-recorder detail mode, the cost a
+//     fleet worker pays on traced jobs (timeline_regression; the PR 7
 //     acceptance bound is <= 5%).
 //
 // When -baseline names a previous output file, the report embeds it and
@@ -37,6 +41,7 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
+	"galsim/internal/timeline"
 	"galsim/internal/workload"
 )
 
@@ -65,6 +70,11 @@ type Report struct {
 	// 1 - (sampler/on ÷ sampler/off sim-instrs/s). Positive = slower with
 	// sampling enabled.
 	SamplerRegression float64 `json:"sampler_regression,omitempty"`
+
+	// TimelineRegression is the throughput cost of the event tracer:
+	// 1 - (timeline/on ÷ timeline/off sim-instrs/s). Positive = slower with
+	// the tracer attached (flight ring, detail mode).
+	TimelineRegression float64 `json:"timeline_regression,omitempty"`
 
 	// Baseline, when present, is the report this run is compared against;
 	// Speedup and AllocReduction are keyed by benchmark name.
@@ -125,6 +135,33 @@ func benchSampler(interval, instrs uint64) func(b *testing.B) {
 	}
 }
 
+// benchTimeline is the timeline-overhead pair: the GALS core with the
+// event tracer detached versus attached with a flight ring at standard
+// detail (the configuration a fleet worker uses for traced jobs; -detail
+// adds per-transfer FIFO events and costs more). The two runs differ only
+// in AttachTimeline, so their throughput ratio isolates the tracer — the
+// PR 7 acceptance bound is <= 5%.
+func benchTimeline(on bool, instrs uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		prof, err := workload.ByName("gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := pipeline.DefaultConfig(pipeline.GALS)
+			core := pipeline.NewCore(cfg, prof)
+			if on {
+				rec := timeline.NewRecorder(timeline.Options{MaxEvents: 1024, Flight: true})
+				core.AttachTimeline(rec, false, 0)
+			}
+			core.Run(instrs)
+		}
+		b.ReportMetric(float64(instrs*uint64(b.N))/b.Elapsed().Seconds(), "sim-instrs/s")
+	}
+}
+
 // benchSweep is BenchmarkSweep/serial: a cold-cache campaign through one
 // worker, the figure the sweep and experiment layers inherit.
 func benchSweep(instrs uint64) func(b *testing.B) {
@@ -159,6 +196,7 @@ func main() {
 		instrs    = flag.Uint64("n", 20_000, "instructions per throughput run")
 		sweepN    = flag.Uint64("sweep-n", 4_000, "instructions per sweep unit")
 		sampleIvl = flag.Uint64("sample-interval", 1_000, "decode-cycle interval for the sampler/on benchmark")
+		repeat    = flag.Int("repeat", 3, "runs per benchmark; the fastest is recorded (best-of-N damps scheduler noise)")
 	)
 	flag.Parse()
 
@@ -180,26 +218,50 @@ func main() {
 		{"sweep/serial", benchSweep(*sweepN)},
 		{"sampler/off", benchSampler(0, *instrs)},
 		{"sampler/on", benchSampler(*sampleIvl, *instrs)},
+		{"timeline/off", benchTimeline(false, *instrs)},
+		{"timeline/on", benchTimeline(true, *instrs)},
 	}
-	for _, bb := range benches {
-		fmt.Fprintf(os.Stderr, "running %s...\n", bb.name)
-		m := measure(bb.name, testing.Benchmark(bb.fn))
-		fmt.Fprintf(os.Stderr, "  %d iterations, %d ns/op, %d allocs/op, %d B/op, %.0f sim-instrs/s\n",
-			m.Iterations, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SimInstrsPerSec)
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	// Rounds are interleaved — every benchmark once per round, best result
+	// kept — so slow machine drift lands on all benchmarks alike instead of
+	// poisoning the off/on regression ratios.
+	best := make([]Measurement, len(benches))
+	for round := 0; round < *repeat; round++ {
+		fmt.Fprintf(os.Stderr, "round %d/%d...\n", round+1, *repeat)
+		for i, bb := range benches {
+			m := measure(bb.name, testing.Benchmark(bb.fn))
+			if round == 0 || m.NsPerOp < best[i].NsPerOp {
+				best[i] = m
+			}
+		}
+	}
+	for _, m := range best {
+		fmt.Fprintf(os.Stderr, "%s: %d iterations, %d ns/op, %d allocs/op, %d B/op, %.0f sim-instrs/s\n",
+			m.Name, m.Iterations, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SimInstrsPerSec)
 		rep.Benchmarks = append(rep.Benchmarks, m)
 	}
-	var samplerOff, samplerOn float64
+	var samplerOff, samplerOn, tlOff, tlOn float64
 	for _, m := range rep.Benchmarks {
 		switch m.Name {
 		case "sampler/off":
 			samplerOff = m.SimInstrsPerSec
 		case "sampler/on":
 			samplerOn = m.SimInstrsPerSec
+		case "timeline/off":
+			tlOff = m.SimInstrsPerSec
+		case "timeline/on":
+			tlOn = m.SimInstrsPerSec
 		}
 	}
 	if samplerOff > 0 {
 		rep.SamplerRegression = 1 - samplerOn/samplerOff
 		fmt.Fprintf(os.Stderr, "sampler regression: %.2f%%\n", 100*rep.SamplerRegression)
+	}
+	if tlOff > 0 {
+		rep.TimelineRegression = 1 - tlOn/tlOff
+		fmt.Fprintf(os.Stderr, "timeline regression: %.2f%%\n", 100*rep.TimelineRegression)
 	}
 
 	if *baseline != "" {

@@ -30,6 +30,11 @@
 //	GET  /metrics        Prometheus text exposition (fleet queue/lease/job
 //	                     metrics merged with the service's HTTP metrics)
 //
+// Every sweep is traced: the coordinator stamps jobs with a W3C traceparent,
+// workers ship their execution spans back, and GET /sweeps/{id}/trace (from
+// the service API beneath) serves the whole sweep — coordinator, every
+// worker, and in-sim stall windows — as one Perfetto-loadable trace.
+//
 // Logging is structured (log/slog; -log-level, -log-format). Campaign
 // submissions are logged with a request ID that every job of the campaign
 // carries to its worker, so one sweep's lifecycle is greppable across the
@@ -56,6 +61,7 @@ import (
 	"galsim/internal/machine"
 	"galsim/internal/service"
 	"galsim/internal/telemetry"
+	"galsim/internal/timeline"
 )
 
 func main() {
@@ -73,6 +79,12 @@ func main() {
 		idleTimout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 		logLevel    = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text|json")
+		enablePprof = flag.Bool("pprof", false,
+			"serve Go runtime profiles under /debug/pprof/ (off by default; enable only on trusted networks)")
+		tlEvents = flag.Int("timeline-events", 0,
+			"flight-recorder ring size for traced jobs on spawned workers (0 = small default, negative = no in-sim spans)")
+		maxSpans = flag.Int("max-spans", 0,
+			"trace spans retained for GET /sweeps/{id}/trace (0 = default window)")
 	)
 	flag.Parse()
 
@@ -93,11 +105,17 @@ func main() {
 	svc := service.New(engine)
 	svc.MaxSweepUnits = *maxUnits
 	svc.Log = log
+	// One span collector shared between the coordinator (which records
+	// campaign/lease spans and folds worker spans in) and the service
+	// (which serves them on GET /sweeps/{id}/trace).
+	spans := timeline.NewSpanCollector(*maxSpans)
+	svc.Spans = spans
 	coord := cluster.NewCoordinator(cluster.Config{
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
 		Metrics:     svc.Metrics(),
 		Log:         log,
+		Spans:       spans,
 	})
 	svc.Backend = coord
 
@@ -121,6 +139,10 @@ func main() {
 
 	mux := http.NewServeMux()
 	coord.Register(mux) // fleet endpoints; GET /stats and /metrics shadow the service's
+	if *enablePprof {
+		telemetry.RegisterPprof(mux)
+		log.Info("runtime profiles enabled at /debug/pprof/")
+	}
 	mux.Handle("/", svc)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -139,12 +161,13 @@ func main() {
 		}
 		for i := 1; i <= *spawn; i++ {
 			wk := &cluster.Worker{
-				Coordinator: self,
-				ID:          fmt.Sprintf("local-%d", i),
-				Engine:      campaign.NewEngine(slots),
-				Slots:       slots,
-				Log:         log,
-				Metrics:     svc.Metrics(), // galsim_worker_* aggregates across the spawned workers
+				Coordinator:    self,
+				ID:             fmt.Sprintf("local-%d", i),
+				Engine:         campaign.NewEngine(slots),
+				Slots:          slots,
+				Log:            log,
+				Metrics:        svc.Metrics(), // galsim_worker_* aggregates across the spawned workers
+				TimelineEvents: *tlEvents,
 			}
 			go func() {
 				if err := wk.Run(ctx); err != nil && ctx.Err() == nil {

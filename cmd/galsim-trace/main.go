@@ -6,6 +6,7 @@
 //	galsim-trace inspect gcc.trace                         # header + digest
 //	galsim-trace stats gcc.trace                           # stream statistics
 //	galsim-trace replay gcc.trace -machine gals            # re-run the trace
+//	galsim-trace replay gcc.trace -machine gals -timeline t.json  # + Perfetto timeline
 //
 // A replayed trace driven through a machine configured identically to the
 // recording reproduces its results exactly; driven through a different
@@ -84,6 +85,8 @@ type machineFlags struct {
 	sample    *uint64
 	sampleOut *string
 	sampleFmt *string
+	timeline  *string
+	tlFlight  *int
 }
 
 func addMachineFlags(fs *flag.FlagSet) *machineFlags {
@@ -101,6 +104,10 @@ func addMachineFlags(fs *flag.FlagSet) *machineFlags {
 		sample:    fs.Uint64("sample", 0, "sample per-domain occupancy/IPC/DVFS state every N decode cycles (0 = off, min 100)"),
 		sampleOut: fs.String("sample-out", "", "write the sample series to this file (default stdout after the summary)"),
 		sampleFmt: fs.String("sample-format", "csv", "sample encoding: csv or json"),
+		timeline: fs.String("timeline", "",
+			"write a Perfetto-loadable microarchitecture timeline (Chrome trace-event JSON) to this file"),
+		tlFlight: fs.Int("timeline-flight", 0,
+			"flight-recorder mode: keep only the last N timeline events (0 = record from the start)"),
 	}
 }
 
@@ -128,6 +135,27 @@ func (m *machineFlags) emitSamples(samples []galsim.Sample) error {
 		return galsim.WriteSamplesCSV(w, samples)
 	}
 	return fmt.Errorf("-sample-format %q: want csv or json", *m.sampleFmt)
+}
+
+// emitTimeline saves a run's timeline per the -timeline flags; a no-op
+// unless -timeline was set.
+func (m *machineFlags) emitTimeline(tl *galsim.Timeline) error {
+	if tl == nil || *m.timeline == "" {
+		return nil
+	}
+	f, err := os.Create(*m.timeline)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  timeline    %d events -> %s (open at https://ui.perfetto.dev)\n", tl.Len(), *m.timeline)
+	return nil
 }
 
 func (m *machineFlags) options() (galsim.Options, error) {
@@ -162,7 +190,7 @@ func (m *machineFlags) options() (galsim.Options, error) {
 		}
 		spec, name = &parsed, ""
 	}
-	return galsim.Options{
+	opts := galsim.Options{
 		Machine:               galsim.Machine(name),
 		MachineSpec:           spec,
 		Instructions:          *m.n,
@@ -174,7 +202,14 @@ func (m *machineFlags) options() (galsim.Options, error) {
 		LinkStyle:             *m.linkStyle,
 		DynamicDVFS:           *m.dynDVFS,
 		SampleInterval:        *m.sample,
-	}, nil
+	}
+	if *m.timeline != "" {
+		opts.Timeline = &galsim.TimelineOptions{
+			MaxEvents:      *m.tlFlight,
+			FlightRecorder: *m.tlFlight > 0,
+		}
+	}
+	return opts, nil
 }
 
 func cmdRecord(args []string) error {
@@ -220,6 +255,9 @@ func cmdRecord(args []string) error {
 	fmt.Printf("recorded %s: %d committed, %.3f us simulated\n", res.Benchmark, res.Committed, res.SimSeconds*1e6)
 	fmt.Printf("  %s: %d bytes, %d instructions (%d wrong-path, %d excursions)\n",
 		*out, info.Size(), t.Stats.Instrs, t.Stats.WrongPath, t.Stats.Excursions)
+	if err := mf.emitTimeline(res.Timeline); err != nil {
+		return err
+	}
 	return mf.emitSamples(res.Samples)
 }
 
@@ -304,6 +342,9 @@ func cmdStats(args []string) error {
 		if err != nil {
 			return err
 		}
+		if err := mf.emitTimeline(res.Timeline); err != nil {
+			return err
+		}
 		return mf.emitSamples(res.Samples)
 	}
 	return nil
@@ -343,6 +384,9 @@ func cmdReplay(args []string) error {
 	if res.Retunes > 0 {
 		fmt.Printf("  dvfs        %d retunes; final slowdowns int %.2f, fp %.2f, mem %.2f\n",
 			res.Retunes, res.FinalSlowdowns["int"], res.FinalSlowdowns["fp"], res.FinalSlowdowns["mem"])
+	}
+	if err := mf.emitTimeline(res.Timeline); err != nil {
+		return err
 	}
 	return mf.emitSamples(res.Samples)
 }

@@ -9,6 +9,8 @@
 //	galsim -bench gcc -record gcc.trace
 //	galsim -replay gcc.trace -machine gals
 //	galsim -bench gcc -machine gals -dyn-dvfs -sample 2000 -sample-out gcc.csv
+//	galsim -bench gcc -machine gals -dyn-dvfs -timeline gcc-trace.json
+//	galsim -bench gcc -machine gals -timeline last.json -timeline-flight 65536 -timeline-stall 10000
 //	galsim -list
 //	galsim -config
 package main
@@ -29,27 +31,35 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "compress", "benchmark name (-list to enumerate)")
-		profile   = flag.String("profile", "", "JSON file with a custom (possibly phased) workload profile, instead of -bench")
-		replay    = flag.String("replay", "", "trace file to replay as the workload, instead of -bench")
-		record    = flag.String("record", "", "record the run's instruction stream to this trace file")
-		machine   = flag.String("machine", "base", `machine: "base", "gals", or a MachineSpec JSON file defining a custom clock-domain topology`)
-		n         = flag.Uint64("n", 0, "instructions to commit (0 = default: 100000, or the recorded length for -replay)")
-		slow      = flag.String("slow", "", `per-domain clock slowdowns, e.g. "fp=3,fetch=1.1" (gals) or "all=1.5" (base)`)
-		noDVS     = flag.Bool("no-dvs", false, "disable voltage scaling of slowed domains")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		phaseSeed = flag.Int64("phase-seed", 1, "GALS clock phase seed")
-		trace     = flag.Uint64("trace", 0, "print the first N committed instructions")
-		memOrder  = flag.String("mem-order", "perfect", "memory disambiguation: perfect, conservative, addr-match")
-		linkStyle = flag.String("links", "fifo", "GALS link style: fifo or stretch")
-		dynDVFS   = flag.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)")
-		sample    = flag.Uint64("sample", 0, "sample per-domain occupancy/IPC/DVFS state every N decode cycles (0 = off, min 100)")
-		sampleOut = flag.String("sample-out", "", "write the sample series to this file (default stdout after the run summary)")
-		sampleFmt = flag.String("sample-format", "csv", "sample encoding: csv or json")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		config    = flag.Bool("config", false, "print the machine configuration (paper Tables 2-3) and exit")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		bench       = flag.String("bench", "compress", "benchmark name (-list to enumerate)")
+		profile     = flag.String("profile", "", "JSON file with a custom (possibly phased) workload profile, instead of -bench")
+		replay      = flag.String("replay", "", "trace file to replay as the workload, instead of -bench")
+		record      = flag.String("record", "", "record the run's instruction stream to this trace file")
+		machine     = flag.String("machine", "base", `machine: "base", "gals", or a MachineSpec JSON file defining a custom clock-domain topology`)
+		n           = flag.Uint64("n", 0, "instructions to commit (0 = default: 100000, or the recorded length for -replay)")
+		slow        = flag.String("slow", "", `per-domain clock slowdowns, e.g. "fp=3,fetch=1.1" (gals) or "all=1.5" (base)`)
+		noDVS       = flag.Bool("no-dvs", false, "disable voltage scaling of slowed domains")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		phaseSeed   = flag.Int64("phase-seed", 1, "GALS clock phase seed")
+		trace       = flag.Uint64("trace", 0, "print the first N committed instructions")
+		memOrder    = flag.String("mem-order", "perfect", "memory disambiguation: perfect, conservative, addr-match")
+		linkStyle   = flag.String("links", "fifo", "GALS link style: fifo or stretch")
+		dynDVFS     = flag.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)")
+		sample      = flag.Uint64("sample", 0, "sample per-domain occupancy/IPC/DVFS state every N decode cycles (0 = off, min 100)")
+		sampleOut   = flag.String("sample-out", "", "write the sample series to this file (default stdout after the run summary)")
+		sampleFmt   = flag.String("sample-format", "csv", "sample encoding: csv or json")
+		timelineOut = flag.String("timeline", "",
+			"write a Perfetto-loadable microarchitecture timeline (Chrome trace-event JSON) to this file")
+		tlFlight = flag.Int("timeline-flight", 0,
+			"flight-recorder mode: keep only the last N timeline events (0 = record from the start)")
+		tlStall = flag.Uint64("timeline-stall", 0,
+			"mark the timeline when the pipeline makes no progress for N decode cycles (0 = off)")
+		tlDetail = flag.Bool("timeline-detail", false,
+			"record per-item FIFO push/pop instants in the timeline (larger files, finer causality)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		config  = flag.Bool("config", false, "print the machine configuration (paper Tables 2-3) and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 
@@ -116,6 +126,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "galsim: -sample-format %q: want csv or json\n", *sampleFmt)
 		os.Exit(2)
 	}
+	if (*tlFlight > 0 || *tlStall > 0 || *tlDetail) && *timelineOut == "" {
+		fmt.Fprintln(os.Stderr, "galsim: -timeline-flight/-timeline-stall/-timeline-detail require -timeline FILE")
+		os.Exit(2)
+	}
+	if *timelineOut != "" {
+		opts.Timeline = &galsim.TimelineOptions{
+			MaxEvents:      *tlFlight,
+			FlightRecorder: *tlFlight > 0,
+			StallThreshold: *tlStall,
+			Detail:         *tlDetail,
+		}
+	}
 	if *profile != "" || *replay != "" {
 		opts.Benchmark = "" // -bench's default yields to an explicit source
 	}
@@ -164,10 +186,26 @@ func main() {
 		// os.Exit skips defers: flush the CPU profile first so a failing run
 		// still leaves a readable profile (no-op when profiling is off).
 		pprof.StopCPUProfile()
+		// A flight recorder's whole point is the post-mortem: dump whatever
+		// the ring holds so the failure window can be inspected in Perfetto.
+		if res.Timeline != nil && res.Timeline.Len() > 0 {
+			if werr := writeTimeline(res.Timeline, *timelineOut); werr == nil {
+				fmt.Fprintf(os.Stderr, "galsim: wrote post-mortem timeline (%d events) to %s\n",
+					res.Timeline.Len(), *timelineOut)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "galsim:", err)
 		os.Exit(1)
 	}
 	printResult(res)
+	if res.Timeline != nil {
+		if err := writeTimeline(res.Timeline, *timelineOut); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  timeline    %d events -> %s (open at https://ui.perfetto.dev)\n",
+			res.Timeline.Len(), *timelineOut)
+	}
 	if *sample > 0 {
 		if err := writeSamples(res.Samples, *sampleOut, *sampleFmt); err != nil {
 			fmt.Fprintln(os.Stderr, "galsim:", err)
@@ -191,6 +229,19 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// writeTimeline saves the recorder's events as Chrome trace-event JSON.
+func writeTimeline(tl *galsim.Timeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeSamples emits the interval series: CSV via the library's shared

@@ -38,7 +38,6 @@ import (
 	"errors"
 	"flag"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,6 +65,8 @@ func main() {
 		join        = flag.String("join", "", "coordinator base URL to pull fleet jobs from (e.g. http://host:9090)")
 		workerID    = flag.String("worker-id", "", "worker name reported to the coordinator (default host-pid-xxxx)")
 		workerSlots = flag.Int("worker-slots", 0, "concurrent fleet jobs to pull (0 = the engine's worker-pool width)")
+		tlEvents    = flag.Int("timeline-events", 0,
+			"flight-recorder ring size for traced fleet jobs (0 = small default, negative = no in-sim spans)")
 	)
 	flag.Parse()
 
@@ -87,11 +88,7 @@ func main() {
 	var handler http.Handler = srv
 	if *enablePprof {
 		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		telemetry.RegisterPprof(mux)
 		mux.Handle("/", srv)
 		handler = mux
 		log.Info("runtime profiles enabled at /debug/pprof/")
@@ -116,13 +113,14 @@ func main() {
 	workerDone := make(chan struct{})
 	if *join != "" {
 		wk := &cluster.Worker{
-			Coordinator: *join,
-			ID:          *workerID,
-			Addr:        *addr,
-			Engine:      engine, // shared with the HTTP handlers: one cache for fleet and direct work
-			Slots:       *workerSlots,
-			Log:         log,
-			Metrics:     srv.Metrics(), // worker job metrics on the same /metrics page
+			Coordinator:    *join,
+			ID:             *workerID,
+			Addr:           *addr,
+			Engine:         engine, // shared with the HTTP handlers: one cache for fleet and direct work
+			Slots:          *workerSlots,
+			Log:            log,
+			Metrics:        srv.Metrics(), // worker job metrics on the same /metrics page
+			TimelineEvents: *tlEvents,
 		}
 		go func() {
 			defer close(workerDone)

@@ -283,6 +283,31 @@ type Options struct {
 	// OnCommit, when non-nil, is invoked for every committed instruction in
 	// program order — a tracing hook.
 	OnCommit func(CommitEvent)
+	// Timeline, when non-nil, attaches a microarchitecture event tracer to
+	// the run: DVFS retunes, mixed-clock FIFO stall and backpressure
+	// windows, squash/recovery spans and structure-occupancy transitions,
+	// exportable as Chrome trace-event JSON via Result.Timeline. Like
+	// OnCommit and RecordTrace it observes one execution, so it is
+	// supported by Run only and never alters results or cache identities.
+	Timeline *TimelineOptions
+}
+
+// TimelineOptions configures the tracer attached by Options.Timeline.
+// The zero value records up to the default event cap and stops.
+type TimelineOptions struct {
+	// MaxEvents bounds the event buffer (default 1<<20).
+	MaxEvents int
+	// FlightRecorder keeps the last MaxEvents events instead of the first:
+	// a cheap always-on crash/stall recorder dumped on demand.
+	FlightRecorder bool
+	// StallThreshold, in decode cycles without a commit, marks the
+	// recorder triggered (see Timeline.Triggered) so front ends can dump
+	// the flight buffer exactly when a pathological stall happens. 0
+	// disables the trigger.
+	StallThreshold uint64
+	// Detail additionally records per-instruction push/pop instants on the
+	// cross-domain links — finer causality at several times the event rate.
+	Detail bool
 }
 
 // CommitEvent describes one committed instruction for tracing.
@@ -341,6 +366,11 @@ type Result struct {
 	// Samples is the interval time-series (nil unless
 	// Options.SampleInterval > 0). See WriteSamplesCSV for tabular export.
 	Samples []Sample
+
+	// Timeline is the event tracer attached via Options.Timeline (nil
+	// otherwise); write it out with Timeline.WriteTrace and load the JSON
+	// in Perfetto.
+	Timeline *Timeline
 }
 
 // RelativePerformance returns other's speed normalized to r (values < 1
@@ -418,26 +448,38 @@ func Run(o Options) (Result, error) {
 			})
 		}
 	}
+	var tap campaign.TimelineTap
+	if o.Timeline != nil {
+		tap = campaign.TimelineTap{
+			Recorder:       NewTimeline(o.Timeline.MaxEvents, o.Timeline.FlightRecorder),
+			Detail:         o.Timeline.Detail,
+			StallThreshold: o.Timeline.StallThreshold,
+		}
+	}
 	var st pipeline.Stats
 	if o.RecordTrace != "" {
 		f, err := os.Create(o.RecordTrace)
 		if err != nil {
 			return Result{}, fmt.Errorf("galsim: creating trace file: %w", err)
 		}
-		st, err = campaign.ExecuteRecording(spec, hook, f)
+		st, err = campaign.ExecuteTimeline(spec, hook, f, tap)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = fmt.Errorf("galsim: closing trace file: %w", cerr)
 		}
 		if err != nil {
 			os.Remove(o.RecordTrace) // don't leave a truncated trace behind
-			return Result{}, err
+			// A failed run still returns the timeline: the flight recorder's
+			// whole point is a post-mortem of the events leading to failure.
+			return Result{Timeline: tap.Recorder}, err
 		}
 	} else {
-		if st, err = campaign.Execute(spec, hook); err != nil {
-			return Result{}, err
+		if st, err = campaign.ExecuteTimeline(spec, hook, nil, tap); err != nil {
+			return Result{Timeline: tap.Recorder}, err
 		}
 	}
-	return resultFrom(spec.WorkloadName(), o, st), nil
+	r := resultFrom(spec.WorkloadName(), o, st)
+	r.Timeline = tap.Recorder
+	return r, nil
 }
 
 // Backend executes batches of simulation units and returns their stats in
@@ -494,6 +536,9 @@ func RunManyProgressOn(ctx context.Context, b Backend, opts []Options, fn Progre
 		}
 		if o.RecordTrace != "" {
 			return nil, fmt.Errorf("galsim: RunMany does not support Options.RecordTrace; use Run to record a trace")
+		}
+		if o.Timeline != nil {
+			return nil, fmt.Errorf("galsim: RunMany does not support Options.Timeline; use Run for timeline-traced runs")
 		}
 		spec, err := o.spec()
 		if err != nil {

@@ -1,0 +1,127 @@
+package galsim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateTimelines = flag.Bool("update-golden", false, "rewrite the golden timeline fixtures")
+
+// timelineCases pin the full trace-event export of a short run on each
+// machine variant. The timeline must be as deterministic as Stats: same
+// seeds, same events, same formatting, byte for byte. Regenerate with
+//
+//	go test . -run TestGoldenTimelines -update-golden
+//
+// only when a change is *supposed* to alter traced behaviour.
+func timelineCases() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"timeline_base_gcc", Options{Benchmark: "gcc", Machine: Base, Instructions: 200,
+			Timeline: &TimelineOptions{Detail: true}}},
+		{"timeline_gals_gcc", Options{Benchmark: "gcc", Machine: GALS, Instructions: 200,
+			Timeline: &TimelineOptions{Detail: true}}},
+	}
+}
+
+func TestGoldenTimelines(t *testing.T) {
+	for _, tc := range timelineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Timeline == nil {
+				t.Fatal("Options.Timeline set but Result.Timeline is nil")
+			}
+			if res.Timeline.Len() == 0 {
+				t.Fatal("timeline recorded no events")
+			}
+			var buf bytes.Buffer
+			if err := res.Timeline.WriteTrace(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateTrace(buf.Bytes()); err != nil {
+				t.Fatalf("exported trace is malformed: %v", err)
+			}
+			path := filepath.Join("testdata", tc.name+".json")
+			if *updateTimelines {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d events, %d bytes)", path, res.Timeline.Len(), buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("trace for %s deviates from the committed fixture (%d vs %d bytes); "+
+					"if the change is intentional, regenerate with -update-golden",
+					tc.name, buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestTimelineDoesNotPerturbStats is the observability contract: attaching
+// a tracer must not change simulation results. A run with the timeline on
+// must produce the identical Result (modulo the Timeline field) as one
+// with it off.
+func TestTimelineDoesNotPerturbStats(t *testing.T) {
+	for _, m := range []Machine{Base, GALS} {
+		base := Options{Benchmark: "perl", Machine: m, Instructions: 5000, DynamicDVFS: m == GALS}
+		traced := base
+		traced.Timeline = &TimelineOptions{Detail: true}
+		plain, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withTL, err := Run(traced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withTL.Timeline = nil
+		if !reflect.DeepEqual(plain, withTL) {
+			t.Fatalf("%s: Result changed when the timeline was attached:\noff: %+v\non:  %+v", m, plain, withTL)
+		}
+	}
+}
+
+// TestTimelineFlightRecorder exercises the bounded post-mortem mode
+// through the public API: the ring keeps only the newest events and the
+// dump still validates despite truncation at the front.
+func TestTimelineFlightRecorder(t *testing.T) {
+	res, err := Run(Options{Benchmark: "gcc", Machine: GALS, Instructions: 20000,
+		Timeline: &TimelineOptions{MaxEvents: 256, FlightRecorder: true, Detail: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	if tl.Len() > 256 {
+		t.Fatalf("flight ring exceeded its cap: %d events", tl.Len())
+	}
+	if tl.Dropped() == 0 {
+		t.Fatal("expected a 20k-commit GALS run to overflow a 256-event ring")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("flight dump is malformed: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"galsim/internal/isa"
 	"galsim/internal/pipeline"
+	"galsim/internal/timeline"
 	"galsim/internal/trace"
 )
 
@@ -27,7 +28,25 @@ func Execute(spec RunSpec, onCommit func(*isa.Instr)) (pipeline.Stats, error) {
 // is non-nil the workload stream delivered to the pipeline is recorded to
 // it in the trace format, so the run can later be replayed (see
 // internal/trace). Recording never alters the simulation.
-func ExecuteRecording(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Writer) (st pipeline.Stats, err error) {
+func ExecuteRecording(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Writer) (pipeline.Stats, error) {
+	return ExecuteTimeline(spec, onCommit, traceOut, TimelineTap{})
+}
+
+// TimelineTap configures the microarchitecture timeline of one execution.
+// Timelines are a local observation tap, like OnCommit and trace capture:
+// they never join RunSpec, so they cannot perturb cache keys or results.
+type TimelineTap struct {
+	Recorder *timeline.Recorder
+	// Detail records per-item push/pop instants on cross-domain links.
+	Detail bool
+	// StallThreshold (decode cycles without a commit) marks the recorder
+	// triggered for a flight-recorder dump; 0 disables.
+	StallThreshold uint64
+}
+
+// ExecuteTimeline is ExecuteRecording with an optional timeline tracer
+// attached to the core for the duration of the run.
+func ExecuteTimeline(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Writer, tap TimelineTap) (st pipeline.Stats, err error) {
 	// Canonicalize once: pins trace digests (so the later Validate detects
 	// a file swapped underneath us) and spares repeated default-filling.
 	spec = spec.Canonical()
@@ -65,6 +84,9 @@ func ExecuteRecording(spec RunSpec, onCommit func(*isa.Instr), traceOut io.Write
 	core := pipeline.NewCoreWithSource(cfg, name, src)
 	if onCommit != nil {
 		core.OnCommit(onCommit)
+	}
+	if tap.Recorder != nil {
+		core.AttachTimeline(tap.Recorder, tap.Detail, tap.StallThreshold)
 	}
 	st = core.Run(spec.Instructions)
 	if rec != nil {
@@ -172,14 +194,23 @@ func hexNibble(c byte) byte {
 // cancellation abandons the wait (an already-started simulation still
 // completes and populates the cache).
 func (e *Engine) Run(ctx context.Context, spec RunSpec) (pipeline.Stats, error) {
-	st, _, err := e.run(ctx, spec)
+	st, _, err := e.run(ctx, spec, TimelineTap{})
 	return st, err
+}
+
+// RunTimeline is Run with a cache-hit report and a timeline tap attached
+// when this call actually simulates. A unit served from the cache (or
+// joined in flight) reports hit=true and leaves the recorder empty — the
+// cached result was produced elsewhere and a timeline is an observation
+// of one execution, not part of the memoized value.
+func (e *Engine) RunTimeline(ctx context.Context, spec RunSpec, tap TimelineTap) (pipeline.Stats, bool, error) {
+	return e.run(ctx, spec, tap)
 }
 
 // run is Run plus a cache-hit report: hit is true when the result came from
 // a completed cache entry or joined an in-flight simulation — the signal
 // Progress.CacheHits aggregates.
-func (e *Engine) run(ctx context.Context, spec RunSpec) (pipeline.Stats, bool, error) {
+func (e *Engine) run(ctx context.Context, spec RunSpec, tap TimelineTap) (pipeline.Stats, bool, error) {
 	// Canonicalize once up front: this pins a trace's content digest, so
 	// the cache key below and the execution's own Validate see the same
 	// content. A trace file swapped between keying and execution then fails
@@ -224,7 +255,7 @@ func (e *Engine) run(ctx context.Context, spec RunSpec) (pipeline.Stats, bool, e
 		}
 		if ent.err == nil {
 			e.misses.Add(1)
-			ent.st, ent.err = Execute(spec, nil)
+			ent.st, ent.err = ExecuteTimeline(spec, nil, nil, tap)
 			<-e.sem
 		}
 		if ent.err != nil {
@@ -290,7 +321,7 @@ func (e *Engine) RunAllProgress(ctx context.Context, specs []RunSpec, fn Progres
 				if ctx.Err() != nil {
 					return
 				}
-				st, hit, err := e.run(ctx, specs[i])
+				st, hit, err := e.run(ctx, specs[i], TimelineTap{})
 				if err != nil {
 					// Only the winning (first) error counts as a failed
 					// unit; the cancellation errors it induces in the other

@@ -10,6 +10,7 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
+	"galsim/internal/telemetry"
 )
 
 // TestWorkerLossMidSweep kills one of three workers while the golden sweep
@@ -127,7 +128,7 @@ func TestLeaseExpiryFakeClock(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
+	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatalf("leased %d jobs, want 1", len(jobs))
@@ -170,7 +171,7 @@ func TestLeaseExpiryExhaustsAttempts(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
+	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
 	if jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{}); len(jobs) != 1 {
 		t.Fatal("initial lease failed")
 	}
@@ -200,7 +201,7 @@ func TestStaleFailureDoesNotUnwindActiveLease(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
+	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatal("initial lease failed")
@@ -243,7 +244,7 @@ func TestFailedJobRetriesOnOtherWorkers(t *testing.T) {
 	c.join(JoinRequest{WorkerID: "w1"})
 	c.join(JoinRequest{WorkerID: "w2"})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", nil)
+	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatal("initial lease failed")

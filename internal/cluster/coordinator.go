@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
 	"galsim/internal/telemetry"
+	"galsim/internal/timeline"
 )
 
 // Config tunes a Coordinator. The zero value selects production defaults;
@@ -37,6 +39,12 @@ type Config struct {
 	// Log receives the coordinator's structured logs (campaign lifecycle,
 	// job retries, lease expiries); nil uses slog.Default().
 	Log *slog.Logger
+	// Spans, when non-nil, enables distributed tracing: the coordinator
+	// records campaign/lease/merge spans into it, stamps every job with a
+	// W3C traceparent so workers record and ship their own spans, and
+	// folds worker spans back in. cmd/galsim-fleet shares one collector
+	// between the coordinator and the service's /sweeps/{id}/trace view.
+	Spans *timeline.SpanCollector
 }
 
 // Coordinator shards campaign batches into jobs and serves them to a fleet
@@ -87,17 +95,18 @@ const (
 // job is one dispatchable unit: a canonical spec plus every result slot it
 // fills (identical specs within a batch collapse into a single job).
 type job struct {
-	id       uint64
-	spec     campaign.RunSpec
-	camp     *campaignRun
-	slots    []int // indices into camp.results
-	state    jobState
-	worker   string    // current lease holder (leased only)
-	deadline time.Time // lease expiry (leased only)
-	leasedAt time.Time // when the current lease was granted (leased only)
-	attempts int
-	excluded map[string]bool // workers that reported a failure for this job
-	lastErr  string
+	id        uint64
+	spec      campaign.RunSpec
+	camp      *campaignRun
+	slots     []int // indices into camp.results
+	state     jobState
+	worker    string    // current lease holder (leased only)
+	deadline  time.Time // lease expiry (leased only)
+	leasedAt  time.Time // when the current lease was granted (leased only)
+	leaseSpan string    // span ID of the current lease (tracing only)
+	attempts  int
+	excluded  map[string]bool // workers that reported a failure for this job
+	lastErr   string
 }
 
 // campaignRun is one RunAll call in flight: its result slots, completion
@@ -115,6 +124,14 @@ type campaignRun struct {
 	total      int
 	completed  int // result slots filled
 	failed     int // result slots of permanently failed jobs
+
+	// Tracing identity (set only when the coordinator has a span
+	// collector): the campaign root span, its parent from the caller's
+	// context, and when the batch was submitted.
+	traceID    string
+	parentSpan string
+	rootSpan   string
+	startedAt  time.Time
 }
 
 // snapshotLocked builds this campaign's progress view; c.mu must be held.
@@ -274,7 +291,7 @@ func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSp
 	if reqID == "" {
 		reqID = telemetry.NewRequestID()
 	}
-	camp := c.submit(canon, reqID, fn)
+	camp := c.submit(canon, reqID, telemetry.Trace(ctx), fn)
 	// The ticker is a liveness backstop: lease and complete calls already
 	// expire stale leases, but if every worker dies no such call ever comes.
 	tick := time.NewTicker(clampTick(c.cfg.LeaseTTL / 2))
@@ -289,6 +306,7 @@ func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSp
 			if fn != nil {
 				fn(final)
 			}
+			c.recordCampaignSpans(camp, err)
 			if err != nil {
 				c.m.campaignsFailed.Inc()
 				c.log.Warn("campaign failed", "request_id", reqID, "units", len(specs), "error", err.Error())
@@ -300,6 +318,7 @@ func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSp
 			c.mu.Lock()
 			c.finishLocked(camp, ctx.Err())
 			c.mu.Unlock()
+			c.recordCampaignSpans(camp, ctx.Err())
 			c.m.campaignsFailed.Inc()
 			c.log.Warn("campaign cancelled", "request_id", reqID, "units", len(specs))
 			return nil, ctx.Err()
@@ -318,13 +337,28 @@ func clampTick(d time.Duration) time.Duration {
 
 // submit enqueues one job per unique spec key, fanning duplicate specs out
 // to all of their result slots, and wakes long-polling workers.
-func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, fn campaign.ProgressFunc) *campaignRun {
+func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, tc telemetry.TraceContext, fn campaign.ProgressFunc) *campaignRun {
 	camp := &campaignRun{
 		results:    make([]pipeline.Stats, len(canon)),
 		done:       make(chan struct{}),
 		requestID:  reqID,
 		onProgress: fn,
 		total:      len(canon),
+	}
+	if c.cfg.Spans != nil {
+		// Adopt the caller's trace (the service request that started the
+		// sweep) or root a fresh one; either way every job of the batch —
+		// and every worker span shipped back — shares camp.traceID. A
+		// self-minted trace has no caller span, so the campaign span
+		// becomes the true root rather than pointing at a parent that
+		// exists nowhere.
+		if !tc.Valid() {
+			tc = telemetry.TraceContext{TraceID: timeline.NewTraceID()}
+		}
+		camp.traceID = tc.TraceID
+		camp.parentSpan = tc.SpanID
+		camp.rootSpan = timeline.NewSpanID()
+		camp.startedAt = c.now()
 	}
 	c.mu.Lock()
 	byKey := map[string]*job{}
@@ -394,7 +428,14 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 		j.deadline = now.Add(c.cfg.LeaseTTL)
 		j.leasedAt = now
 		w.leased++
-		granted = append(granted, Job{ID: j.id, Spec: j.spec, RequestID: j.camp.requestID})
+		jb := Job{ID: j.id, Spec: j.spec, RequestID: j.camp.requestID}
+		if c.cfg.Spans != nil && j.camp.traceID != "" {
+			// A fresh span per lease (re-leases get their own), closed when
+			// the lease settles: completion, failure, or expiry.
+			j.leaseSpan = timeline.NewSpanID()
+			jb.TraceParent = timeline.FormatTraceParent(j.camp.traceID, j.leaseSpan)
+		}
+		granted = append(granted, jb)
 	}
 	if len(skipped) > 0 {
 		c.queue = append(skipped, c.queue...)
@@ -423,6 +464,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			w.expired++
 		}
 		lastWorker := j.worker
+		c.leaseSpanLocked(j, lastWorker, now, "expired", "")
 		c.m.leaseExpiries.Inc(lastWorker)
 		c.log.Warn("lease expired", "request_id", j.camp.requestID, "job_id", id,
 			"worker", lastWorker, "attempts", j.attempts+1)
@@ -478,6 +520,7 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 			j.worker = ""
 		}
 		if r.Error != "" || r.Stats == nil {
+			c.leaseSpanLocked(j, workerID, now, "failed", r.Error)
 			c.failures++
 			w.failed++
 			j.attempts++
@@ -505,6 +548,7 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 		}
 		accepted++
 		w.completed++
+		c.leaseSpanLocked(j, workerID, now, "", "")
 		for _, slot := range j.slots {
 			j.camp.results[slot] = *r.Stats
 		}
@@ -533,6 +577,85 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 		f()
 	}
 	return accepted
+}
+
+// leaseSpanLocked closes the job's current lease span — one span per grant,
+// from tryLease to the settlement observed now (completion, a worker-reported
+// failure, or an expiry). c.mu must be held; SpanCollector has its own lock
+// and never calls back into the coordinator.
+func (c *Coordinator) leaseSpanLocked(j *job, workerID string, now time.Time, outcome, errMsg string) {
+	if c.cfg.Spans == nil || j.leaseSpan == "" || j.leasedAt.IsZero() {
+		return
+	}
+	attrs := map[string]string{
+		"job_id": strconv.FormatUint(j.id, 10),
+		"worker": workerID,
+	}
+	if outcome != "" {
+		attrs["outcome"] = outcome
+	}
+	if errMsg != "" {
+		attrs["error"] = errMsg
+	}
+	c.cfg.Spans.Add(timeline.Span{
+		TraceID:     j.camp.traceID,
+		SpanID:      j.leaseSpan,
+		ParentID:    j.camp.rootSpan,
+		Name:        "job lease",
+		Service:     "coordinator",
+		StartUnixNs: j.leasedAt.UnixNano(),
+		EndUnixNs:   now.UnixNano(),
+		Attrs:       attrs,
+	})
+	j.leaseSpan = ""
+}
+
+// recordCampaignSpans settles a campaign's trace once its RunAllProgress
+// call resolves: the root span covering submit→finish, plus a merge marker
+// for the instant the last result slot was assembled. Called without c.mu —
+// the campaign is finished, so its trace fields are immutable.
+func (c *Coordinator) recordCampaignSpans(camp *campaignRun, err error) {
+	if c.cfg.Spans == nil || camp.traceID == "" {
+		return
+	}
+	end := c.now()
+	attrs := map[string]string{
+		"request_id": camp.requestID,
+		"units":      strconv.Itoa(camp.total),
+	}
+	if err != nil {
+		attrs["error"] = err.Error()
+	}
+	c.cfg.Spans.Add(timeline.Span{
+		TraceID:     camp.traceID,
+		SpanID:      camp.rootSpan,
+		ParentID:    camp.parentSpan,
+		Name:        "campaign",
+		Service:     "coordinator",
+		StartUnixNs: camp.startedAt.UnixNano(),
+		EndUnixNs:   end.UnixNano(),
+		Attrs:       attrs,
+	})
+	if err == nil {
+		c.cfg.Spans.Add(timeline.Span{
+			TraceID:     camp.traceID,
+			SpanID:      timeline.NewSpanID(),
+			ParentID:    camp.rootSpan,
+			Name:        "merge",
+			Service:     "coordinator",
+			StartUnixNs: end.UnixNano(),
+			EndUnixNs:   end.UnixNano(),
+			Attrs:       map[string]string{"units": strconv.Itoa(camp.total)},
+		})
+	}
+}
+
+// addSpans folds worker-shipped spans into the collector (no-op without one).
+func (c *Coordinator) addSpans(spans []timeline.Span) {
+	if c.cfg.Spans == nil || len(spans) == 0 {
+		return
+	}
+	c.cfg.Spans.Add(spans...)
 }
 
 // noEligibleWorkerLocked reports whether every worker recently in contact

@@ -115,6 +115,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	accepted := c.complete(req.WorkerID, req.Results, req.Cache)
+	c.addSpans(req.Spans)
 	writeJSON(w, http.StatusOK, CompleteResponse{Accepted: accepted})
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
+	"galsim/internal/timeline"
 )
 
 // Job is one schedulable simulation unit on the wire: a campaign RunSpec
@@ -39,6 +40,11 @@ type Job struct {
 	// ID, and workers attach it to their job logs so a sweep's lifecycle is
 	// greppable across the fleet.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceParent is the W3C trace context of the campaign (trace ID plus
+	// the job's lease span as parent). A worker holding it records spans
+	// for its execution and ships them back in CompleteRequest.Spans, so
+	// the whole sweep shares one trace.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // JobResult is one completed (or failed) job on the wire. Exactly one of
@@ -155,6 +161,11 @@ type CompleteRequest struct {
 	WorkerID string              `json:"worker_id"`
 	Results  []JobResult         `json:"results"`
 	Cache    campaign.CacheStats `json:"cache"`
+	// Spans carries the worker-side trace spans of the completed jobs
+	// (execute, simulate/cache-hit, in-sim windows), recorded only when the
+	// jobs carried a TraceParent. The coordinator folds them into its span
+	// collector for GET /sweeps/{id}/trace.
+	Spans []timeline.Span `json:"spans,omitempty"`
 }
 
 // CompleteResponse reports how many results filled a result slot. Stale

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"galsim/internal/campaign"
+	"galsim/internal/pipeline"
 	"galsim/internal/telemetry"
+	"galsim/internal/timeline"
 )
 
 // Worker pulls jobs from a Coordinator and executes them on a local
@@ -51,6 +53,12 @@ type Worker struct {
 	// (galsim_worker_*). galsimd passes its service registry so worker and
 	// service metrics share one /metrics page.
 	Metrics *telemetry.Registry
+	// TimelineEvents sizes the flight-recorder ring attached to jobs that
+	// arrive with a trace context (see Job.TraceParent): the last N
+	// microarchitecture events of each traced simulation are converted to
+	// spans and shipped back with the completion. 0 selects a small default;
+	// negative disables in-sim spans (execute/simulate spans still ship).
+	TimelineEvents int
 
 	m struct {
 		jobs       telemetry.Counter // label: result (ok|error)
@@ -140,7 +148,16 @@ func (w *Worker) pull(ctx context.Context) {
 			w.log().Info("job start", "worker", w.ID, "job_id", jb.ID,
 				"request_id", jb.RequestID, "benchmark", jb.Spec.Benchmark)
 			start := time.Now()
-			st, err := w.Engine.Run(ctx, jb.Spec)
+			var (
+				st    pipeline.Stats
+				err   error
+				spans []timeline.Span
+			)
+			if trID, parentSp, ok := timeline.ParseTraceParent(jb.TraceParent); ok {
+				st, spans, err = w.runTraced(ctx, jb, trID, parentSp)
+			} else {
+				st, err = w.Engine.Run(ctx, jb.Spec)
+			}
 			dur := time.Since(start)
 			if ctx.Err() != nil {
 				// Dying mid-job: report nothing and let the lease expire, so
@@ -162,7 +179,7 @@ func (w *Worker) pull(ctx context.Context) {
 			w.log().Info("job done", "worker", w.ID, "job_id", jb.ID,
 				"request_id", jb.RequestID, "result", result,
 				"duration_ms", dur.Milliseconds())
-			if cerr := w.complete(ctx, res); cerr != nil {
+			if cerr := w.complete(ctx, res, spans, jb.TraceParent); cerr != nil {
 				if ctx.Err() != nil {
 					return
 				}
@@ -196,11 +213,79 @@ func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
 	return resp, err
 }
 
+// maxSimSpans bounds how many in-sim windows one traced job ships back:
+// plenty for the interesting tail (the flight ring already keeps only the
+// last events) while keeping completion bodies small.
+const maxSimSpans = 256
+
+// runTraced executes one traced job and renders the worker's side of the
+// trace: an "execute" span under the job's lease span, a "simulate" or
+// "cache-hit" child, and — on an actual simulation — the flight recorder's
+// stall/squash/backpressure windows rebased into the simulate window as
+// grandchild spans.
+func (w *Worker) runTraced(ctx context.Context, jb Job, traceID, parentSpan string) (pipeline.Stats, []timeline.Span, error) {
+	var rec *timeline.Recorder
+	if w.TimelineEvents >= 0 {
+		events := w.TimelineEvents
+		if events == 0 {
+			// 1024 events = 24KB: the ring stays L1-resident, so steady
+			// state recording does not evict the simulator's working set.
+			// SimSpans folds at most maxSimSpans windows into the trace
+			// anyway, so a deeper default ring buys nothing.
+			events = 1024
+		}
+		rec = timeline.NewRecorder(timeline.Options{MaxEvents: events, Flight: true})
+	}
+	start := time.Now()
+	st, hit, err := w.Engine.RunTimeline(ctx, jb.Spec, campaign.TimelineTap{Recorder: rec})
+	end := time.Now()
+	if ctx.Err() != nil {
+		return st, nil, err
+	}
+	service := "worker " + w.ID
+	exec := timeline.Span{
+		TraceID:     traceID,
+		SpanID:      timeline.NewSpanID(),
+		ParentID:    parentSpan,
+		Name:        "execute",
+		Service:     service,
+		StartUnixNs: start.UnixNano(),
+		EndUnixNs:   end.UnixNano(),
+		Attrs: map[string]string{
+			"job_id":    fmt.Sprintf("%d", jb.ID),
+			"benchmark": jb.Spec.Benchmark,
+		},
+	}
+	if err != nil {
+		exec.Attrs["error"] = err.Error()
+		return st, []timeline.Span{exec}, err
+	}
+	childName := "simulate"
+	if hit {
+		childName = "cache-hit"
+	}
+	child := timeline.Span{
+		TraceID:     traceID,
+		SpanID:      timeline.NewSpanID(),
+		ParentID:    exec.SpanID,
+		Name:        childName,
+		Service:     service,
+		StartUnixNs: start.UnixNano(),
+		EndUnixNs:   end.UnixNano(),
+	}
+	spans := []timeline.Span{exec, child}
+	if !hit && rec != nil {
+		spans = append(spans, rec.SimSpans(traceID, child.SpanID, service,
+			start.UnixNano(), end.UnixNano(), maxSimSpans)...)
+	}
+	return st, spans, nil
+}
+
 // complete posts one finished job, retrying a few times so a briefly
 // unreachable coordinator does not cost a finished simulation; if it stays
 // unreachable the lease expires and the job reruns elsewhere.
-func (w *Worker) complete(ctx context.Context, res JobResult) error {
-	req := CompleteRequest{WorkerID: w.ID, Results: []JobResult{res}, Cache: w.Engine.Stats()}
+func (w *Worker) complete(ctx context.Context, res JobResult, spans []timeline.Span, traceparent string) error {
+	req := CompleteRequest{WorkerID: w.ID, Results: []JobResult{res}, Cache: w.Engine.Stats(), Spans: spans}
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
@@ -210,7 +295,7 @@ func (w *Worker) complete(ctx context.Context, res JobResult) error {
 			}
 		}
 		var resp CompleteResponse
-		if err = w.post(ctx, "/jobs/complete", req, &resp); err == nil {
+		if err = w.postTrace(ctx, "/jobs/complete", traceparent, req, &resp); err == nil {
 			return nil
 		}
 	}
@@ -218,6 +303,12 @@ func (w *Worker) complete(ctx context.Context, res JobResult) error {
 }
 
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return w.postTrace(ctx, path, "", in, out)
+}
+
+// postTrace is post with an optional W3C traceparent header, so traced job
+// completions correlate in the coordinator's access logs.
+func (w *Worker) postTrace(ctx context.Context, path, traceparent string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("encoding %s request: %w", path, err)
@@ -227,6 +318,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(telemetry.TraceParentHeader, traceparent)
+	}
 	resp, err := w.Client.Do(req)
 	if err != nil {
 		return err

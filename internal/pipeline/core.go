@@ -150,6 +150,10 @@ type Core struct {
 	// Interval sampler state (Config.SampleInterval > 0 only).
 	smp samplerState
 
+	// Timeline tracer, nil unless AttachTimeline was called. Every hot-path
+	// tap is guarded by one `c.tl != nil` branch.
+	tl *timelineState
+
 	stats Stats
 }
 
@@ -555,6 +559,9 @@ func (c *Core) postSquash(br *isa.Instr, now simtime.Time) {
 	c.sq.observed = [NumDomains]bool{}
 	c.resolvedWPID = br.WPID
 	c.stats.Recoveries++
+	if c.tl != nil {
+		c.tl.squashBegin(now, int64(br.Seq))
+	}
 	c.doObserve(DomInt, now)
 }
 
@@ -581,6 +588,9 @@ func (c *Core) observeSquash(d DomainID, now simtime.Time) {
 // doObserve performs domain d's squash actions.
 func (c *Core) doObserve(d DomainID, now simtime.Time) {
 	c.sq.observed[d] = true
+	if c.tl != nil {
+		c.tl.observe(d, now)
+	}
 	switch d {
 	case DomFetch:
 		// Redirect: abandon the wrong path and resume the correct one. The
@@ -621,6 +631,9 @@ func (c *Core) doObserve(d DomainID, now simtime.Time) {
 		}
 	}
 	c.sq.active = false
+	if c.tl != nil {
+		c.tl.squashEnd(now)
+	}
 }
 
 // resetReady marks a freshly allocated physical register not-ready in every
@@ -689,6 +702,9 @@ func (c *Core) domainTick(g int) func(simtime.Time) {
 		if hasFetch {
 			c.stageFetch(now)
 		}
+		if c.tl != nil {
+			c.tl.observeOccupancy(c, hasFetch, hasDecode, execs, now)
+		}
 		for _, d := range owned {
 			c.endCycle(d)
 		}
@@ -741,6 +757,9 @@ func (c *Core) watchdogAndSamples() {
 	c.decodeCycles++
 	c.rat.Sample()
 	c.rob.Tick()
+	if c.tl != nil {
+		c.tl.checkStallTrigger(c)
+	}
 	if c.decodeCycles-c.lastProgress > uint64(c.cfg.MaxStallCycles) {
 		panic(fmt.Sprintf(
 			"pipeline: no commit in %d cycles (%s/%s): committed=%d rob=%d/%d head=%v iqs=%d/%d/%d sqActive=%v",

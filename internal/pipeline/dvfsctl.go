@@ -203,6 +203,9 @@ func (c *Core) maybeRetune(g int, now simtime.Time) {
 	}
 	c.domClocks[g].Retune(now, slow, volt)
 	c.stats.Retunes++
+	if c.tl != nil {
+		c.tl.retune(c, g, now, slow)
+	}
 
 	// Replace the domain's tick event: the old one was already rescheduled
 	// with the previous period when it fired.

@@ -19,12 +19,24 @@ func (c *Core) stageFetch(now simtime.Time) {
 	}
 	if now < c.icacheStallTo {
 		c.stats.FetchStallICache++
+		if c.tl != nil {
+			c.tl.icacheStallBegin(now)
+		}
 		return
+	}
+	if c.tl != nil {
+		c.tl.icacheStallEnd(now)
 	}
 	for i := 0; i < c.cfg.FetchWidth; i++ {
 		if !c.fetchToDecode.CanPut(now) {
 			c.stats.FetchStallLinkFull++
+			if c.tl != nil {
+				c.tl.fetchLinkStallBegin(now)
+			}
 			break
+		}
+		if c.tl != nil {
+			c.tl.fetchLinkStallEnd(now)
 		}
 		pc := c.gen.CurrentPC()
 		if line := pc >> c.l1iLineShift; line != c.lastFetchLine {
@@ -88,6 +100,9 @@ func (c *Core) stageFetch(now simtime.Time) {
 			stopAfter = stopAfter || pred.Taken // taken-branch fetch break
 		}
 		c.fetchToDecode.Put(now, in.Seq, in)
+		if c.tl != nil && c.tl.detail {
+			c.tl.push(c.tl.trkF2D, now, int64(in.Seq))
+		}
 		if stopAfter {
 			break
 		}
@@ -105,6 +120,9 @@ func (c *Core) stageDecode(now simtime.Time) {
 			break
 		}
 		in, wait, _ := c.fetchToDecode.Get(now)
+		if c.tl != nil && c.tl.detail {
+			c.tl.pop(c.tl.trkF2D, now, int64(in.Seq))
+		}
 		if c.doomed(in) {
 			c.releaseInstr(in)
 			continue
@@ -138,10 +156,17 @@ func (c *Core) stageRenameDispatch(now simtime.Time) {
 			c.stats.RenameStallRegs++
 			break
 		}
-		link := c.dispatch[execDomainOf(in.Class)]
+		dd := execDomainOf(in.Class)
+		link := c.dispatch[dd]
 		if !link.CanPut(now) {
 			c.stats.RenameStallDispatch++
+			if c.tl != nil {
+				c.tl.dispatchStallBegin(dd, now)
+			}
 			break
+		}
+		if c.tl != nil {
+			c.tl.dispatchStallEnd(dd, now)
 		}
 		_, wait, _ := c.decodeToRename.Get(now)
 		in.FIFOTime += wait
@@ -157,6 +182,9 @@ func (c *Core) stageRenameDispatch(now simtime.Time) {
 		c.retainInstr(in)
 		c.rob.Push(in)
 		link.Put(now, in.Seq, in)
+		if c.tl != nil && c.tl.detail {
+			c.tl.push(c.tl.trkDispatch[dd], now, int64(in.Seq))
+		}
 	}
 }
 
@@ -220,6 +248,9 @@ func (c *Core) stageDrainCompletions(now simtime.Time) {
 				break
 			}
 			in, wait, _ := link.Get(now)
+			if c.tl != nil && c.tl.detail {
+				c.tl.pop(c.tl.trkComplete[d], now, int64(in.Seq))
+			}
 			if c.doomed(in) {
 				c.releaseInstr(in)
 				continue
@@ -280,8 +311,14 @@ func (c *Core) stageComplete(d DomainID, now simtime.Time) {
 		}
 		if blocked {
 			c.stats.CompleteBackpressure++
+			if c.tl != nil {
+				c.tl.backpressureBegin(d, now)
+			}
 			kept = append(kept, op)
 			continue
+		}
+		if c.tl != nil {
+			c.tl.backpressureEnd(d, now)
 		}
 		in.CompleteTime = now
 		for _, wl := range wls {
@@ -289,6 +326,9 @@ func (c *Core) stageComplete(d DomainID, now simtime.Time) {
 				wrongPath: in.WrongPath, wpid: in.WPID})
 		}
 		c.complete[d].Put(now, in.Seq, in)
+		if c.tl != nil && c.tl.detail {
+			c.tl.push(c.tl.trkComplete[d], now, int64(in.Seq))
+		}
 		if in.Class == isa.ClassBranch && in.Mispredicted && !in.WrongPath {
 			c.stats.ResolutionSum += now - in.FetchTime
 			c.postSquash(in, now)
@@ -325,6 +365,9 @@ func (c *Core) stageDrainDispatch(d DomainID, now simtime.Time) {
 			break
 		}
 		in, wait, _ := c.dispatch[d].Get(now)
+		if c.tl != nil && c.tl.detail {
+			c.tl.pop(c.tl.trkDispatch[d], now, int64(in.Seq))
+		}
 		if c.doomed(in) {
 			c.releaseInstr(in)
 			continue

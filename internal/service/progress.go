@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
 	"galsim/internal/campaign"
+	"galsim/internal/telemetry"
+	"galsim/internal/timeline"
 )
 
 // maxTrackedSweeps bounds the progress tracker: the oldest sweep is evicted
@@ -22,19 +25,27 @@ type sweepStatus struct {
 	State    string            `json:"state"`
 	Progress campaign.Progress `json:"progress"`
 	Error    string            `json:"error,omitempty"`
+	// RequestID and TraceID echo the sweep's correlation identity (see
+	// telemetry.Instrument): the IDs a client can grep fleet logs by and
+	// fetch the distributed trace with (GET /sweeps/{id}/trace).
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
-// trackSweep registers a new sweep and returns its status handle. The
-// returned pointer must only be mutated under sweepsMu.
-func (s *Server) trackSweep(units int) *sweepStatus {
+// trackSweep registers a new sweep and returns its status handle, capturing
+// the request's correlation IDs from ctx. The returned pointer must only be
+// mutated under sweepsMu.
+func (s *Server) trackSweep(ctx context.Context, units int) *sweepStatus {
 	s.sweepsMu.Lock()
 	defer s.sweepsMu.Unlock()
 	s.sweepNext++
 	st := &sweepStatus{
-		ID:       fmt.Sprintf("s%d", s.sweepNext),
-		Units:    units,
-		State:    "running",
-		Progress: campaign.Progress{Total: units},
+		ID:        fmt.Sprintf("s%d", s.sweepNext),
+		Units:     units,
+		State:     "running",
+		Progress:  campaign.Progress{Total: units},
+		RequestID: telemetry.RequestID(ctx),
+		TraceID:   telemetry.Trace(ctx).TraceID,
 	}
 	s.sweeps[st.ID] = st
 	s.sweepIDs = append(s.sweepIDs, st.ID)
@@ -97,4 +108,45 @@ func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshot)
+}
+
+// handleSweepTrace serves one sweep's distributed trace as Chrome
+// trace-event JSON: the coordinator's campaign/lease/merge spans plus every
+// worker's execute/simulate spans and in-sim windows, all sharing the
+// sweep's trace ID. Requires a span collector (fleet front ends install
+// one) and a sweep that ran with tracing on.
+func (s *Server) handleSweepTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sweepsMu.Lock()
+	st, ok := s.sweeps[id]
+	var traceID string
+	if ok {
+		traceID = st.TraceID
+	}
+	s.sweepsMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown sweep %q (the tracker keeps the most recent %d sweeps)", id, maxTrackedSweeps))
+		return
+	}
+	if s.Spans == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("span tracing is not enabled on this server (run a fleet front end, e.g. galsim-fleet)"))
+		return
+	}
+	if traceID == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("sweep %q has no trace ID", id))
+		return
+	}
+	spans := s.Spans.ForTrace(traceID)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no spans recorded for sweep %q (trace %s); the collector keeps a bounded window", id, traceID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := timeline.WriteSpansTrace(w, spans); err != nil {
+		// Headers are gone; all we can do is cut the stream.
+		return
+	}
 }

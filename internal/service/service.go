@@ -7,7 +7,11 @@
 // Endpoints:
 //
 //	POST /run                 one RunSpec -> summary (built-in benchmark,
-//	                          inline custom profile, or uploaded profile name)
+//	                          inline custom profile, or uploaded profile name);
+//	                          ?timeline=1 embeds a Perfetto-loadable event
+//	                          timeline of the simulation
+//	GET  /sweeps/{id}/trace   one sweep's distributed trace as Chrome
+//	                          trace-event JSON (fleet front ends only)
 //	POST /sweep               one Sweep -> aggregated unit results
 //	GET  /experiments/{fig}   regenerate a paper artifact (table1, 5..13,
 //	                          phase, ablations, dvfs); ?format=json|text|csv
@@ -53,6 +57,7 @@ import (
 	"galsim/internal/machine"
 	"galsim/internal/pipeline"
 	"galsim/internal/telemetry"
+	"galsim/internal/timeline"
 	"galsim/internal/workload"
 )
 
@@ -100,6 +105,12 @@ type Server struct {
 	// full-cross-product requests.
 	MaxSweepUnits int
 
+	// Spans, when set, backs GET /sweeps/{id}/trace: the collector the
+	// fleet coordinator records campaign/lease spans into and folds worker
+	// spans back into (cmd/galsim-fleet shares one collector between both).
+	// Set before the server starts handling requests.
+	Spans *timeline.SpanCollector
+
 	// Log receives the server's structured access logs; nil uses
 	// slog.Default(). Set before the server starts handling requests.
 	Log *slog.Logger
@@ -140,6 +151,7 @@ func New(engine *campaign.Engine) *Server {
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /sweeps", s.handleSweeps)
 	s.mux.HandleFunc("GET /sweeps/{id}/progress", s.handleSweepProgress)
+	s.mux.HandleFunc("GET /sweeps/{id}/trace", s.handleSweepTrace)
 	s.mux.HandleFunc("GET /experiments/{figure}", s.handleExperiment)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
@@ -236,12 +248,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // RunResponse is the POST /run payload. Samples is present only when the
-// spec enabled interval sampling (sample_interval > 0).
+// spec enabled interval sampling (sample_interval > 0); Timeline only for
+// ?timeline=1 requests that actually simulated (a cache hit has no events
+// to replay) — it is a complete Chrome trace-event JSON document, ready to
+// save and open at https://ui.perfetto.dev.
 type RunResponse struct {
-	Key     string            `json:"key"`
-	Spec    campaign.RunSpec  `json:"spec"`
-	Summary campaign.Summary  `json:"summary"`
-	Samples []pipeline.Sample `json:"samples,omitempty"`
+	Key      string            `json:"key"`
+	Spec     campaign.RunSpec  `json:"spec"`
+	Summary  campaign.Summary  `json:"summary"`
+	Samples  []pipeline.Sample `json:"samples,omitempty"`
+	Timeline json.RawMessage   `json:"timeline,omitempty"`
 }
 
 // resolveWorkload substitutes an uploaded profile when the spec's benchmark
@@ -299,7 +315,37 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.runOne(r.Context(), spec)
+	wantTimeline := false
+	if v := r.URL.Query().Get("timeline"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeline=%q (want a boolean)", v))
+			return
+		}
+		wantTimeline = b
+	}
+	if wantTimeline && s.Backend != nil {
+		// Distributed runs simulate on workers; their in-sim windows arrive
+		// as spans via the coordinator, not as a local event timeline.
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"timeline=1 is not available on a fleet front end; use GET /sweeps/{id}/trace for distributed traces"))
+		return
+	}
+	var (
+		st  pipeline.Stats
+		err error
+		rec *timeline.Recorder
+	)
+	if wantTimeline {
+		rec = timeline.NewRecorder(timeline.Options{})
+		var hit bool
+		st, hit, err = s.engine.RunTimeline(r.Context(), spec, campaign.TimelineTap{Recorder: rec})
+		if hit {
+			rec = nil // served from cache: nothing was simulated, no events
+		}
+	} else {
+		st, err = s.runOne(r.Context(), spec)
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		if r.Context().Err() != nil {
@@ -308,12 +354,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RunResponse{
+	resp := RunResponse{
 		Key:     spec.Key(),
 		Spec:    spec.Canonical(),
 		Summary: campaign.Summarize(spec, st),
 		Samples: st.Samples,
-	})
+	}
+	if rec != nil {
+		resp.Timeline = rec.TraceJSON()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runOne executes a single spec: through the engine's singleflight cache
@@ -402,7 +452,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	tracked := s.trackSweep(len(units))
+	tracked := s.trackSweep(r.Context(), len(units))
 	results, err := campaign.RunSweepProgress(r.Context(), s.backend(), sweep,
 		func(p campaign.Progress) { s.sweepProgress(tracked, p) })
 	s.sweepDone(tracked, err)

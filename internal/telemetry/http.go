@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"galsim/internal/timeline"
 )
 
 // RequestIDHeader carries the request ID on the wire. Incoming values are
@@ -17,9 +19,35 @@ import (
 // stored in the request context for handlers and backends to propagate.
 const RequestIDHeader = "X-Request-Id"
 
+// TraceParentHeader is the W3C Trace Context header
+// (00-<trace-id>-<span-id>-<flags>). Instrument adopts an incoming trace
+// context, generates one otherwise, and echoes the header on the response;
+// the context's TraceContext carries it to the coordinator and workers so
+// every span of a sweep shares one trace ID.
+const TraceParentHeader = "traceparent"
+
 type ctxKey int
 
-const requestIDKey ctxKey = iota
+const (
+	requestIDKey ctxKey = iota
+	traceKey
+)
+
+// TraceContext is the distributed-tracing identity of a request: the trace
+// it belongs to and the span that produced it (the parent of any span the
+// current component records).
+type TraceContext struct {
+	TraceID string // 32 hex digits
+	SpanID  string // 16 hex digits, the caller's span
+}
+
+// Valid reports whether the context carries a usable trace ID.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// Header renders the W3C traceparent value for outgoing requests.
+func (tc TraceContext) Header() string {
+	return timeline.FormatTraceParent(tc.TraceID, tc.SpanID)
+}
 
 // ContextWithRequestID returns ctx carrying the given request ID.
 func ContextWithRequestID(ctx context.Context, id string) context.Context {
@@ -30,6 +58,17 @@ func ContextWithRequestID(ctx context.Context, id string) context.Context {
 func RequestID(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey).(string)
 	return id
+}
+
+// ContextWithTrace returns ctx carrying the given trace context.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceKey, tc)
+}
+
+// Trace returns the trace context carried by ctx (zero when absent).
+func Trace(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceKey).(TraceContext)
+	return tc
 }
 
 // NewRequestID returns a fresh 16-hex-character request ID.
@@ -96,12 +135,28 @@ func Instrument(component string, reg *Registry, log *slog.Logger, next http.Han
 			nil, "method", "route")
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Trace context: adopt the caller's W3C traceparent, else start a
+		// new trace here. The caller's span ID (if any) becomes the parent
+		// of whatever spans this component records.
+		tc := TraceContext{}
+		if trID, spID, ok := timeline.ParseTraceParent(r.Header.Get(TraceParentHeader)); ok {
+			tc = TraceContext{TraceID: trID, SpanID: spID}
+		} else {
+			// New trace rooted at this request; the synthetic span ID
+			// stands for the HTTP request itself.
+			tc = TraceContext{TraceID: timeline.NewTraceID(), SpanID: timeline.NewSpanID()}
+		}
+		// Request ID: adopt the caller's, else derive it from the trace ID
+		// so logs and traces correlate without a second lookup.
 		id := r.Header.Get(RequestIDHeader)
 		if id == "" {
-			id = NewRequestID()
+			id = tc.TraceID[:16]
 		}
 		w.Header().Set(RequestIDHeader, id)
-		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		w.Header().Set(TraceParentHeader, tc.Header())
+		ctx := ContextWithRequestID(r.Context(), id)
+		ctx = ContextWithTrace(ctx, tc)
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -127,6 +182,7 @@ func Instrument(component string, reg *Registry, log *slog.Logger, next http.Han
 				slog.Int("status", sw.status),
 				slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
 				slog.String("request_id", id),
+				slog.String("trace_id", tc.TraceID),
 				slog.String("remote", r.RemoteAddr),
 			)
 		}

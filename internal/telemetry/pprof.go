@@ -1,0 +1,18 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the Go runtime profile handlers under
+// /debug/pprof/ on mux — the same set every net/http/pprof import gives
+// the default mux, but on an explicit mux so binaries opt in per flag.
+// Profiles expose internals; enable only on trusted networks.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,181 @@
+package timeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// tsMicros formats femtoseconds of sim time as microseconds with
+// picosecond precision, the unit of the Chrome trace-event "ts" field.
+// Fixed precision keeps the output bit-stable for golden fixtures.
+func tsMicros(ts simFS) string {
+	return strconv.FormatFloat(float64(ts)/1e9, 'f', 6, 64)
+}
+
+type simFS = int64
+
+// WriteTrace writes the retained events as Chrome trace-event JSON
+// (JSON Array Format), loadable in Perfetto. The output is deterministic:
+// track metadata in registration order, events in record order, and no
+// map iteration anywhere.
+//
+// Flight-recorder dumps may have lost the begin of an open window or the
+// end of a truncated one; the writer drops orphan E events and closes
+// still-open B events at the final timestamp so the stream always has
+// matched B/E pairs.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Track metadata: process and thread names. Counter tracks carry
+	// their name on each C event instead of a thread_name record.
+	for i, p := range r.procs {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			i+1, strconv.Quote(p)))
+	}
+	for i, t := range r.tracks {
+		if t.counter {
+			continue
+		}
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			t.proc+1, i+1, strconv.Quote(t.name)))
+	}
+
+	events := r.Events()
+	depth := make([]int, len(r.tracks))
+	type open struct {
+		track TrackID
+		name  NameID
+	}
+	var stack []open
+	var last simFS
+	for _, ev := range events {
+		t := r.tracks[ev.Track]
+		pid, tid := t.proc+1, int(ev.Track)+1
+		ts := tsMicros(simFS(ev.TS))
+		last = simFS(ev.TS)
+		switch ev.Kind {
+		case KindCounter:
+			emit(fmt.Sprintf(`{"ph":"C","pid":%d,"ts":%s,"name":%s,"args":{"value":%d}}`,
+				pid, ts, strconv.Quote(t.name), ev.Arg))
+		case KindInstant:
+			emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%s,"args":{"v":%d}}`,
+				pid, tid, ts, strconv.Quote(r.names[ev.Name]), ev.Arg))
+		case KindBegin:
+			depth[ev.Track]++
+			stack = append(stack, open{ev.Track, ev.Name})
+			emit(fmt.Sprintf(`{"ph":"B","pid":%d,"tid":%d,"ts":%s,"name":%s,"args":{"v":%d}}`,
+				pid, tid, ts, strconv.Quote(r.names[ev.Name]), ev.Arg))
+		case KindEnd:
+			if depth[ev.Track] == 0 {
+				continue // orphan end: its begin fell off the flight ring
+			}
+			depth[ev.Track]--
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].track == ev.Track {
+					stack = append(stack[:i], stack[i+1:]...)
+					break
+				}
+			}
+			emit(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":%d,"ts":%s,"name":%s}`,
+				pid, tid, ts, strconv.Quote(r.names[ev.Name])))
+		}
+	}
+	// Close windows still open at the end of the dump, innermost first.
+	for i := len(stack) - 1; i >= 0; i-- {
+		o := stack[i]
+		t := r.tracks[o.track]
+		emit(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":%d,"ts":%s,"name":%s}`,
+			t.proc+1, int(o.track)+1, tsMicros(last), strconv.Quote(r.names[o.name])))
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// TraceJSON renders WriteTrace to a byte slice.
+func (r *Recorder) TraceJSON() []byte {
+	var buf bytes.Buffer
+	r.WriteTrace(&buf) // cannot fail on a bytes.Buffer
+	return buf.Bytes()
+}
+
+// traceEvent is the subset of the Chrome trace-event schema Validate
+// inspects.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Name string  `json:"name"`
+}
+
+// Validate checks that data is well-formed trace-event JSON: it parses as
+// a JSON array, timestamps are non-decreasing per (pid,tid) track, and
+// every E matches an open B on its track (with the same name, LIFO
+// order). X (complete) and i (instant) events only need monotonic ts;
+// M (metadata) events are skipped.
+func Validate(data []byte) error {
+	var events []traceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace is not a JSON array of events: %w", err)
+	}
+	type key struct{ pid, tid int }
+	lastTS := map[key]float64{}
+	stacks := map[key][]string{}
+	for i, ev := range events {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "B", "E", "i", "X", "C":
+		default:
+			return fmt.Errorf("event %d: unsupported phase %q", i, ev.Ph)
+		}
+		k := key{ev.Pid, ev.Tid}
+		if ev.Ph == "C" {
+			// Counter tracks are keyed by name, not tid.
+			k = key{ev.Pid, -1}
+		}
+		if prev, ok := lastTS[k]; ok && ev.Ts < prev {
+			return fmt.Errorf("event %d (%s %q): ts %v < previous %v on pid=%d tid=%d",
+				i, ev.Ph, ev.Name, ev.Ts, prev, ev.Pid, ev.Tid)
+		}
+		lastTS[k] = ev.Ts
+		switch ev.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], ev.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("event %d: E %q with no open B on pid=%d tid=%d", i, ev.Name, ev.Pid, ev.Tid)
+			}
+			top := st[len(st)-1]
+			if ev.Name != "" && top != ev.Name {
+				return fmt.Errorf("event %d: E %q does not match open B %q on pid=%d tid=%d", i, ev.Name, top, ev.Pid, ev.Tid)
+			}
+			stacks[k] = st[:len(st)-1]
+		case "X":
+			if ev.Dur < 0 {
+				return fmt.Errorf("event %d: X %q with negative dur", i, ev.Name)
+			}
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("unclosed B %q on pid=%d tid=%d", st[len(st)-1], k.pid, k.tid)
+		}
+	}
+	return nil
+}

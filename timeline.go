@@ -1,0 +1,31 @@
+package galsim
+
+import (
+	"galsim/internal/timeline"
+)
+
+// Timeline is the microarchitecture event tracer attached to a run via
+// Options.Timeline: a ring-buffered recorder of DVFS retunes, mixed-clock
+// FIFO stall/backpressure windows, squash/recovery spans and structure
+// occupancy transitions. Export it with WriteTrace and open the JSON at
+// https://ui.perfetto.dev: one track per clock domain, one per
+// cross-domain link, plus occupancy and slowdown counter tracks.
+type Timeline = timeline.Recorder
+
+// TraceSpan is one wall-clock span of a distributed sweep, as served by
+// the galsim-fleet coordinator's GET /sweeps/{id}/trace endpoint.
+type TraceSpan = timeline.Span
+
+// NewTimeline builds a standalone recorder with the given event cap
+// (0 selects the default) in either full or flight-recorder mode. Run
+// builds one automatically from Options.Timeline; the constructor exists
+// for callers driving campaign executions directly.
+func NewTimeline(maxEvents int, flight bool) *Timeline {
+	return timeline.NewRecorder(timeline.Options{MaxEvents: maxEvents, Flight: flight})
+}
+
+// ValidateTrace checks that data is well-formed Chrome trace-event JSON:
+// parseable, timestamps monotonic per track, and every duration-end
+// matched to an open begin. Both the simulator timelines and the fleet
+// span traces satisfy it.
+func ValidateTrace(data []byte) error { return timeline.Validate(data) }
