@@ -39,6 +39,16 @@
 // submissions are logged with a request ID that every job of the campaign
 // carries to its worker, so one sweep's lifecycle is greppable across the
 // whole fleet.
+//
+// Durability and multi-tenancy:
+//
+//	-journal DIR        write-ahead journal; a crashed/killed coordinator
+//	                    resumes unfinished sweeps on restart
+//	-tenants FILE       per-tenant API keys, token-bucket rate limits and
+//	                    queued-unit quotas on /run, /sweep and the fleet
+//	                    endpoints (401/429 with Retry-After)
+//	-max-queued-jobs N  bound the global job queue; overflow answers 429
+//	-drain-timeout D    spawned workers finish in-flight jobs on shutdown
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"galsim/internal/admission"
 	"galsim/internal/campaign"
 	"galsim/internal/cluster"
 	"galsim/internal/httpjson"
@@ -62,6 +73,7 @@ import (
 	"galsim/internal/service"
 	"galsim/internal/telemetry"
 	"galsim/internal/timeline"
+	"galsim/internal/wal"
 )
 
 func main() {
@@ -85,6 +97,16 @@ func main() {
 			"flight-recorder ring size for traced jobs on spawned workers (0 = small default, negative = no in-sim spans)")
 		maxSpans = flag.Int("max-spans", 0,
 			"trace spans retained for GET /sweeps/{id}/trace (0 = default window)")
+		journalDir = flag.String("journal", "",
+			"directory for the crash-safe campaign journal (WAL); unfinished sweeps resume after a restart (empty = in-memory only)")
+		journalSync = flag.Int("journal-sync", 1,
+			"fsync the journal every Nth append (1 = every record is durable before it is acknowledged; negative = never, the OS decides)")
+		tenantsFile = flag.String("tenants", "",
+			"tenant API-key config JSON (see internal/admission); gates /run, /sweep and the fleet endpoints behind per-tenant rate limits and queued-unit quotas")
+		maxQueued = flag.Int("max-queued-jobs", 0,
+			"reject new campaigns with 429 once this many jobs are queued or in flight (0 = unbounded)")
+		drainTime = flag.Duration("drain-timeout", 30*time.Second,
+			"on shutdown, spawned workers finish and report their in-flight jobs for at most this long (0 = abandon them to the lease TTL)")
 	)
 	flag.Parse()
 
@@ -110,14 +132,62 @@ func main() {
 	// (which serves them on GET /sweeps/{id}/trace).
 	spans := timeline.NewSpanCollector(*maxSpans)
 	svc.Spans = spans
-	coord := cluster.NewCoordinator(cluster.Config{
-		LeaseTTL:    *leaseTTL,
-		MaxAttempts: *maxAttempts,
-		Metrics:     svc.Metrics(),
-		Log:         log,
-		Spans:       spans,
-	})
+
+	// Durability: with -journal, every campaign and completion is written
+	// ahead to a WAL so a crashed coordinator resumes unfinished sweeps on
+	// restart instead of losing them.
+	var journal *cluster.JournalStore
+	if *journalDir != "" {
+		journal, err = cluster.OpenJournal(*journalDir, wal.Options{SyncEvery: *journalSync})
+		if err != nil {
+			fatal("-journal unusable", "dir", *journalDir, "error", err)
+		}
+		defer journal.Close() //nolint:errcheck // best-effort on exit paths
+	}
+
+	// Multi-tenancy: with -tenants, API keys, token buckets and queued-unit
+	// quotas gate the service and fleet endpoints.
+	var gate *admission.Controller
+	if *tenantsFile != "" {
+		admCfg, err := admission.LoadConfig(*tenantsFile)
+		if err != nil {
+			fatal("-tenants invalid", "file", *tenantsFile, "error", err)
+		}
+		gate = admission.NewController(admCfg, admission.Options{Metrics: svc.Metrics(), Log: log})
+		svc.Admission = gate
+		log.Info("admission control enabled", "tenants", len(admCfg.Tenants))
+	}
+
+	coordCfg := cluster.Config{
+		LeaseTTL:      *leaseTTL,
+		MaxAttempts:   *maxAttempts,
+		MaxQueuedJobs: *maxQueued,
+		Metrics:       svc.Metrics(),
+		Log:           log,
+		Spans:         spans,
+	}
+	if journal != nil {
+		coordCfg.Store = journal
+	}
+	if gate != nil {
+		coordCfg.Admission = gate
+	}
+	coord := cluster.NewCoordinator(coordCfg)
 	svc.Backend = coord
+
+	// Replay the journal before serving: unfinished campaigns re-enter the
+	// queue with their completed units prefilled, so a restarted fleet picks
+	// up a half-done sweep where the crash left it.
+	if journal != nil {
+		resumed, err := coord.Recover()
+		if err != nil {
+			fatal("journal recovery failed", "dir", *journalDir, "error", err)
+		}
+		for _, r := range resumed {
+			log.Info("resumed campaign from journal", "campaign", r.ID,
+				"request_id", r.RequestID, "units", r.Units, "prefilled", r.PrefilledUnits)
+		}
+	}
 
 	if *machineFile != "" {
 		for _, path := range strings.Split(*machineFile, ",") {
@@ -159,12 +229,20 @@ func main() {
 		if slots <= 0 {
 			slots = max(1, runtime.GOMAXPROCS(0) / *spawn)
 		}
+		// Spawned workers authenticate like any external worker when the
+		// fleet endpoints are gated: an internal tenant with no rate limit.
+		workerKey := ""
+		if gate != nil {
+			workerKey = gate.AddInternalTenant("fleet-local")
+		}
 		for i := 1; i <= *spawn; i++ {
 			wk := &cluster.Worker{
 				Coordinator:    self,
 				ID:             fmt.Sprintf("local-%d", i),
 				Engine:         campaign.NewEngine(slots),
 				Slots:          slots,
+				APIKey:         workerKey,
+				DrainTimeout:   *drainTime,
 				Log:            log,
 				Metrics:        svc.Metrics(), // galsim_worker_* aggregates across the spawned workers
 				TimelineEvents: *tlEvents,
@@ -190,7 +268,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Info("coordinating", "addr", ln.Addr().String(),
-		"lease_ttl", leaseTTL.String(), "max_attempts", *maxAttempts)
+		"lease_ttl", leaseTTL.String(), "max_attempts", *maxAttempts,
+		"journal", *journalDir, "tenants", *tenantsFile != "")
 
 	select {
 	case err := <-errc:

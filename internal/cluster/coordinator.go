@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sort"
 	"strconv"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"galsim/internal/pipeline"
 	"galsim/internal/telemetry"
 	"galsim/internal/timeline"
+	"galsim/internal/wal"
 )
 
 // Config tunes a Coordinator. The zero value selects production defaults;
@@ -45,6 +47,28 @@ type Config struct {
 	// folds worker spans back in. cmd/galsim-fleet shares one collector
 	// between the coordinator and the service's /sweeps/{id}/trace view.
 	Spans *timeline.SpanCollector
+	// Store, when non-nil, makes campaigns durable: enqueue/complete/finish
+	// transitions are journaled through it and Recover resumes unfinished
+	// campaigns after a coordinator restart (see JobStore and JournalStore).
+	// nil keeps the pre-journal in-memory behavior.
+	Store JobStore
+	// MaxQueuedJobs bounds the coordinator's global queue: a batch whose
+	// jobs would push the live (pending + leased) job count above this is
+	// rejected with campaign.ErrBackendBusy instead of growing the queue
+	// without limit (0 = unbounded).
+	MaxQueuedJobs int
+	// Admission, when non-nil, gates the fleet HTTP endpoints (join/lease/
+	// complete) behind per-tenant API keys and token buckets; see
+	// internal/admission and Register.
+	Admission AdmissionGate
+}
+
+// AdmissionGate is what the coordinator needs from an admission controller:
+// authenticate-and-rate-limit one request, answering it (401/429 with
+// Retry-After) when rejected. Implemented by *admission.Controller; an
+// interface here keeps the dependency arrow pointing out of cluster.
+type AdmissionGate interface {
+	Admit(w http.ResponseWriter, r *http.Request) (tenant string, ok bool)
 }
 
 // Coordinator shards campaign batches into jobs and serves them to a fleet
@@ -59,12 +83,13 @@ type Coordinator struct {
 	m         coordMetrics
 	startedAt time.Time
 
-	mu      sync.Mutex
-	nextID  uint64
-	queue   []uint64        // pending job ids, FIFO; entries may be stale (checked on pop)
-	jobs    map[uint64]*job // all live (pending + leased) jobs
-	workers map[string]*workerState
-	wake    chan struct{} // closed and replaced whenever work becomes available
+	mu       sync.Mutex
+	nextID   uint64
+	queue    []uint64        // pending bulk job ids, FIFO; entries may be stale (checked on pop)
+	queuePri []uint64        // pending interactive job ids, leased ahead of bulk
+	jobs     map[uint64]*job // all live (pending + leased) jobs
+	workers  map[string]*workerState
+	wake     chan struct{} // closed and replaced whenever work becomes available
 
 	jobsDone uint64
 	expiries uint64 // leases re-queued because their worker went silent
@@ -76,13 +101,16 @@ type Coordinator struct {
 // at scrape time; the rest are event counters and the per-worker job
 // latency histogram.
 type coordMetrics struct {
-	campaigns       telemetry.Counter
-	campaignsFailed telemetry.Counter
-	leasesGranted   telemetry.Counter // label: worker
-	jobsCompleted   telemetry.Counter // label: worker
-	jobFailures     telemetry.Counter // label: worker
-	leaseExpiries   telemetry.Counter // label: worker
-	jobSeconds      telemetry.Histogram
+	campaigns          telemetry.Counter
+	campaignsFailed    telemetry.Counter
+	campaignsRejected  telemetry.Counter // bounded-queue rejections (nothing enqueued)
+	leasesGranted      telemetry.Counter // label: worker
+	jobsCompleted      telemetry.Counter // label: worker
+	jobFailures        telemetry.Counter // label: worker
+	leaseExpiries      telemetry.Counter // label: worker
+	jobSeconds         telemetry.Histogram
+	recoveredCampaigns telemetry.Counter // campaigns resumed from the job store
+	recoveredJobs      telemetry.Counter // result slots filled from the journal, not re-run
 }
 
 type jobState int
@@ -99,6 +127,7 @@ type job struct {
 	spec      campaign.RunSpec
 	camp      *campaignRun
 	slots     []int // indices into camp.results
+	pri       campaign.Priority
 	state     jobState
 	worker    string    // current lease holder (leased only)
 	deadline  time.Time // lease expiry (leased only)
@@ -119,6 +148,10 @@ type campaignRun struct {
 	err       error
 	finished  bool
 
+	// id is the campaign's durable identity in the job store; random, so
+	// ids never collide across coordinator restarts.
+	id         string
+	pri        campaign.Priority
 	requestID  string
 	onProgress campaign.ProgressFunc
 	total      int
@@ -190,6 +223,33 @@ func NewCoordinator(cfg Config) *Coordinator {
 		leaseExpiries:   reg.Counter("galsim_fleet_lease_expiries_total", "Leases re-queued after their worker went silent, by worker.", "worker"),
 		jobSeconds: reg.Histogram("galsim_fleet_job_seconds",
 			"Job latency from lease grant to accepted completion, by worker.", nil, "worker"),
+		campaignsRejected: reg.Counter("galsim_fleet_campaigns_rejected_total",
+			"Campaign batches rejected because the bounded job queue was full."),
+	}
+	if cfg.Store != nil {
+		c.m.recoveredCampaigns = reg.Counter("galsim_wal_recovered_campaigns_total",
+			"Campaigns resumed from the job-store journal after a coordinator restart.")
+		c.m.recoveredJobs = reg.Counter("galsim_wal_recovered_units_total",
+			"Result slots filled from journaled completions instead of re-running.")
+	}
+	if ws, ok := cfg.Store.(interface{ WALStats() wal.Stats }); ok {
+		walGauge := func(name, help string, field func(wal.Stats) uint64) {
+			reg.GaugeFunc(name, help, func() float64 { return float64(field(ws.WALStats())) })
+		}
+		walGauge("galsim_wal_appends", "Records appended to the coordinator journal.",
+			func(s wal.Stats) uint64 { return s.Appends })
+		walGauge("galsim_wal_fsyncs", "fsync calls issued by the coordinator journal.",
+			func(s wal.Stats) uint64 { return s.Fsyncs })
+		walGauge("galsim_wal_bytes_written", "Frame bytes written to the coordinator journal.",
+			func(s wal.Stats) uint64 { return s.BytesWritten })
+		walGauge("galsim_wal_segments", "Live segment files in the coordinator journal.",
+			func(s wal.Stats) uint64 { return s.Segments })
+		walGauge("galsim_wal_compactions", "Journal compactions (rewrites after a campaign finished).",
+			func(s wal.Stats) uint64 { return s.Compactions })
+		walGauge("galsim_wal_torn_truncations", "Torn journal tails truncated during crash recovery.",
+			func(s wal.Stats) uint64 { return s.TornTruncations })
+		walGauge("galsim_wal_replayed_records", "Journal records replayed on boot.",
+			func(s wal.Stats) uint64 { return s.ReplayedRecords })
 	}
 	reg.GaugeFunc("galsim_fleet_jobs_pending", "Jobs waiting for a lease.", func() float64 {
 		c.mu.Lock()
@@ -291,7 +351,10 @@ func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSp
 	if reqID == "" {
 		reqID = telemetry.NewRequestID()
 	}
-	camp := c.submit(canon, reqID, telemetry.Trace(ctx), fn)
+	camp, err := c.submit(canon, reqID, telemetry.Trace(ctx), fn, campaign.PriorityOf(ctx))
+	if err != nil {
+		return nil, err
+	}
 	// The ticker is a liveness backstop: lease and complete calls already
 	// expire stale leases, but if every worker dies no such call ever comes.
 	tick := time.NewTicker(clampTick(c.cfg.LeaseTTL / 2))
@@ -307,6 +370,7 @@ func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSp
 				fn(final)
 			}
 			c.recordCampaignSpans(camp, err)
+			c.journalFinish(camp, err)
 			if err != nil {
 				c.m.campaignsFailed.Inc()
 				c.log.Warn("campaign failed", "request_id", reqID, "units", len(specs), "error", err.Error())
@@ -319,6 +383,7 @@ func (c *Coordinator) RunAllProgress(ctx context.Context, specs []campaign.RunSp
 			c.finishLocked(camp, ctx.Err())
 			c.mu.Unlock()
 			c.recordCampaignSpans(camp, ctx.Err())
+			c.journalFinish(camp, ctx.Err())
 			c.m.campaignsFailed.Inc()
 			c.log.Warn("campaign cancelled", "request_id", reqID, "units", len(specs))
 			return nil, ctx.Err()
@@ -335,12 +400,55 @@ func clampTick(d time.Duration) time.Duration {
 	return min(max(d, lo), hi)
 }
 
+// specGroup is one unique spec within a batch plus every result slot it
+// fills (identical specs collapse into a single job).
+type specGroup struct {
+	key   string
+	spec  campaign.RunSpec
+	slots []int
+}
+
+// groupByKey collapses a canonical batch into unique-spec groups, in first-
+// occurrence order so job creation stays deterministic.
+func groupByKey(canon []campaign.RunSpec) []specGroup {
+	idx := map[string]int{}
+	var groups []specGroup
+	for i, s := range canon {
+		k := s.Key()
+		if gi, ok := idx[k]; ok {
+			groups[gi].slots = append(groups[gi].slots, i)
+			continue
+		}
+		idx[k] = len(groups)
+		groups = append(groups, specGroup{key: k, spec: s, slots: []int{i}})
+	}
+	return groups
+}
+
 // submit enqueues one job per unique spec key, fanning duplicate specs out
-// to all of their result slots, and wakes long-polling workers.
-func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, tc telemetry.TraceContext, fn campaign.ProgressFunc) *campaignRun {
+// to all of their result slots, and wakes long-polling workers. The batch
+// is journaled through the job store (when configured) before anything is
+// enqueued, so a crash after submit returns can always resume it; a full
+// bounded queue rejects the batch with campaign.ErrBackendBusy instead.
+func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, tc telemetry.TraceContext, fn campaign.ProgressFunc, pri campaign.Priority) (*campaignRun, error) {
+	groups := groupByKey(canon)
+	if max := c.cfg.MaxQueuedJobs; max > 0 {
+		c.mu.Lock()
+		live := len(c.jobs)
+		c.mu.Unlock()
+		if live+len(groups) > max {
+			c.m.campaignsRejected.Inc()
+			c.log.Warn("campaign rejected: queue full", "request_id", reqID,
+				"live_jobs", live, "batch_jobs", len(groups), "limit", max)
+			return nil, fmt.Errorf("cluster: %d jobs live and %d arriving exceed the %d-job queue limit: %w",
+				live, len(groups), max, campaign.ErrBackendBusy)
+		}
+	}
 	camp := &campaignRun{
 		results:    make([]pipeline.Stats, len(canon)),
 		done:       make(chan struct{}),
+		id:         "camp-" + telemetry.NewRequestID(),
+		pri:        pri,
 		requestID:  reqID,
 		onProgress: fn,
 		total:      len(canon),
@@ -360,27 +468,42 @@ func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, tc telemetr
 		camp.rootSpan = timeline.NewSpanID()
 		camp.startedAt = c.now()
 	}
-	c.mu.Lock()
-	byKey := map[string]*job{}
-	for i, s := range canon {
-		k := s.Key()
-		if j, ok := byKey[k]; ok {
-			j.slots = append(j.slots, i)
-			continue
+	if c.cfg.Store != nil {
+		// Write-ahead: the journal append (and its fsync) happens before the
+		// queue sees the batch, so "submit returned" implies "survives a
+		// crash". The store has its own lock; c.mu is not held across the
+		// fsync.
+		if err := c.cfg.Store.CampaignEnqueued(camp.id, reqID, pri, canon); err != nil {
+			c.m.campaignsRejected.Inc()
+			return nil, fmt.Errorf("cluster: journaling campaign: %w", err)
 		}
-		c.nextID++
-		j := &job{id: c.nextID, spec: s, camp: camp, slots: []int{i}}
-		byKey[k] = j
-		c.jobs[j.id] = j
-		c.queue = append(c.queue, j.id)
 	}
-	camp.remaining = len(byKey)
+	c.mu.Lock()
+	c.enqueueGroupsLocked(camp, groups)
 	c.wakeLocked()
-	jobs := len(byKey)
 	c.mu.Unlock()
 	c.m.campaigns.Inc()
-	c.log.Info("campaign enqueued", "request_id", reqID, "units", len(canon), "jobs", jobs)
-	return camp
+	c.log.Info("campaign enqueued", "request_id", reqID, "campaign", camp.id,
+		"priority", pri.String(), "units", len(canon), "jobs", len(groups))
+	return camp, nil
+}
+
+// enqueueGroupsLocked materializes jobs for the groups that still need
+// running, filling any slots whose results are already known (journal
+// recovery passes them in via camp.results + prefilled keys — see resume).
+// c.mu must be held.
+func (c *Coordinator) enqueueGroupsLocked(camp *campaignRun, groups []specGroup) {
+	for _, g := range groups {
+		c.nextID++
+		j := &job{id: c.nextID, spec: g.spec, camp: camp, slots: g.slots, pri: camp.pri}
+		c.jobs[j.id] = j
+		if camp.pri == campaign.PriorityInteractive {
+			c.queuePri = append(c.queuePri, j.id)
+		} else {
+			c.queue = append(c.queue, j.id)
+		}
+		camp.remaining++
+	}
 }
 
 // wakeLocked signals every long-polling lease request that work may be
@@ -388,6 +511,34 @@ func (c *Coordinator) submit(canon []campaign.RunSpec, reqID string, tc telemetr
 func (c *Coordinator) wakeLocked() {
 	close(c.wake)
 	c.wake = make(chan struct{})
+}
+
+// requeueFrontLocked puts a job back at the head of its priority lane (it
+// already waited its turn once) and wakes lease waiters. c.mu must be held.
+func (c *Coordinator) requeueFrontLocked(j *job) {
+	if j.pri == campaign.PriorityInteractive {
+		c.queuePri = append([]uint64{j.id}, c.queuePri...)
+	} else {
+		c.queue = append([]uint64{j.id}, c.queue...)
+	}
+	c.wakeLocked()
+}
+
+// journalFinish records a campaign's terminal transition in the job store
+// (triggering log compaction). Store errors only log: the in-memory result
+// is already settled, and the worst case of a lost finish record is the
+// campaign re-running after a restart — wasteful, never wrong.
+func (c *Coordinator) journalFinish(camp *campaignRun, err error) {
+	if c.cfg.Store == nil || camp.id == "" {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	if serr := c.cfg.Store.CampaignFinished(camp.id, msg); serr != nil {
+		c.log.Warn("journaling campaign finish failed", "campaign", camp.id, "error", serr.Error())
+	}
 }
 
 // tryLease grants up to slots pending jobs to the worker, first expiring
@@ -401,10 +552,26 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 	w.cache = cache
 	c.expireLocked(now)
 	var granted []Job
-	var skipped []uint64 // jobs this worker is excluded from; keep for others
-	for len(c.queue) > 0 && len(granted) < slots {
-		id := c.queue[0]
-		c.queue = c.queue[1:]
+	// Per-lane skip lists: jobs this worker is excluded from go back to the
+	// front of their own lane, preserving both FIFO order and priority.
+	var skippedPri, skippedBulk []uint64
+	for len(granted) < slots {
+		var id uint64
+		fromPri := false
+		switch {
+		case len(c.queuePri) > 0:
+			// Interactive work always leases ahead of bulk.
+			id, fromPri = c.queuePri[0], true
+			c.queuePri = c.queuePri[1:]
+		case len(c.queue) > 0:
+			id = c.queue[0]
+			c.queue = c.queue[1:]
+		default:
+			id = 0
+		}
+		if id == 0 {
+			break
+		}
 		j, ok := c.jobs[id]
 		if !ok || j.state != jobPending {
 			continue // completed, failed campaign, or re-queued under a newer entry
@@ -420,7 +587,11 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 					j.slots[0], j.spec.Machine, j.spec.WorkloadName(), len(j.excluded), j.lastErr))
 				continue
 			}
-			skipped = append(skipped, id)
+			if fromPri {
+				skippedPri = append(skippedPri, id)
+			} else {
+				skippedBulk = append(skippedBulk, id)
+			}
 			continue
 		}
 		j.state = jobLeased
@@ -437,8 +608,11 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 		}
 		granted = append(granted, jb)
 	}
-	if len(skipped) > 0 {
-		c.queue = append(skipped, c.queue...)
+	if len(skippedPri) > 0 {
+		c.queuePri = append(skippedPri, c.queuePri...)
+	}
+	if len(skippedBulk) > 0 {
+		c.queue = append(skippedBulk, c.queue...)
 	}
 	for _, jb := range granted {
 		c.m.leasesGranted.Inc(workerID)
@@ -478,8 +652,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 				id, j.spec.Machine, j.spec.WorkloadName(), j.attempts, lastWorker))
 			continue
 		}
-		c.queue = append([]uint64{id}, c.queue...)
-		c.wakeLocked()
+		c.requeueFrontLocked(j)
 	}
 }
 
@@ -542,8 +715,7 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 					j.slots[0], j.spec.Machine, j.spec.WorkloadName(), len(j.excluded), workerID, j.lastErr))
 				continue
 			}
-			c.queue = append([]uint64{j.id}, c.queue...)
-			c.wakeLocked()
+			c.requeueFrontLocked(j)
 			continue
 		}
 		accepted++
@@ -564,6 +736,18 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 		after = append(after, func() {
 			c.log.Debug("job completed", "request_id", reqID, "job_id", jobID, "worker", workerID)
 		})
+		if c.cfg.Store != nil && j.camp.id != "" {
+			// Journaled after the in-memory fill, outside c.mu: a crash in
+			// between re-runs the job on recovery, which deterministic
+			// execution makes safe. The store serializes its own appends.
+			campID, key, stats := j.camp.id, j.spec.Key(), r.Stats
+			after = append(after, func() {
+				if err := c.cfg.Store.JobCompleted(campID, key, stats); err != nil {
+					c.log.Warn("journaling job completion failed",
+						"campaign", campID, "job_id", jobID, "error", err.Error())
+				}
+			})
+		}
 		if fn := j.camp.onProgress; fn != nil {
 			snap := j.camp.snapshotLocked()
 			after = append(after, func() { fn(snap) })
@@ -791,4 +975,131 @@ func (c *Coordinator) Stats() FleetStats {
 	}
 	sort.Slice(s.WorkerList, func(i, k int) bool { return s.WorkerList[i].ID < s.WorkerList[k].ID })
 	return s
+}
+
+// Resumed is one campaign restored from the job store by Recover. The
+// coordinator drives it to completion on its own; Wait is for callers (and
+// the chaos tests) that want the merged stats the original RunAll would
+// have returned.
+type Resumed struct {
+	ID        string
+	RequestID string
+	// Units is the campaign's total result-slot count; PrefilledUnits of
+	// them were filled straight from journaled completions and not re-run.
+	Units          int
+	PrefilledUnits int
+	camp           *campaignRun
+}
+
+// Wait blocks until the resumed campaign settles and returns its merged
+// stats in original spec order — byte-identical to what the pre-crash
+// RunAll call would have produced. ctx only bounds the wait; the campaign
+// keeps running if ctx expires first.
+func (r *Resumed) Wait(ctx context.Context) ([]pipeline.Stats, error) {
+	select {
+	case <-r.camp.done:
+		// finishLocked sets results/err before closing done, so these reads
+		// are ordered after every write.
+		return r.camp.results, r.camp.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Recover re-enqueues every campaign the job store journaled as enqueued
+// but never finished. Call it once, after NewCoordinator and before the
+// coordinator serves traffic: journaled completions pre-fill their result
+// slots, only the missing units are dispatched, and the coordinator itself
+// watches each campaign (expiring stale leases, journaling the finish).
+// A nil Config.Store recovers nothing.
+func (c *Coordinator) Recover() ([]*Resumed, error) {
+	if c.cfg.Store == nil {
+		return nil, nil
+	}
+	recs, err := c.cfg.Store.Recover()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Resumed, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, c.resume(rec))
+	}
+	return out, nil
+}
+
+// resume rebuilds one journaled campaign: slots with journaled results are
+// filled without re-running, the rest become queue jobs in the campaign's
+// original priority lane.
+func (c *Coordinator) resume(rec RecoveredCampaign) *Resumed {
+	camp := &campaignRun{
+		results:   make([]pipeline.Stats, len(rec.Specs)),
+		done:      make(chan struct{}),
+		id:        rec.ID,
+		pri:       rec.Priority,
+		requestID: rec.RequestID,
+		total:     len(rec.Specs),
+	}
+	prefilled := 0
+	var pending []specGroup
+	c.mu.Lock()
+	for _, g := range groupByKey(rec.Specs) {
+		if st, ok := rec.Completed[g.key]; ok && st != nil {
+			for _, slot := range g.slots {
+				camp.results[slot] = *st
+			}
+			camp.completed += len(g.slots)
+			prefilled += len(g.slots)
+			continue
+		}
+		pending = append(pending, g)
+	}
+	c.enqueueGroupsLocked(camp, pending)
+	if camp.remaining == 0 {
+		// Every unit was journaled; the campaign just never got its finish
+		// record before the crash.
+		c.finishLocked(camp, nil)
+	} else {
+		c.wakeLocked()
+	}
+	c.mu.Unlock()
+	c.m.campaigns.Inc()
+	c.m.recoveredCampaigns.Inc()
+	c.m.recoveredJobs.Add(float64(prefilled))
+	c.log.Info("campaign resumed from journal", "request_id", rec.RequestID,
+		"campaign", rec.ID, "units", len(rec.Specs), "prefilled_units", prefilled,
+		"jobs", len(pending))
+	go c.watchResumed(camp)
+	return &Resumed{
+		ID:             rec.ID,
+		RequestID:      rec.RequestID,
+		Units:          len(rec.Specs),
+		PrefilledUnits: prefilled,
+		camp:           camp,
+	}
+}
+
+// watchResumed stands in for the RunAllProgress wait loop a resumed
+// campaign no longer has: it expires stale leases until the campaign
+// settles, then journals the finish so the log compacts.
+func (c *Coordinator) watchResumed(camp *campaignRun) {
+	tick := time.NewTicker(clampTick(c.cfg.LeaseTTL / 2))
+	defer tick.Stop()
+	for {
+		select {
+		case <-camp.done:
+			c.journalFinish(camp, camp.err)
+			if camp.err != nil {
+				c.m.campaignsFailed.Inc()
+				c.log.Warn("resumed campaign failed", "request_id", camp.requestID,
+					"campaign", camp.id, "error", camp.err.Error())
+			} else {
+				c.log.Info("resumed campaign done", "request_id", camp.requestID, "campaign", camp.id)
+			}
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			c.expireLocked(c.now())
+			c.mu.Unlock()
+		}
+	}
 }

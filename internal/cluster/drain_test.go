@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/httpjson"
+)
+
+// TestBackoffSchedule: the retry schedule doubles from base, caps, jitters
+// within [exp/2, exp), and resets on success.
+func TestBackoffSchedule(t *testing.T) {
+	// rand() = 0 pins every delay to the bottom of its jitter window, so the
+	// schedule is exactly base/2, base, 2·base, ... up to cap/2.
+	b := backoff{base: 100 * time.Millisecond, cap: time.Second, rand: func() float64 { return 0 }}
+	want := []time.Duration{
+		50 * time.Millisecond,  // 100ms/2
+		100 * time.Millisecond, // 200ms/2
+		200 * time.Millisecond, // 400ms/2
+		400 * time.Millisecond, // 800ms/2
+		500 * time.Millisecond, // capped at 1s/2
+		500 * time.Millisecond, // stays capped
+	}
+	for i, w := range want {
+		if got := b.next(); got != w {
+			t.Errorf("attempt %d delay = %v, want %v", i, got, w)
+		}
+	}
+	b.reset()
+	if got := b.next(); got != want[0] {
+		t.Errorf("delay after reset = %v, want %v", got, want[0])
+	}
+
+	// rand() just below 1 pins delays to the top: next() must stay < exp.
+	top := backoff{base: 100 * time.Millisecond, cap: time.Second,
+		rand: func() float64 { return 0.999999 }}
+	if got := top.next(); got < 50*time.Millisecond || got >= 100*time.Millisecond {
+		t.Errorf("jittered first delay = %v, want within [50ms, 100ms)", got)
+	}
+	// A cap below base never exceeds the cap either.
+	tiny := backoff{base: time.Second, cap: 100 * time.Millisecond, rand: func() float64 { return 0 }}
+	if got := tiny.next(); got != 50*time.Millisecond {
+		t.Errorf("cap<base first delay = %v, want 50ms", got)
+	}
+}
+
+// TestWorkerGracefulDrain is the shutdown regression test: a worker whose
+// context is cancelled mid-job finishes and REPORTS that job within its
+// DrainTimeout, so the campaign completes without burning a lease expiry.
+// The lease TTL is set far beyond the test horizon: if the drain path broke,
+// the job would only ever come back via expiry and the test would time out.
+func TestWorkerGracefulDrain(t *testing.T) {
+	f := startFleet(t, Config{LeaseTTL: 5 * time.Minute}, 0, 0)
+	engine := campaign.NewEngine(1)
+	w := &Worker{
+		Coordinator:  f.ts.URL,
+		ID:           "drainer",
+		Engine:       engine,
+		Slots:        1,
+		PollInterval: 10 * time.Millisecond,
+		DrainTimeout: 30 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w.Run(ctx) //nolint:errcheck // exits via cancellation
+	}()
+	// A single slow-ish unit: long enough that the cancel below lands
+	// mid-execution, short enough to finish well inside DrainTimeout.
+	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 400_000}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := f.coord.RunAll(context.Background(), []campaign.RunSpec{spec})
+		runDone <- err
+	}()
+	waitFor(t, func() bool { return f.coord.Stats().JobsInFlight == 1 }, "job leased")
+	cancel() // SIGTERM: stop leasing, drain the in-flight job
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("campaign failed despite drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not complete; drained job was never reported")
+	}
+	st := f.coord.Stats()
+	if st.LeaseExpiries != 0 {
+		t.Errorf("drain leaked %d lease expiries; the job should have been reported, not abandoned", st.LeaseExpiries)
+	}
+	if st.JobsDone != 1 {
+		t.Errorf("jobs done = %d, want 1", st.JobsDone)
+	}
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after drain")
+	}
+}
+
+// TestFleetEndpointBodyLimits: every fleet POST route answers an oversized
+// body with 413 and the typed code, per route.
+func TestFleetEndpointBodyLimits(t *testing.T) {
+	f := startFleet(t, Config{}, 0, 0)
+	// Valid JSON throughout, so the decoder keeps scanning until the byte
+	// cap trips rather than bailing early on a syntax error.
+	big := append([]byte(`{"worker_id":"`), bytes.Repeat([]byte("x"), maxBodyBytes)...)
+	big = append(big, `"}`...)
+	for _, route := range []string{"/join", "/jobs/lease", "/jobs/complete"} {
+		t.Run(route, func(t *testing.T) {
+			resp, err := http.Post(f.ts.URL+route, "application/json", bytes.NewReader(big))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Errorf("status = %d, want 413", resp.StatusCode)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			if !bytes.Contains(body, []byte(httpjson.CodeBodyTooLarge)) {
+				t.Errorf("body %q missing code %q", body, httpjson.CodeBodyTooLarge)
+			}
+		})
+	}
+}

@@ -29,12 +29,29 @@ const maxLeaseWait = 30 * time.Second
 // so the fleet-wide /stats shadows the service's per-process one while
 // /run, /sweep, /benchmarks etc. fall through. (Point Config.Metrics at the
 // service's registry so the shadowing /metrics page covers both.)
+// When Config.Admission is set, the three POST endpoints require a tenant
+// API key (workers send Worker.APIKey) — an open fleet port would let
+// anyone execute jobs or inject results.
 func (c *Coordinator) Register(mux *http.ServeMux) {
-	mux.HandleFunc("POST /join", c.handleJoin)
-	mux.HandleFunc("POST /jobs/lease", c.handleLease)
-	mux.HandleFunc("POST /jobs/complete", c.handleComplete)
+	mux.HandleFunc("POST /join", c.admitted(c.handleJoin))
+	mux.HandleFunc("POST /jobs/lease", c.admitted(c.handleLease))
+	mux.HandleFunc("POST /jobs/complete", c.admitted(c.handleComplete))
 	mux.HandleFunc("GET /stats", c.handleStats)
 	mux.Handle("GET /metrics", c.metrics.Handler())
+}
+
+// admitted wraps a fleet handler behind the admission gate (identity when
+// no gate is configured).
+func (c *Coordinator) admitted(h http.HandlerFunc) http.HandlerFunc {
+	if c.cfg.Admission == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := c.cfg.Admission.Admit(w, r); !ok {
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Handler returns a standalone handler serving only the fleet endpoints.

@@ -37,10 +37,23 @@ type Worker struct {
 	Engine *campaign.Engine
 	// Slots is how many jobs run concurrently (default Engine.Workers()).
 	Slots int
-	// PollInterval is the pause after an idle long-poll or a coordinator
-	// error before retrying (default 500ms; the lease long-poll provides
-	// the real pacing).
+	// PollInterval is the pause after an idle long-poll (default 500ms; the
+	// lease long-poll provides the real pacing). It also seeds the error
+	// backoff: failed lease/complete calls retry on a jittered exponential
+	// schedule from PollInterval up to MaxBackoff, resetting on success, so
+	// a briefly-down coordinator sees a fan-in of retries instead of a
+	// fixed-cadence stampede from every worker at once.
 	PollInterval time.Duration
+	// MaxBackoff caps the error-retry delay (default 15s).
+	MaxBackoff time.Duration
+	// DrainTimeout, when positive, makes shutdown graceful: after Run's ctx
+	// is cancelled the worker stops leasing but finishes and reports the
+	// jobs it already holds, for at most this long. Zero preserves the
+	// abrupt behavior — in-flight jobs are abandoned to their lease TTL.
+	DrainTimeout time.Duration
+	// APIKey authenticates this worker to an admission-gated coordinator
+	// (sent as "Authorization: Bearer <key>"); empty sends no credential.
+	APIKey string
 	// Client issues the HTTP calls (nil uses a 2-minute-timeout client —
 	// comfortably above the lease long-poll, far below any lease TTL that
 	// would matter).
@@ -64,8 +77,22 @@ type Worker struct {
 		jobs       telemetry.Counter // label: result (ok|error)
 		jobSeconds telemetry.Histogram
 		leaseErrs  telemetry.Counter
+		drained    telemetry.Counter // jobs completed during graceful drain
 	}
 	metricsOn bool
+
+	// randFloat overrides the backoff jitter source (tests); nil uses
+	// math/rand/v2.
+	randFloat func() float64
+}
+
+// newBackoff builds this worker's error-retry schedule.
+func (w *Worker) newBackoff() backoff {
+	maxB := w.MaxBackoff
+	if maxB <= 0 {
+		maxB = 15 * time.Second
+	}
+	return backoff{base: w.pollInterval(), cap: maxB, rand: w.randFloat}
 }
 
 func (w *Worker) log() *slog.Logger {
@@ -103,12 +130,43 @@ func (w *Worker) Run(ctx context.Context) error {
 			"Fleet job execution time on this worker in seconds.", nil)
 		w.m.leaseErrs = w.Metrics.Counter("galsim_worker_lease_errors_total",
 			"Failed lease calls to the coordinator.")
+		w.m.drained = w.Metrics.Counter("galsim_worker_jobs_drained_total",
+			"Jobs finished and reported during a graceful shutdown drain.")
 		w.metricsOn = true
 	}
 	if err := w.join(ctx, slots); err != nil {
 		return fmt.Errorf("cluster: worker %s joining %s: %w", w.ID, w.Coordinator, err)
 	}
 	w.log().Info("worker joined", "worker", w.ID, "coordinator", w.Coordinator, "slots", slots)
+
+	// Two lifetimes: leasing stops the moment ctx is cancelled, but with a
+	// DrainTimeout the jobs already held get a second context that outlives
+	// ctx by up to that long — finished work is reported instead of thrown
+	// away to a lease expiry. DrainTimeout zero collapses both to ctx, the
+	// original kill-style behavior.
+	jobCtx := ctx
+	drained := make(chan struct{})
+	if w.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithCancel(context.WithoutCancel(ctx))
+		go func() {
+			defer cancel()
+			select {
+			case <-drained:
+				return
+			case <-ctx.Done():
+			}
+			w.log().Info("draining in-flight jobs", "worker", w.ID,
+				"timeout", w.DrainTimeout.String())
+			t := time.NewTimer(w.DrainTimeout)
+			defer t.Stop()
+			select {
+			case <-drained:
+			case <-t.C:
+				w.log().Warn("drain timeout; abandoning remaining jobs", "worker", w.ID)
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	// One puller per slot: each leases a single job, runs it, and posts the
 	// completion before leasing again — natural backpressure, and a lost
@@ -117,31 +175,39 @@ func (w *Worker) Run(ctx context.Context) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.pull(ctx)
+			w.pull(ctx, jobCtx)
 		}()
 	}
 	wg.Wait()
+	close(drained)
 	return ctx.Err()
 }
 
-func (w *Worker) pull(ctx context.Context) {
-	for ctx.Err() == nil {
-		lease, err := w.lease(ctx)
+// pull is one slot's lease→run→complete loop. leaseCtx bounds leasing (new
+// work stops with it); jobCtx bounds execution and completion of jobs
+// already held, and outlives leaseCtx during a graceful drain.
+func (w *Worker) pull(leaseCtx, jobCtx context.Context) {
+	bo := w.newBackoff()
+	for leaseCtx.Err() == nil {
+		lease, err := w.lease(leaseCtx)
 		if err != nil {
-			if ctx.Err() != nil {
+			if leaseCtx.Err() != nil {
 				return
 			}
 			if w.metricsOn {
 				w.m.leaseErrs.Inc()
 			}
-			w.log().Warn("lease failed", "worker", w.ID, "error", err)
-			sleepCtx(ctx, w.pollInterval())
+			delay := bo.next()
+			w.log().Warn("lease failed", "worker", w.ID, "error", err,
+				"retry_in_ms", delay.Milliseconds())
+			sleepCtx(leaseCtx, delay)
 			continue
 		}
+		bo.reset()
 		if len(lease.Jobs) == 0 {
 			// The long-poll already waited; a short pause keeps a
 			// misconfigured (wait-free) coordinator from being hammered.
-			sleepCtx(ctx, w.pollInterval())
+			sleepCtx(leaseCtx, w.pollInterval())
 			continue
 		}
 		for _, jb := range lease.Jobs {
@@ -154,16 +220,17 @@ func (w *Worker) pull(ctx context.Context) {
 				spans []timeline.Span
 			)
 			if trID, parentSp, ok := timeline.ParseTraceParent(jb.TraceParent); ok {
-				st, spans, err = w.runTraced(ctx, jb, trID, parentSp)
+				st, spans, err = w.runTraced(jobCtx, jb, trID, parentSp)
 			} else {
-				st, err = w.Engine.Run(ctx, jb.Spec)
+				st, err = w.Engine.Run(jobCtx, jb.Spec)
 			}
 			dur := time.Since(start)
-			if ctx.Err() != nil {
+			if jobCtx.Err() != nil {
 				// Dying mid-job: report nothing and let the lease expire, so
 				// the job is re-run whole on a live worker.
 				return
 			}
+			draining := leaseCtx.Err() != nil
 			res := JobResult{JobID: jb.ID}
 			result := "ok"
 			if err != nil {
@@ -175,12 +242,15 @@ func (w *Worker) pull(ctx context.Context) {
 			if w.metricsOn {
 				w.m.jobs.Inc(result)
 				w.m.jobSeconds.Observe(dur.Seconds())
+				if draining {
+					w.m.drained.Inc()
+				}
 			}
 			w.log().Info("job done", "worker", w.ID, "job_id", jb.ID,
 				"request_id", jb.RequestID, "result", result,
-				"duration_ms", dur.Milliseconds())
-			if cerr := w.complete(ctx, res, spans, jb.TraceParent); cerr != nil {
-				if ctx.Err() != nil {
+				"duration_ms", dur.Milliseconds(), "draining", draining)
+			if cerr := w.complete(jobCtx, res, spans, jb.TraceParent); cerr != nil {
+				if jobCtx.Err() != nil {
 					return
 				}
 				w.log().Warn("completing job failed", "worker", w.ID,
@@ -286,10 +356,11 @@ func (w *Worker) runTraced(ctx context.Context, jb Job, traceID, parentSpan stri
 // unreachable the lease expires and the job reruns elsewhere.
 func (w *Worker) complete(ctx context.Context, res JobResult, spans []timeline.Span, traceparent string) error {
 	req := CompleteRequest{WorkerID: w.ID, Results: []JobResult{res}, Cache: w.Engine.Stats(), Spans: spans}
+	bo := w.newBackoff()
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
-			sleepCtx(ctx, time.Duration(attempt)*200*time.Millisecond)
+			sleepCtx(ctx, bo.next())
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -318,6 +389,9 @@ func (w *Worker) postTrace(ctx context.Context, path, traceparent string, in, ou
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+w.APIKey)
+	}
 	if traceparent != "" {
 		req.Header.Set(telemetry.TraceParentHeader, traceparent)
 	}

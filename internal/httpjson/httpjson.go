@@ -6,6 +6,7 @@ package httpjson
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 )
@@ -24,12 +25,30 @@ func Error(w http.ResponseWriter, status int, err error) {
 	Write(w, status, map[string]string{"error": err.Error()})
 }
 
+// ErrorCode writes {"error": "...", "code": "..."}: the stable machine-
+// readable code lets clients branch on the failure class without parsing
+// prose (which is free to improve).
+func ErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	Write(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
+// CodeBodyTooLarge is the ErrorCode value for oversized request bodies.
+const CodeBodyTooLarge = "body_too_large"
+
 // Decode strictly parses a request body of at most maxBytes into v,
-// rejecting unknown fields; on failure it writes a 400 and returns false.
+// rejecting unknown fields. An oversized body is answered with 413 and a
+// typed code (the client must shrink the request, not fix its syntax); any
+// other failure writes a 400. Returns false when a response was written.
 func Decode(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			ErrorCode(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
+			return false
+		}
 		Error(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
 		return false
 	}

@@ -43,6 +43,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -76,6 +77,17 @@ const (
 	maxCustomMachineBytes  = 16 << 20
 )
 
+// AdmissionGate is what the server needs from an admission controller:
+// authenticate-and-rate-limit one request, and charge/return queued-unit
+// quota. Rejections are answered by the gate itself (401, or 429 with a
+// Retry-After hint). Implemented by *admission.Controller; an interface
+// here keeps the service free of the admission package.
+type AdmissionGate interface {
+	Admit(w http.ResponseWriter, r *http.Request) (tenant string, ok bool)
+	AcquireUnits(w http.ResponseWriter, tenant string, n int) bool
+	ReleaseUnits(tenant string, n int)
+}
+
 // customEntry is one uploaded profile plus its accounted size.
 type customEntry struct {
 	spec workload.ProfileSpec
@@ -104,6 +116,12 @@ type Server struct {
 	// (0 = unlimited). Protects a shared server from accidental
 	// full-cross-product requests.
 	MaxSweepUnits int
+
+	// Admission, when set, gates POST /run and POST /sweep behind
+	// per-tenant API keys, rate limits, and queued-unit quotas (see
+	// internal/admission). nil leaves the API open, the pre-multi-tenant
+	// behavior. Set before the server starts handling requests.
+	Admission AdmissionGate
 
 	// Spans, when set, backs GET /sweeps/{id}/trace: the collector the
 	// fleet coordinator records campaign/lease spans into and folds worker
@@ -296,7 +314,35 @@ func (s *Server) resolveMachine(spec *campaign.RunSpec) {
 	}
 }
 
+// admit runs the request through the admission gate; without one every
+// request is the anonymous tenant.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.Admission == nil {
+		return "", true
+	}
+	return s.Admission.Admit(w, r)
+}
+
+// writeBackendError maps a failed batch execution to its HTTP status: 429
+// with a Retry-After hint when the distributed backend's bounded queue
+// rejected the work, 499 when the client hung up, 500 otherwise.
+func writeBackendError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, campaign.ErrBackendBusy):
+		w.Header().Set("Retry-After", "5")
+		httpjson.ErrorCode(w, http.StatusTooManyRequests, "backend_busy", err)
+	case r.Context().Err() != nil:
+		writeError(w, 499, err) // client closed request
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	var spec campaign.RunSpec
 	if !decodeBody(w, r, &spec) {
 		return
@@ -331,6 +377,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			"timeline=1 is not available on a fleet front end; use GET /sweeps/{id}/trace for distributed traces"))
 		return
 	}
+	if s.Admission != nil {
+		if !s.Admission.AcquireUnits(w, tenant, 1) {
+			return
+		}
+		defer s.Admission.ReleaseUnits(tenant, 1)
+	}
 	var (
 		st  pipeline.Stats
 		err error
@@ -344,14 +396,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			rec = nil // served from cache: nothing was simulated, no events
 		}
 	} else {
-		st, err = s.runOne(r.Context(), spec)
+		// A human is waiting on this response: on a priority-aware backend
+		// (the fleet coordinator) the unit jumps ahead of queued bulk sweeps.
+		st, err = s.runOne(campaign.WithPriority(r.Context(), campaign.PriorityInteractive), spec)
 	}
 	if err != nil {
-		status := http.StatusInternalServerError
-		if r.Context().Err() != nil {
-			status = 499 // client closed request
-		}
-		writeError(w, status, err)
+		writeBackendError(w, r, err)
 		return
 	}
 	resp := RunResponse{
@@ -431,6 +481,10 @@ func (s *Server) resolveSweepMachines(sweep *campaign.Sweep) error {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	var sweep campaign.Sweep
 	if !decodeBody(w, r, &sweep) {
 		return
@@ -452,16 +506,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.Admission != nil {
+		// The whole expansion counts against the tenant's queued-unit quota
+		// for as long as the sweep runs.
+		if !s.Admission.AcquireUnits(w, tenant, len(units)) {
+			return
+		}
+		defer s.Admission.ReleaseUnits(tenant, len(units))
+	}
 	tracked := s.trackSweep(r.Context(), len(units))
 	results, err := campaign.RunSweepProgress(r.Context(), s.backend(), sweep,
 		func(p campaign.Progress) { s.sweepProgress(tracked, p) })
 	s.sweepDone(tracked, err)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if r.Context().Err() != nil {
-			status = 499 // client closed request
-		}
-		writeError(w, status, err)
+		writeBackendError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SweepResponse{

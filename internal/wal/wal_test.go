@@ -1,0 +1,313 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var got [][]byte
+	if err := l.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("one"), []byte(""), []byte("three-is-longer"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := collect(t, l); len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the same records survive the restart.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != len(want) {
+		t.Fatalf("after reopen: replayed %d records, want %d", len(got), len(want))
+	}
+	if st := l2.Stats(); st.ReplayedRecords != uint64(len(want)) || st.TornTruncations != 0 {
+		t.Errorf("stats after clean reopen: %+v", st)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation every couple of records.
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d-padding-padding", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 2 || st.Rotations == 0 {
+		t.Fatalf("no rotation happened: %+v", st)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q (ordering across segments broken)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTornTailTruncation is the satellite table test: a journal whose final
+// record is cut at EVERY possible byte offset must reopen cleanly, replay
+// exactly the preceding records, and accept new appends.
+func TestTornTailTruncation(t *testing.T) {
+	intact := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma-gamma")}
+	final := []byte("the-final-record")
+	frameLen := headerSize + len(final)
+	for cut := 0; cut < frameLen; cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range intact {
+				if err := l.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Append(final); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+			// Tear the tail: keep only `cut` bytes of the final frame.
+			seg := filepath.Join(dir, segmentName(1))
+			info, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(seg, info.Size()-int64(frameLen-cut)); err != nil {
+				t.Fatal(err)
+			}
+			l2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen after tear at %d: %v", cut, err)
+			}
+			defer l2.Close()
+			if cut > 0 {
+				if st := l2.Stats(); st.TornTruncations != 1 {
+					t.Errorf("torn truncations = %d, want 1", st.TornTruncations)
+				}
+			}
+			got := collect(t, l2)
+			if len(got) != len(intact) {
+				t.Fatalf("replayed %d records, want the %d intact ones", len(got), len(intact))
+			}
+			for i := range intact {
+				if !bytes.Equal(got[i], intact[i]) {
+					t.Fatalf("record %d corrupted by recovery: %q", i, got[i])
+				}
+			}
+			// The log must be fully usable after recovery.
+			if err := l2.Append([]byte("post-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			if got := collect(t, l2); len(got) != len(intact)+1 {
+				t.Fatalf("append after recovery not replayed (%d records)", len(got))
+			}
+		})
+	}
+}
+
+// TestTornTailBitFlip: a corrupted (not just truncated) final record is
+// also dropped — the checksum, not the length, is the arbiter.
+func TestTornTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("keep-me")) //nolint:errcheck
+	l.Append([]byte("flip-me")) //nolint:errcheck
+	l.Close()
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2)
+	if len(got) != 1 || string(got[0]) != "keep-me" {
+		t.Fatalf("replay after bit flip = %q, want just keep-me", got)
+	}
+}
+
+func TestRewriteCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("stale-%d-padding-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	live := [][]byte{[]byte("live-1"), []byte("live-2")}
+	if err := l.Rewrite(live); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Segments != 1 || after.Compactions != 1 {
+		t.Fatalf("compaction did not collapse segments: before %d, after %+v", before.Segments, after)
+	}
+	got := collect(t, l)
+	if len(got) != 2 || string(got[0]) != "live-1" || string(got[1]) != "live-2" {
+		t.Fatalf("post-compaction replay = %q", got)
+	}
+	// Appends continue on the compacted log and survive a reopen.
+	if err := l.Append([]byte("after-compact")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 3 || string(got[2]) != "after-compact" {
+		t.Fatalf("replay after compaction+reopen = %q", got)
+	}
+}
+
+// TestRewriteEmptyResetsLog: compacting to nothing (every campaign settled)
+// leaves an empty, appendable log.
+func TestRewriteEmptyResetsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append([]byte("gone-soon")) //nolint:errcheck
+	if err := l.Rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l); len(got) != 0 {
+		t.Fatalf("reset log still replays %q", got)
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l); len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("replay after reset = %q", got)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 7; i++ {
+		if err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Fsyncs != 2 {
+		t.Errorf("SyncEvery=3 after 7 appends: %d fsyncs, want 2", st.Fsyncs)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Fsyncs != 3 {
+		t.Errorf("explicit Sync not counted: %+v", l.Stats())
+	}
+
+	never, err := Open(t.TempDir(), Options{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer never.Close()
+	for i := 0; i < 5; i++ {
+		never.Append([]byte("y")) //nolint:errcheck
+	}
+	if st := never.Stats(); st.Fsyncs != 0 {
+		t.Errorf("SyncEvery=-1 issued %d fsyncs", st.Fsyncs)
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecordBytes+1)); err != ErrTooLarge {
+		t.Fatalf("oversized append error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Errorf("append on closed log = %v, want ErrClosed", err)
+	}
+	if err := l.Replay(func([]byte) error { return nil }); err != ErrClosed {
+		t.Errorf("replay on closed log = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
