@@ -21,7 +21,14 @@
 //   - timeline/off and timeline/on: the GALS core with the event tracer
 //     detached versus attached in flight-recorder detail mode, the cost a
 //     fleet worker pays on traced jobs (timeline_regression; the PR 7
-//     acceptance bound is <= 5%).
+//     acceptance bound is <= 5%);
+//   - sweep/grid-cold and sweep/grid-warm: a convergence-grid sweep (three
+//     budgets per operating point) without and with warm-up snapshot
+//     sharing, the PR 9 wall-clock win (warm_sharing_speedup in the
+//     report);
+//   - snapshot/encode and snapshot/decode: envelope round-trip cost of a
+//     warmed full-machine snapshot, the per-checkpoint price a fleet
+//     worker pays on long jobs.
 //
 // When -baseline names a previous output file, the report embeds it and
 // computes per-benchmark speedup (baseline ns/op ÷ current ns/op) and the
@@ -41,6 +48,7 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
+	"galsim/internal/snapshot"
 	"galsim/internal/timeline"
 	"galsim/internal/workload"
 )
@@ -75,6 +83,12 @@ type Report struct {
 	// 1 - (timeline/on ÷ timeline/off sim-instrs/s). Positive = slower with
 	// the tracer attached (flight ring, detail mode).
 	TimelineRegression float64 `json:"timeline_regression,omitempty"`
+
+	// WarmSharingSpeedup is sweep/grid-warm throughput over sweep/grid-cold
+	// throughput: how much faster a convergence-grid sweep gets when grid
+	// points sharing a workload prefix fork one warmed snapshot instead of
+	// each re-simulating the warm-up. > 1 means sharing pays.
+	WarmSharingSpeedup float64 `json:"warm_sharing_speedup,omitempty"`
 
 	// Baseline, when present, is the report this run is compared against;
 	// Speedup and AllocReduction are keyed by benchmark name.
@@ -188,6 +202,100 @@ func benchSweep(instrs uint64) func(b *testing.B) {
 	}
 }
 
+// benchSweepGrid is the warm-sharing pair: a convergence-grid sweep (three
+// instruction budgets per operating point) run cold versus with Warmup set,
+// where budgets sharing a prefix fork one warmed snapshot. Both report
+// throughput against the nominal (cold) instruction total, so the warm run's
+// sim-instrs/s directly reflects the wall-clock saved by sharing. The warm-up
+// has to dominate the snapshot round-trip (~12ms encode+decode at these
+// machine sizes, see snapshot/encode and snapshot/decode) for sharing to
+// pay, so this benchmark uses convergence-study-sized budgets; at short
+// warm-ups sharing is a net loss, which the -warmup flag lets you measure.
+func benchSweepGrid(warmup uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		sweep := campaign.Sweep{
+			Benchmarks:       []string{"gcc", "swim"},
+			Machines:         []string{"base", "gals"},
+			InstructionsGrid: []uint64{30_000, 36_000, 42_000},
+			Warmup:           warmup,
+		}
+		var nominal float64
+		for _, n := range sweep.InstructionsGrid {
+			nominal += float64(n) * float64(len(sweep.Benchmarks)*len(sweep.Machines))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := campaign.NewEngine(1) // fresh engine: cold cache, serial
+			if _, err := e.RunSweep(context.Background(), sweep); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(nominal*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/s")
+	}
+}
+
+// warmedSnapshot runs the GALS gcc point for instrs committed instructions
+// and returns the captured full-machine snapshot, the subject of the
+// snapshot encode/decode benchmarks.
+func warmedSnapshot(instrs uint64) (*snapshot.Snapshot, error) {
+	spec := campaign.RunSpec{Benchmark: "gcc", Machine: "gals", Instructions: 2 * instrs}.Canonical()
+	var sn *snapshot.Snapshot
+	_, err := campaign.ExecuteOpts(spec, campaign.ExecOpts{
+		CheckpointEvery: instrs,
+		OnSnapshot: func(s *snapshot.Snapshot) {
+			if sn == nil {
+				sn = s
+			}
+		},
+	})
+	if err == nil && sn == nil {
+		err = fmt.Errorf("no snapshot captured at %d instructions", instrs)
+	}
+	return sn, err
+}
+
+// benchSnapshotEncode measures the envelope serialization of a warmed
+// snapshot — the cost a fleet worker pays at every checkpoint cadence tick.
+func benchSnapshotEncode(instrs uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		sn, err := warmedSnapshot(instrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sn.EncodeBytes(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSnapshotDecode measures envelope validation plus state decode — the
+// restore-side cost paid when a follower forks a shared warm snapshot or a
+// worker resumes a checkpointed job.
+func benchSnapshotDecode(instrs uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		sn, err := warmedSnapshot(instrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob, err := sn.EncodeBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := snapshot.DecodeBytes(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func main() {
 	var (
 		out       = flag.String("out", "BENCH.json", "output file")
@@ -196,6 +304,7 @@ func main() {
 		instrs    = flag.Uint64("n", 20_000, "instructions per throughput run")
 		sweepN    = flag.Uint64("sweep-n", 4_000, "instructions per sweep unit")
 		sampleIvl = flag.Uint64("sample-interval", 1_000, "decode-cycle interval for the sampler/on benchmark")
+		warmup    = flag.Uint64("warmup", 24_000, "warm-up prefix for the sweep/grid-warm benchmark (must stay below the smallest grid budget, 30000)")
 		repeat    = flag.Int("repeat", 3, "runs per benchmark; the fastest is recorded (best-of-N damps scheduler noise)")
 	)
 	flag.Parse()
@@ -220,6 +329,10 @@ func main() {
 		{"sampler/on", benchSampler(*sampleIvl, *instrs)},
 		{"timeline/off", benchTimeline(false, *instrs)},
 		{"timeline/on", benchTimeline(true, *instrs)},
+		{"sweep/grid-cold", benchSweepGrid(0)},
+		{"sweep/grid-warm", benchSweepGrid(*warmup)},
+		{"snapshot/encode", benchSnapshotEncode(*instrs)},
+		{"snapshot/decode", benchSnapshotDecode(*instrs)},
 	}
 	if *repeat < 1 {
 		*repeat = 1
@@ -242,7 +355,7 @@ func main() {
 			m.Name, m.Iterations, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SimInstrsPerSec)
 		rep.Benchmarks = append(rep.Benchmarks, m)
 	}
-	var samplerOff, samplerOn, tlOff, tlOn float64
+	var samplerOff, samplerOn, tlOff, tlOn, gridCold, gridWarm float64
 	for _, m := range rep.Benchmarks {
 		switch m.Name {
 		case "sampler/off":
@@ -253,6 +366,10 @@ func main() {
 			tlOff = m.SimInstrsPerSec
 		case "timeline/on":
 			tlOn = m.SimInstrsPerSec
+		case "sweep/grid-cold":
+			gridCold = m.SimInstrsPerSec
+		case "sweep/grid-warm":
+			gridWarm = m.SimInstrsPerSec
 		}
 	}
 	if samplerOff > 0 {
@@ -262,6 +379,10 @@ func main() {
 	if tlOff > 0 {
 		rep.TimelineRegression = 1 - tlOn/tlOff
 		fmt.Fprintf(os.Stderr, "timeline regression: %.2f%%\n", 100*rep.TimelineRegression)
+	}
+	if gridCold > 0 {
+		rep.WarmSharingSpeedup = gridWarm / gridCold
+		fmt.Fprintf(os.Stderr, "warm sharing speedup: %.2fx\n", rep.WarmSharingSpeedup)
 	}
 
 	if *baseline != "" {

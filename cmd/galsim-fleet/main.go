@@ -49,6 +49,10 @@
 //	                    endpoints (401/429 with Retry-After)
 //	-max-queued-jobs N  bound the global job queue; overflow answers 429
 //	-drain-timeout D    spawned workers finish in-flight jobs on shutdown
+//	-checkpoint-every N spawned workers post a full-state job checkpoint every
+//	                    N committed instructions; a job that loses its worker
+//	                    (or, with -journal, its coordinator) resumes from the
+//	                    last checkpoint instead of restarting
 package main
 
 import (
@@ -62,6 +66,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -107,6 +112,8 @@ func main() {
 			"reject new campaigns with 429 once this many jobs are queued or in flight (0 = unbounded)")
 		drainTime = flag.Duration("drain-timeout", 30*time.Second,
 			"on shutdown, spawned workers finish and report their in-flight jobs for at most this long (0 = abandon them to the lease TTL)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0,
+			"spawned workers post a full-state job checkpoint every N committed instructions; a job that outlives its worker (or this coordinator, with -journal) resumes from the last checkpoint instead of restarting (0 = off)")
 	)
 	flag.Parse()
 
@@ -223,6 +230,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var workerWG sync.WaitGroup
 	if *spawn > 0 {
 		self := selfURL(ln.Addr())
 		slots := *spawnSlots
@@ -237,17 +245,20 @@ func main() {
 		}
 		for i := 1; i <= *spawn; i++ {
 			wk := &cluster.Worker{
-				Coordinator:    self,
-				ID:             fmt.Sprintf("local-%d", i),
-				Engine:         campaign.NewEngine(slots),
-				Slots:          slots,
-				APIKey:         workerKey,
-				DrainTimeout:   *drainTime,
-				Log:            log,
-				Metrics:        svc.Metrics(), // galsim_worker_* aggregates across the spawned workers
-				TimelineEvents: *tlEvents,
+				Coordinator:     self,
+				ID:              fmt.Sprintf("local-%d", i),
+				Engine:          campaign.NewEngine(slots),
+				Slots:           slots,
+				APIKey:          workerKey,
+				DrainTimeout:    *drainTime,
+				CheckpointEvery: *ckptEvery,
+				Log:             log,
+				Metrics:         svc.Metrics(), // galsim_worker_* aggregates across the spawned workers
+				TimelineEvents:  *tlEvents,
 			}
+			workerWG.Add(1)
 			go func() {
+				defer workerWG.Done()
 				if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
 					log.Error("worker failed", "worker", wk.ID, "error", err)
 				}
@@ -278,6 +289,23 @@ func main() {
 	}
 
 	log.Info("shutting down", "grace", gracePd.String())
+	// Order matters: spawned workers drain their in-flight jobs by POSTing
+	// completions (and checkpoints) back to this very server. Shutting the
+	// HTTP server down first would close the listener underneath them, so
+	// finished work — already journaled as leased, not as done — would be
+	// thrown away to the lease TTL. Wait for the drain (bounded by the
+	// workers' own DrainTimeout, plus slack for the final completion posts)
+	// before taking the listener down; only then stop serving.
+	if *spawn > 0 {
+		drained := make(chan struct{})
+		go func() { workerWG.Wait(); close(drained) }()
+		select {
+		case <-drained:
+			log.Info("spawned workers drained")
+		case <-time.After(*drainTime + 5*time.Second):
+			log.Warn("spawned workers still draining past their timeout; shutting down anyway")
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePd)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

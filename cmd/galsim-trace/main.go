@@ -7,6 +7,8 @@
 //	galsim-trace stats gcc.trace                           # stream statistics
 //	galsim-trace replay gcc.trace -machine gals            # re-run the trace
 //	galsim-trace replay gcc.trace -machine gals -timeline t.json  # + Perfetto timeline
+//	galsim-trace fast-forward gcc.trace -at 50000 -o warm.gsnp -machine gals  # snapshot at N
+//	galsim-trace replay gcc.trace -machine gals -from warm.gsnp  # resume past the prefix
 //
 // A replayed trace driven through a machine configured identically to the
 // recording reproduces its results exactly; driven through a different
@@ -24,6 +26,7 @@ import (
 
 	"galsim"
 	"galsim/internal/isa"
+	"galsim/internal/snapshot"
 	"galsim/internal/trace"
 )
 
@@ -42,6 +45,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "fast-forward":
+		err = cmdFastForward(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -64,6 +69,9 @@ commands:
   inspect  print a trace's header, provenance and content digest
   stats    decode a trace and print stream statistics (mix, branches, memory)
   replay   replay a trace through a machine and print the run's results
+  fast-forward
+           replay a trace up to instruction N and save a full-state snapshot;
+           later replays resume from it with -from, skipping the warm-up prefix
 
 run "galsim-trace <command> -h" for the command's flags
 `)
@@ -350,9 +358,62 @@ func cmdStats(args []string) error {
 	return nil
 }
 
+func cmdFastForward(args []string) error {
+	fs := flag.NewFlagSet("fast-forward", flag.ExitOnError)
+	at := fs.Uint64("at", 0, "instruction count to snapshot at (required; must be below the replay budget)")
+	out := fs.String("o", "", "output snapshot file (required)")
+	mf := addMachineFlags(fs)
+	// Accept the trace file before the flags, as replay does.
+	var file string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file, args = args[0], args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck
+	if file == "" && fs.NArg() == 1 {
+		file = fs.Arg(0)
+	}
+	if file == "" || fs.NArg() > 1 {
+		return fmt.Errorf("fast-forward: usage: galsim-trace fast-forward <file> -at N -o snap.gsnp [flags]")
+	}
+	if *at == 0 {
+		return fmt.Errorf("fast-forward: -at N is required")
+	}
+	if *out == "" {
+		return fmt.Errorf("fast-forward: -o is required")
+	}
+	opts, err := mf.options()
+	if err != nil {
+		return err
+	}
+	opts.Trace = file
+	opts.Warmup = *at
+	opts.SnapshotOut = *out
+	res, err := galsim.Run(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := snapshot.ReadFile(*out); err != nil {
+		return fmt.Errorf("written snapshot failed to validate: %w", err)
+	}
+	digest, err := snapshot.FileDigest(*out)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fast-forwarded %s to instruction %d (full replay: %d committed, %.3f us)\n",
+		file, *at, res.Committed, res.SimSeconds*1e6)
+	fmt.Printf("  %s: %d bytes, digest %s\n", *out, info.Size(), digest)
+	fmt.Printf("  resume with: galsim-trace replay %s -from %s [same machine flags]\n", file, *out)
+	return nil
+}
+
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	mf := addMachineFlags(fs)
+	from := fs.String("from", "", "resume from a fast-forward snapshot file instead of replaying the warm-up prefix")
 	// Accept the trace file before the flags (flag.Parse stops at the first
 	// non-flag argument): galsim-trace replay x.trace -machine gals.
 	var file string
@@ -371,6 +432,7 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	opts.Trace = file
+	opts.SnapshotIn = *from
 	res, err := galsim.Run(opts)
 	if err != nil {
 		return err

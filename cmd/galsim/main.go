@@ -42,6 +42,9 @@ func main() {
 		seed        = flag.Int64("seed", 42, "workload seed")
 		phaseSeed   = flag.Int64("phase-seed", 1, "GALS clock phase seed")
 		trace       = flag.Uint64("trace", 0, "print the first N committed instructions")
+		warmup      = flag.Uint64("warmup", 0, "capture a full-state snapshot after N committed instructions (requires -snapshot-out)")
+		snapOut     = flag.String("snapshot-out", "", "write the -warmup snapshot to this file")
+		snapIn      = flag.String("snapshot-in", "", "resume the run from this snapshot file (same configuration; results identical to a cold run)")
 		memOrder    = flag.String("mem-order", "perfect", "memory disambiguation: perfect, conservative, addr-match")
 		linkStyle   = flag.String("links", "fifo", "GALS link style: fifo or stretch")
 		dynDVFS     = flag.Bool("dyn-dvfs", false, "enable the online per-domain DVFS controller (gals only)")
@@ -121,6 +124,9 @@ func main() {
 		LinkStyle:             *linkStyle,
 		DynamicDVFS:           *dynDVFS,
 		SampleInterval:        *sample,
+		Warmup:                *warmup,
+		SnapshotOut:           *snapOut,
+		SnapshotIn:            *snapIn,
 	}
 	if *sampleFmt != "csv" && *sampleFmt != "json" {
 		fmt.Fprintf(os.Stderr, "galsim: -sample-format %q: want csv or json\n", *sampleFmt)
@@ -309,7 +315,12 @@ func printResult(r galsim.Result) {
 	for name, pj := range r.EnergyBreakdown {
 		rows = append(rows, kv{name, pj})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].pj > rows[j].pj })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].pj != rows[j].pj {
+			return rows[i].pj > rows[j].pj
+		}
+		return rows[i].name < rows[j].name // deterministic order for equal-energy rows
+	})
 	for _, row := range rows {
 		if row.pj == 0 {
 			continue

@@ -28,9 +28,12 @@
 // Worker mode: -join enrolls the process in a galsim-fleet coordinator's
 // worker pool. The worker loop shares this server's engine, so fleet jobs
 // and direct HTTP requests are served from one result cache; worker job
-// metrics land on the same /metrics page.
+// metrics land on the same /metrics page. With -checkpoint-every N the
+// worker posts a full-machine snapshot to the coordinator every N committed
+// instructions, so a job this process dies holding resumes from its last
+// checkpoint on the next worker instead of restarting.
 //
-//	galsimd -addr :8081 -join http://coordinator:9090
+//	galsimd -addr :8081 -join http://coordinator:9090 -checkpoint-every 1000000
 package main
 
 import (
@@ -72,6 +75,8 @@ func main() {
 			"tenant API key sent to an admission-gated coordinator (with -join)")
 		drainTime = flag.Duration("drain-timeout", 30*time.Second,
 			"on shutdown, finish and report in-flight fleet jobs for at most this long (0 = abandon them to the lease TTL)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0,
+			"with -join, post a resumable snapshot to the coordinator every N committed instructions (0 = no checkpointing)")
 		tenantsFile = flag.String("tenants", "",
 			"tenant API-key config JSON (see internal/admission); gates POST /run and /sweep behind per-tenant rate limits and queued-unit quotas")
 	)
@@ -128,16 +133,17 @@ func main() {
 	workerDone := make(chan struct{})
 	if *join != "" {
 		wk := &cluster.Worker{
-			Coordinator:    *join,
-			ID:             *workerID,
-			Addr:           *addr,
-			Engine:         engine, // shared with the HTTP handlers: one cache for fleet and direct work
-			Slots:          *workerSlots,
-			APIKey:         *apiKey,
-			DrainTimeout:   *drainTime,
-			Log:            log,
-			Metrics:        srv.Metrics(), // worker job metrics on the same /metrics page
-			TimelineEvents: *tlEvents,
+			Coordinator:     *join,
+			ID:              *workerID,
+			Addr:            *addr,
+			Engine:          engine, // shared with the HTTP handlers: one cache for fleet and direct work
+			Slots:           *workerSlots,
+			APIKey:          *apiKey,
+			DrainTimeout:    *drainTime,
+			Log:             log,
+			Metrics:         srv.Metrics(), // worker job metrics on the same /metrics page
+			TimelineEvents:  *tlEvents,
+			CheckpointEvery: *ckptEvery,
 		}
 		go func() {
 			defer close(workerDone)

@@ -222,9 +222,12 @@ type Options struct {
 	Profile *WorkloadProfile
 	// Trace replays a recorded instruction trace file (see RecordTrace and
 	// cmd/galsim-trace) as the workload. When Instructions is zero the
-	// replay defaults to the recorded run's committed-instruction count; a
-	// longer run wraps the trace. WorkloadSeed is ignored (the stream is
-	// fixed).
+	// replay defaults to the recorded run's committed-instruction count.
+	// Requesting more instructions than the trace records is an error under
+	// the recorded configuration (wrapping the stream would fabricate
+	// provenance; see campaign.TraceLengthError) but wraps the trace for an
+	// explicitly divergent what-if replay. WorkloadSeed is ignored (the
+	// stream is fixed).
 	Trace string
 	// RecordTrace, when non-empty, records the workload stream delivered to
 	// the pipeline — including wrong-path fetches — to this file, for later
@@ -232,6 +235,22 @@ type Options struct {
 	// by Run only (RunMany may serve results from cache, where there is no
 	// stream to record).
 	RecordTrace string
+	// Warmup, when non-zero, captures a snapshot of the full machine state —
+	// pipeline, caches, predictor, clocks, workload position — at the first
+	// decode-cycle boundary with at least this many committed instructions,
+	// written to SnapshotOut. Capture is a pure observation: the run's
+	// results are byte-identical with or without it. Supported by Run only.
+	Warmup uint64
+	// SnapshotOut is the file the Warmup capture is written to (a versioned,
+	// CRC-checked envelope; see internal/snapshot). Requires Warmup.
+	SnapshotOut string
+	// SnapshotIn resumes the run from a snapshot file captured under this
+	// exact configuration (any instruction budget): the machine restores at
+	// the snapshot's committed-instruction count and runs on to
+	// Instructions, producing results byte-identical to a cold-start run. A
+	// snapshot from any other configuration is rejected. The snapshot's
+	// content joins the run's cache identity under RunMany.
+	SnapshotIn string
 	// Machine names a built-in processor variant (default Base).
 	//
 	// Deprecated: prefer MachineSpec, which can express any clock-domain
@@ -421,8 +440,22 @@ func (o Options) spec() (campaign.RunSpec, error) {
 			}
 		}
 	}
+	if o.SnapshotIn != "" {
+		spec.Snapshot = &campaign.SnapshotRef{Path: o.SnapshotIn}
+	}
+	if o.SnapshotOut != "" && o.Warmup == 0 {
+		return campaign.RunSpec{}, fmt.Errorf("galsim: Options.SnapshotOut requires Options.Warmup to say when to capture")
+	}
+	if o.Warmup > 0 && o.SnapshotOut == "" {
+		return campaign.RunSpec{}, fmt.Errorf("galsim: Options.Warmup requires Options.SnapshotOut to receive the capture")
+	}
 	if err := spec.Validate(); err != nil {
 		return campaign.RunSpec{}, err
+	}
+	if o.Warmup > 0 {
+		if budget := spec.Canonical().Instructions; o.Warmup >= budget {
+			return campaign.RunSpec{}, fmt.Errorf("galsim: Options.Warmup (%d) must be below the run's %d-instruction budget", o.Warmup, budget)
+		}
 	}
 	return spec, nil
 }
@@ -456,13 +489,20 @@ func Run(o Options) (Result, error) {
 			StallThreshold: o.Timeline.StallThreshold,
 		}
 	}
+	execOpts := campaign.ExecOpts{
+		OnCommit:    hook,
+		Tap:         tap,
+		Warmup:      o.Warmup,
+		SnapshotOut: o.SnapshotOut,
+	}
 	var st pipeline.Stats
 	if o.RecordTrace != "" {
 		f, err := os.Create(o.RecordTrace)
 		if err != nil {
 			return Result{}, fmt.Errorf("galsim: creating trace file: %w", err)
 		}
-		st, err = campaign.ExecuteTimeline(spec, hook, f, tap)
+		execOpts.TraceOut = f
+		st, err = campaign.ExecuteOpts(spec, execOpts)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = fmt.Errorf("galsim: closing trace file: %w", cerr)
 		}
@@ -473,7 +513,7 @@ func Run(o Options) (Result, error) {
 			return Result{Timeline: tap.Recorder}, err
 		}
 	} else {
-		if st, err = campaign.ExecuteTimeline(spec, hook, nil, tap); err != nil {
+		if st, err = campaign.ExecuteOpts(spec, execOpts); err != nil {
 			return Result{Timeline: tap.Recorder}, err
 		}
 	}
@@ -539,6 +579,9 @@ func RunManyProgressOn(ctx context.Context, b Backend, opts []Options, fn Progre
 		}
 		if o.Timeline != nil {
 			return nil, fmt.Errorf("galsim: RunMany does not support Options.Timeline; use Run for timeline-traced runs")
+		}
+		if o.Warmup != 0 || o.SnapshotOut != "" {
+			return nil, fmt.Errorf("galsim: RunMany does not support Options.Warmup/SnapshotOut; use Run to capture a snapshot (Options.SnapshotIn is fine: it is part of the run's identity)")
 		}
 		spec, err := o.spec()
 		if err != nil {

@@ -94,6 +94,19 @@ type ProgressBackend interface {
 	RunAllProgress(ctx context.Context, specs []RunSpec, fn ProgressFunc) ([]pipeline.Stats, error)
 }
 
+// WarmBackend is optionally implemented by backends that can share warm-up
+// prefixes across a batch: units with equal warm identities (RunSpec.WarmKey)
+// simulate their first `warmup` committed instructions once, fork the
+// captured snapshot, and resume per unit. Sharing is pure execution tuning —
+// a WarmBackend must return stats byte-identical to RunAll's for the same
+// batch. The local Engine implements it; the cluster Coordinator does not
+// (its workers hold no shared memory), so sweeps fall back to unshared
+// execution there.
+type WarmBackend interface {
+	Backend
+	RunAllWarm(ctx context.Context, specs []RunSpec, warmup uint64, fn ProgressFunc) ([]pipeline.Stats, error)
+}
+
 // RunAllOn executes specs on b, routing through RunAllProgress when fn is
 // non-nil and b supports it. A backend without progress support still runs
 // the batch; fn then only sees the terminal snapshot.
@@ -113,4 +126,7 @@ func RunAllOn(ctx context.Context, b Backend, specs []RunSpec, fn ProgressFunc) 
 }
 
 // Engine is the local, in-process Backend.
-var _ ProgressBackend = (*Engine)(nil)
+var (
+	_ ProgressBackend = (*Engine)(nil)
+	_ WarmBackend     = (*Engine)(nil)
+)

@@ -18,6 +18,7 @@ import (
 	"galsim/internal/bpred"
 	"galsim/internal/machine"
 	"galsim/internal/pipeline"
+	"galsim/internal/snapshot"
 	"galsim/internal/trace"
 	"galsim/internal/workload"
 )
@@ -44,6 +45,20 @@ type TraceRef struct {
 	SHA256 string `json:"sha256,omitempty"`
 }
 
+// SnapshotRef names a captured simulation state (see internal/snapshot) to
+// restore as a run's starting point instead of a cold machine. Like traces,
+// the cache identity of a snapshot-seeded run is the snapshot's *content*
+// (SHA256), never its path: a run restored from different state can never
+// alias a cached cold-start result.
+type SnapshotRef struct {
+	// Path locates the snapshot file.
+	Path string `json:"path,omitempty"`
+	// SHA256 is the hex content digest of the snapshot file; filled
+	// automatically from Path when empty. Callers that already know it can
+	// pin it to detect file drift.
+	SHA256 string `json:"sha256,omitempty"`
+}
+
 // RunSpec describes one simulation unit declaratively. It is the campaign
 // engine's unit of work and unit of caching: two specs that canonicalize to
 // the same bytes name the same deterministic run. The zero value of every
@@ -60,6 +75,13 @@ type RunSpec struct {
 	Profile *workload.ProfileSpec `json:"profile,omitempty"`
 	// Trace replays a recorded instruction stream as the workload.
 	Trace *TraceRef `json:"trace,omitempty"`
+	// Snapshot restores a captured simulation state (see internal/snapshot)
+	// as the run's starting point: the machine resumes at the snapshot's
+	// committed-instruction count and runs on to Instructions. The snapshot
+	// must have been captured under this spec's own warm identity (WarmKey),
+	// which makes the result byte-identical to a cold-start run — the
+	// golden differential gate in internal/pipeline proves it.
+	Snapshot *SnapshotRef `json:"snapshot,omitempty"`
 	// Machine names a built-in machine: "base" or "gals" (default "base").
 	// Mutually exclusive with MachineSpec.
 	Machine string `json:"machine,omitempty"`
@@ -134,6 +156,15 @@ func (s RunSpec) Canonical() RunSpec {
 	if s.Machine == "" && s.MachineSpec == nil {
 		s.Machine = pipeline.Base.String()
 	}
+	if s.Trace != nil && s.Instructions == 0 {
+		// A replay's natural budget is the recorded run's length, not the
+		// generic default: defaulting to 100000 against a shorter trace would
+		// silently wrap it (see TraceLengthError). An unreadable file falls
+		// through to the generic default for Validate to report.
+		if meta, err := trace.ReadMeta(s.Trace.Path); err == nil && meta.Instructions > 0 {
+			s.Instructions = meta.Instructions
+		}
+	}
 	if s.Instructions == 0 {
 		s.Instructions = defaultInstructions
 	}
@@ -148,6 +179,13 @@ func (s RunSpec) Canonical() RunSpec {
 		s.Trace = &t
 		// A replayed stream is fixed; the workload seed cannot influence it.
 		s.WorkloadSeed = defaultWorkloadSeed
+	}
+	if s.Snapshot != nil {
+		sn := *s.Snapshot
+		if sn.SHA256 == "" {
+			sn.SHA256, _ = snapshot.FileDigest(sn.Path) // unreadable: Validate reports
+		}
+		s.Snapshot = &sn
 	}
 	if s.PhaseSeed == 0 {
 		s.PhaseSeed = defaultPhaseSeed
@@ -209,6 +247,9 @@ func (s RunSpec) Key() string {
 	if c.Trace != nil && c.Trace.SHA256 != "" {
 		c.Trace = &TraceRef{SHA256: c.Trace.SHA256}
 	}
+	if c.Snapshot != nil && c.Snapshot.SHA256 != "" {
+		c.Snapshot = &SnapshotRef{SHA256: c.Snapshot.SHA256}
+	}
 	b, err := json.Marshal(c)
 	if err != nil {
 		// RunSpec contains only marshalable fields; this cannot happen.
@@ -216,6 +257,74 @@ func (s RunSpec) Key() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// WarmKey returns the spec's warm-up identity: the content address of the
+// run with the instruction budget and any snapshot seed normalized away.
+// Two runs that share a WarmKey execute bit-identical prefixes, so a
+// snapshot captured under one resumes the other exactly — the grouping
+// relation behind sweep warm-up sharing and the compatibility check behind
+// RunSpec.Snapshot restores.
+func (s RunSpec) WarmKey() string {
+	c := s.Canonical()
+	c.Instructions = 0 // Key re-canonicalizes; both sides land on the default
+	c.Snapshot = nil
+	return c.Key()
+}
+
+// TraceLengthError reports a same-configuration replay asking for more
+// instructions than the trace recorded. Wrapping the stream back to its
+// start is sound for an explicitly divergent what-if replay (the stream
+// already departs from the recording), but under the recorded configuration
+// it would fabricate provenance: the run would claim to replay the
+// recording while simulating instructions the recording never contained.
+type TraceLengthError struct {
+	Path      string
+	Requested uint64
+	Recorded  uint64
+}
+
+func (e *TraceLengthError) Error() string {
+	return fmt.Sprintf("campaign: trace %s records %d instructions but the replay requests %d under the recorded configuration; lower the budget, or change the machine configuration to make the divergence explicit (a divergent replay wraps the stream)",
+		e.Path, e.Recorded, e.Requested)
+}
+
+// replayConfigEquals reports whether this spec replays a trace under the
+// exact configuration that recorded it — machine topology and every
+// stream-shaping setting equal, only the workload source and budget
+// differing. It decides whether an over-length replay is provenance
+// fabrication (same config: TraceLengthError) or an explicit what-if
+// (divergent config: the stream wraps).
+func (s RunSpec) replayConfigEquals(meta trace.Meta) bool {
+	if meta.MachineDigest != "" && s.MachineDigest() != meta.MachineDigest {
+		return false
+	}
+	var rec RunSpec
+	if len(meta.SpecJSON) == 0 || json.Unmarshal(meta.SpecJSON, &rec) != nil {
+		// No recorded spec to compare against: the topology digest is the
+		// only provenance we have, and it matched (or was absent).
+		return true
+	}
+	return stripReplayIdentity(rec) == stripReplayIdentity(s)
+}
+
+// stripReplayIdentity reduces a spec to the settings that shape the
+// instruction stream a machine executes: everything except the workload
+// source, the budget, and pure observation taps.
+func stripReplayIdentity(s RunSpec) string {
+	c := s.Canonical()
+	c.Benchmark = ""
+	c.Profile = nil
+	c.Trace = nil
+	c.Snapshot = nil
+	c.WorkloadSeed = 0
+	c.Instructions = 0
+	c.SampleInterval = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: marshaling RunSpec: %v", err))
+	}
+	return string(b)
 }
 
 // builtinByDigest maps the canonical digest of each built-in machine to its
@@ -342,6 +451,37 @@ func (s RunSpec) Validate() error {
 			}
 			return fmt.Errorf("campaign: trace %s was recorded on %s (topology digest %.12s...), not the default base machine; set the machine explicitly — the recorded one to reproduce the run, or any other for a what-if replay",
 				s.Trace.Path, recorded, t.Meta.MachineDigest)
+		}
+		// Budget vs recorded length: under the recorded configuration an
+		// over-length replay would silently wrap the stream and fabricate
+		// provenance; an explicitly divergent replay keeps the wrap (its
+		// stream already departs from the recording). The canonical budget
+		// is what matters — a zero budget defaults to the recorded length.
+		if want := s.Canonical().Instructions; t.Meta.Instructions > 0 && want > t.Meta.Instructions && s.replayConfigEquals(t.Meta) {
+			return &TraceLengthError{Path: s.Trace.Path, Requested: want, Recorded: t.Meta.Instructions}
+		}
+	}
+	if s.Snapshot != nil {
+		if s.Snapshot.Path == "" {
+			return fmt.Errorf("campaign: snapshot requires a path")
+		}
+		snap, err := snapshot.ReadFile(s.Snapshot.Path)
+		if err != nil {
+			return fmt.Errorf("campaign: snapshot %s: %w", s.Snapshot.Path, err)
+		}
+		if s.Snapshot.SHA256 != "" {
+			if digest, derr := snapshot.FileDigest(s.Snapshot.Path); derr == nil && digest != s.Snapshot.SHA256 {
+				return fmt.Errorf("campaign: snapshot %s content digest %s does not match the requested %s (file changed?)",
+					s.Snapshot.Path, digest, s.Snapshot.SHA256)
+			}
+		}
+		if want := s.WarmKey(); snap.SpecKey != want {
+			return fmt.Errorf("campaign: snapshot %s was captured under a different run configuration (its spec key %.12s..., this run's warm key %.12s...); restoring it here would not reproduce this run — re-capture under this configuration",
+				s.Snapshot.Path, snap.SpecKey, want)
+		}
+		if budget := s.Canonical().Instructions; snap.Committed >= budget {
+			return fmt.Errorf("campaign: snapshot %s already holds %d committed instructions, at or beyond this run's %d-instruction budget; raise Instructions or use an earlier snapshot",
+				s.Snapshot.Path, snap.Committed, budget)
 		}
 	}
 	ms, err := s.machineSpec()

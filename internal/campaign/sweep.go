@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"galsim/internal/machine"
@@ -36,6 +37,11 @@ type Sweep struct {
 	WorkloadSeeds []int64 `json:"workload_seeds,omitempty"`
 	// PhaseSeeds to cross in; empty means the default seed.
 	PhaseSeeds []int64 `json:"phase_seeds,omitempty"`
+	// InstructionsGrid lists committed-instruction budgets to cross in —
+	// convergence studies over one configuration. Empty means the single
+	// scalar Instructions value. Grid points differing only in budget share
+	// their whole simulated prefix, which Warmup exploits.
+	InstructionsGrid []uint64 `json:"instructions_grid,omitempty"`
 
 	// Scalar settings shared by every unit (see RunSpec).
 	Instructions   uint64 `json:"instructions,omitempty"`
@@ -43,6 +49,13 @@ type Sweep struct {
 	MemoryOrdering string `json:"memory_ordering,omitempty"`
 	LinkStyle      string `json:"link_style,omitempty"`
 	DynamicDVFS    bool   `json:"dynamic_dvfs,omitempty"`
+
+	// Warmup, when non-zero, enables warm-up sharing on backends that
+	// support it: units sharing a warm identity (same configuration, any
+	// budget) simulate their first Warmup instructions once, fork the
+	// snapshot, and resume per unit. Execution tuning only — it never joins
+	// unit identities, and results are byte-identical with or without it.
+	Warmup uint64 `json:"warmup,omitempty"`
 }
 
 // MaxUnits bounds a single sweep expansion: a backstop against accidental
@@ -56,7 +69,7 @@ type machinePoint struct {
 	spec *machine.Spec
 }
 
-func (s Sweep) axes() (benchmarks []string, machines []machinePoint, grid []map[string]float64, wseeds, pseeds []int64) {
+func (s Sweep) axes() (benchmarks []string, machines []machinePoint, grid []map[string]float64, wseeds, pseeds []int64, instrs []uint64) {
 	benchmarks = s.Benchmarks
 	if len(benchmarks) == 0 {
 		benchmarks = Benchmarks()
@@ -83,15 +96,19 @@ func (s Sweep) axes() (benchmarks []string, machines []machinePoint, grid []map[
 	if len(pseeds) == 0 {
 		pseeds = []int64{defaultPhaseSeed}
 	}
-	return benchmarks, machines, grid, wseeds, pseeds
+	instrs = s.InstructionsGrid
+	if len(instrs) == 0 {
+		instrs = []uint64{s.Instructions}
+	}
+	return benchmarks, machines, grid, wseeds, pseeds, instrs
 }
 
 // NumUnits returns the sweep's expansion size without materializing it, so
 // servers can enforce limits before any allocation or validation happens.
 func (s Sweep) NumUnits() int {
-	benchmarks, machines, grid, wseeds, pseeds := s.axes()
+	benchmarks, machines, grid, wseeds, pseeds, instrs := s.axes()
 	n := 1
-	for _, axis := range []int{len(benchmarks), len(machines), len(grid), len(wseeds), len(pseeds)} {
+	for _, axis := range []int{len(benchmarks), len(machines), len(grid), len(wseeds), len(pseeds), len(instrs)} {
 		if axis == 0 {
 			return 0
 		}
@@ -105,13 +122,14 @@ func (s Sweep) NumUnits() int {
 
 // Units expands the sweep into run units in deterministic order: benchmarks
 // outermost, then machines, slowdown grid points, workload seeds, phase
-// seeds. Every unit is validated before any is returned.
+// seeds, instruction budgets innermost. Every unit is validated before any
+// is returned.
 func (s Sweep) Units() ([]RunSpec, error) {
 	if n := s.NumUnits(); n > MaxUnits {
 		return nil, fmt.Errorf("campaign: sweep expands to more than %d units; split it", MaxUnits)
 	}
-	benchmarks, machines, grid, wseeds, pseeds := s.axes()
-	units := make([]RunSpec, 0, len(benchmarks)*len(machines)*len(grid)*len(wseeds)*len(pseeds))
+	benchmarks, machines, grid, wseeds, pseeds, instrs := s.axes()
+	units := make([]RunSpec, 0, len(benchmarks)*len(machines)*len(grid)*len(wseeds)*len(pseeds)*len(instrs))
 	// Resolve each machine point once, to scope grid entries and the
 	// dynamic-DVFS flag to it; an unresolvable machine skips the scoping
 	// and fails unit validation below with the real error.
@@ -165,23 +183,25 @@ func (s Sweep) Units() ([]RunSpec, error) {
 				}
 				for _, ws := range wseeds {
 					for _, ps := range pseeds {
-						u := RunSpec{
-							Benchmark:      b,
-							Machine:        m.name,
-							MachineSpec:    m.spec,
-							Instructions:   s.Instructions,
-							Slowdowns:      slow,
-							FreqOnly:       s.FreqOnly,
-							WorkloadSeed:   ws,
-							PhaseSeed:      ps,
-							MemoryOrdering: s.MemoryOrdering,
-							LinkStyle:      s.LinkStyle,
-							DynamicDVFS:    s.DynamicDVFS && resolved[mi] != nil && ms.DynamicCapable(),
+						for _, in := range instrs {
+							u := RunSpec{
+								Benchmark:      b,
+								Machine:        m.name,
+								MachineSpec:    m.spec,
+								Instructions:   in,
+								Slowdowns:      slow,
+								FreqOnly:       s.FreqOnly,
+								WorkloadSeed:   ws,
+								PhaseSeed:      ps,
+								MemoryOrdering: s.MemoryOrdering,
+								LinkStyle:      s.LinkStyle,
+								DynamicDVFS:    s.DynamicDVFS && resolved[mi] != nil && ms.DynamicCapable(),
+							}
+							if err := u.Validate(); err != nil {
+								return nil, fmt.Errorf("campaign: sweep unit %d: %w", len(units), err)
+							}
+							units = append(units, u)
 						}
-						if err := u.Validate(); err != nil {
-							return nil, fmt.Errorf("campaign: sweep unit %d: %w", len(units), err)
-						}
-						units = append(units, u)
 					}
 				}
 			}
@@ -279,13 +299,27 @@ func RunSweepOn(ctx context.Context, b Backend, s Sweep) ([]UnitResult, error) {
 }
 
 // RunSweepProgress is RunSweepOn with a live progress callback (see
-// ProgressFunc); fn may be nil.
+// ProgressFunc); fn may be nil. When the sweep sets Warmup and the backend
+// supports warm-up sharing (WarmBackend), units sharing a warm identity
+// fork one warmed snapshot instead of each re-simulating the prefix; the
+// aggregated output is byte-identical either way.
 func RunSweepProgress(ctx context.Context, b Backend, s Sweep, fn ProgressFunc) ([]UnitResult, error) {
 	units, err := s.Units()
 	if err != nil {
 		return nil, err
 	}
-	stats, err := RunAllOn(ctx, b, units, fn)
+	var stats []pipeline.Stats
+	if s.Warmup > 0 {
+		if wb, ok := b.(WarmBackend); ok {
+			stats, err = wb.RunAllWarm(ctx, units, s.Warmup, fn)
+		} else {
+			slog.Default().Info("campaign: backend does not support warm-up sharing; running the sweep unshared",
+				"units", len(units), "warmup", s.Warmup)
+			stats, err = RunAllOn(ctx, b, units, fn)
+		}
+	} else {
+		stats, err = RunAllOn(ctx, b, units, fn)
+	}
 	if err != nil {
 		return nil, err
 	}

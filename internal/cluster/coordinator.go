@@ -108,6 +108,8 @@ type coordMetrics struct {
 	jobsCompleted      telemetry.Counter // label: worker
 	jobFailures        telemetry.Counter // label: worker
 	leaseExpiries      telemetry.Counter // label: worker
+	checkpoints        telemetry.Counter // label: worker
+	ckptResumes        telemetry.Counter // jobs re-leased with a checkpoint attached
 	jobSeconds         telemetry.Histogram
 	recoveredCampaigns telemetry.Counter // campaigns resumed from the job store
 	recoveredJobs      telemetry.Counter // result slots filled from the journal, not re-run
@@ -136,6 +138,12 @@ type job struct {
 	attempts  int
 	excluded  map[string]bool // workers that reported a failure for this job
 	lastErr   string
+	// checkpoint is the latest mid-run snapshot posted by a lease holder
+	// (envelope-encoded); a re-lease carries it so the next worker resumes
+	// instead of restarting. ckptCommitted mirrors the snapshot's committed
+	// count for logs.
+	checkpoint    []byte
+	ckptCommitted uint64
 }
 
 // campaignRun is one RunAll call in flight: its result slots, completion
@@ -225,6 +233,10 @@ func NewCoordinator(cfg Config) *Coordinator {
 			"Job latency from lease grant to accepted completion, by worker.", nil, "worker"),
 		campaignsRejected: reg.Counter("galsim_fleet_campaigns_rejected_total",
 			"Campaign batches rejected because the bounded job queue was full."),
+		checkpoints: reg.Counter("galsim_fleet_checkpoints_total",
+			"Mid-run job checkpoints accepted from lease holders, by worker.", "worker"),
+		ckptResumes: reg.Counter("galsim_fleet_checkpoint_resumes_total",
+			"Jobs leased out with a checkpoint attached (resumed, not restarted)."),
 	}
 	if cfg.Store != nil {
 		c.m.recoveredCampaigns = reg.Counter("galsim_wal_recovered_campaigns_total",
@@ -599,7 +611,10 @@ func (c *Coordinator) tryLease(workerID string, slots int, cache campaign.CacheS
 		j.deadline = now.Add(c.cfg.LeaseTTL)
 		j.leasedAt = now
 		w.leased++
-		jb := Job{ID: j.id, Spec: j.spec, RequestID: j.camp.requestID}
+		jb := Job{ID: j.id, Spec: j.spec, RequestID: j.camp.requestID, Checkpoint: j.checkpoint}
+		if len(j.checkpoint) > 0 {
+			c.m.ckptResumes.Inc()
+		}
 		if c.cfg.Spans != nil && j.camp.traceID != "" {
 			// A fresh span per lease (re-leases get their own), closed when
 			// the lease settles: completion, failure, or expiry.
@@ -761,6 +776,41 @@ func (c *Coordinator) complete(workerID string, results []JobResult, cache campa
 		f()
 	}
 	return accepted
+}
+
+// checkpoint records a mid-run snapshot for a leased job. Only the current
+// lease holder is believed (a zombie whose lease expired gets false and
+// should abandon the run); an accepted checkpoint also extends the lease —
+// a long job checkpointing on schedule is alive by construction and must
+// not expire mid-run just because it outlasts the TTL. The snapshot is
+// journaled through the store's CheckpointStore side when it has one, so a
+// coordinator crash keeps the progress too.
+func (c *Coordinator) checkpoint(req CheckpointRequest) bool {
+	now := c.now()
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID, now)
+	j, ok := c.jobs[req.JobID]
+	if !ok || j.state != jobLeased || j.worker != req.WorkerID {
+		c.mu.Unlock()
+		return false
+	}
+	j.checkpoint = req.Snapshot
+	j.ckptCommitted = req.Committed
+	j.deadline = now.Add(c.cfg.LeaseTTL)
+	c.m.checkpoints.Inc(req.WorkerID)
+	campID, key, reqID := j.camp.id, j.spec.Key(), j.camp.requestID
+	c.mu.Unlock()
+	c.log.Debug("job checkpointed", "request_id", reqID, "job_id", req.JobID,
+		"worker", req.WorkerID, "committed", req.Committed, "bytes", len(req.Snapshot))
+	if cs, ok := c.cfg.Store.(CheckpointStore); ok && campID != "" {
+		// Outside c.mu: the store fsyncs. A lost append degrades to
+		// restart-from-an-older-checkpoint after a coordinator crash.
+		if err := cs.JobCheckpoint(campID, key, req.Snapshot); err != nil {
+			c.log.Warn("journaling checkpoint failed", "campaign", campID,
+				"job_id", req.JobID, "error", err.Error())
+		}
+	}
+	return true
 }
 
 // leaseSpanLocked closes the job's current lease span — one span per grant,
@@ -1054,6 +1104,20 @@ func (c *Coordinator) resume(rec RecoveredCampaign) *Resumed {
 		pending = append(pending, g)
 	}
 	c.enqueueGroupsLocked(camp, pending)
+	ckpts := 0
+	if len(rec.Checkpoints) > 0 {
+		// Attach journaled mid-run checkpoints to the re-created jobs: their
+		// first lease resumes from the last durable state instead of zero.
+		for _, j := range c.jobs {
+			if j.camp != camp {
+				continue
+			}
+			if snap, ok := rec.Checkpoints[j.spec.Key()]; ok && len(snap) > 0 {
+				j.checkpoint = snap
+				ckpts++
+			}
+		}
+	}
 	if camp.remaining == 0 {
 		// Every unit was journaled; the campaign just never got its finish
 		// record before the crash.
@@ -1067,7 +1131,7 @@ func (c *Coordinator) resume(rec RecoveredCampaign) *Resumed {
 	c.m.recoveredJobs.Add(float64(prefilled))
 	c.log.Info("campaign resumed from journal", "request_id", rec.RequestID,
 		"campaign", rec.ID, "units", len(rec.Specs), "prefilled_units", prefilled,
-		"jobs", len(pending))
+		"jobs", len(pending), "checkpointed_jobs", ckpts)
 	go c.watchResumed(camp)
 	return &Resumed{
 		ID:             rec.ID,

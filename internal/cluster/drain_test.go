@@ -5,11 +5,14 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
 
 	"galsim/internal/campaign"
 	"galsim/internal/httpjson"
+	"galsim/internal/pipeline"
+	"galsim/internal/wal"
 )
 
 // TestBackoffSchedule: the retry schedule doubles from base, caps, jitters
@@ -95,6 +98,82 @@ func TestWorkerGracefulDrain(t *testing.T) {
 	}
 	if st.JobsDone != 1 {
 		t.Errorf("jobs done = %d, want 1", st.JobsDone)
+	}
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after drain")
+	}
+}
+
+// journalSpy wraps a JournalStore and records which unit keys reach the
+// journal as completions.
+type journalSpy struct {
+	*JournalStore
+	mu   sync.Mutex
+	done []string
+}
+
+func (s *journalSpy) JobCompleted(campaignID, key string, st *pipeline.Stats) error {
+	s.mu.Lock()
+	s.done = append(s.done, key)
+	s.mu.Unlock()
+	return s.JournalStore.JobCompleted(campaignID, key, st)
+}
+
+// TestDrainedCompletionIsJournaled is the journal half of the drain
+// contract (the regression behind galsim-fleet's shutdown ordering): a
+// completion reported by a worker that is already draining — shutdown
+// began while it still held the job — must land in the journal like any
+// other, so a coordinator restart after the drain does not re-run the
+// unit. If the drained completion were dropped, the journal would replay
+// the campaign as unfinished work.
+func TestDrainedCompletionIsJournaled(t *testing.T) {
+	js, err := OpenJournal(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { js.Close() })
+	store := &journalSpy{JournalStore: js}
+	f := startFleet(t, Config{LeaseTTL: 5 * time.Minute, Store: store}, 0, 0)
+	w := &Worker{
+		Coordinator:  f.ts.URL,
+		ID:           "drainer",
+		Engine:       campaign.NewEngine(1),
+		Slots:        1,
+		PollInterval: 10 * time.Millisecond,
+		DrainTimeout: 30 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w.Run(ctx) //nolint:errcheck // exits via cancellation
+	}()
+	spec := campaign.RunSpec{Benchmark: "gcc", Instructions: 400_000}.Canonical()
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := f.coord.RunAll(context.Background(), []campaign.RunSpec{spec})
+		runDone <- err
+	}()
+	waitFor(t, func() bool { return f.coord.Stats().JobsInFlight == 1 }, "job leased")
+	cancel() // shutdown begins while the worker holds the job
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("campaign failed despite drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not complete; drained job was never reported")
+	}
+	store.mu.Lock()
+	done := append([]string(nil), store.done...)
+	store.mu.Unlock()
+	if len(done) != 1 || done[0] != spec.Key() {
+		t.Fatalf("journaled completions = %v, want exactly [%s]", done, spec.Key())
+	}
+	if st := f.coord.Stats(); st.LeaseExpiries != 0 {
+		t.Errorf("drain leaked %d lease expiries; the completion should have been reported, not abandoned", st.LeaseExpiries)
 	}
 	select {
 	case <-workerDone:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"galsim/internal/httpjson"
+	"galsim/internal/snapshot"
 )
 
 // maxBodyBytes bounds fleet-endpoint request bodies. Completion batches
@@ -18,11 +19,12 @@ const maxLeaseWait = 30 * time.Second
 
 // Register mounts the coordinator's fleet endpoints on mux:
 //
-//	POST /join           explicit worker registration
-//	POST /jobs/lease     lease up to N jobs (long-polls while idle)
-//	POST /jobs/complete  post finished jobs (streamed per job)
-//	GET  /stats          aggregated fleet stats (see FleetStats)
-//	GET  /metrics        Prometheus text exposition of the fleet metrics
+//	POST /join             explicit worker registration
+//	POST /jobs/lease       lease up to N jobs (long-polls while idle)
+//	POST /jobs/complete    post finished jobs (streamed per job)
+//	POST /jobs/checkpoint  post a leased job's mid-run snapshot
+//	GET  /stats            aggregated fleet stats (see FleetStats)
+//	GET  /metrics          Prometheus text exposition of the fleet metrics
 //
 // The paths are chosen so a service.Server can be mounted beneath at "/"
 // (as cmd/galsim-fleet does): ServeMux prefers the more specific pattern,
@@ -36,6 +38,7 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /join", c.admitted(c.handleJoin))
 	mux.HandleFunc("POST /jobs/lease", c.admitted(c.handleLease))
 	mux.HandleFunc("POST /jobs/complete", c.admitted(c.handleComplete))
+	mux.HandleFunc("POST /jobs/checkpoint", c.admitted(c.handleCheckpoint))
 	mux.HandleFunc("GET /stats", c.handleStats)
 	mux.Handle("GET /metrics", c.metrics.Handler())
 }
@@ -134,6 +137,24 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	accepted := c.complete(req.WorkerID, req.Results, req.Cache)
 	c.addSpans(req.Spans)
 	writeJSON(w, http.StatusOK, CompleteResponse{Accepted: accepted})
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req CheckpointRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker_id is required"))
+		return
+	}
+	// Validate the envelope before anything is stored or journaled: a
+	// corrupt checkpoint fails typed here, never a partial restore later.
+	if _, err := snapshot.DecodeBytes(req.Snapshot); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("checkpoint for job %d rejected: %w", req.JobID, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Accepted: c.checkpoint(req)})
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {

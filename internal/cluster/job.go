@@ -45,6 +45,12 @@ type Job struct {
 	// for its execution and ships them back in CompleteRequest.Spans, so
 	// the whole sweep shares one trace.
 	TraceParent string `json:"traceparent,omitempty"`
+	// Checkpoint, when present, is an encoded mid-run state snapshot (see
+	// internal/snapshot) posted by a previous holder of this job: the worker
+	// resumes execution from it instead of re-simulating the prefix. A
+	// checkpoint that fails its typed validation is discarded for a cold
+	// run — never a partial restore.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 }
 
 // JobResult is one completed (or failed) job on the wire. Exactly one of
@@ -173,4 +179,28 @@ type CompleteRequest struct {
 // and accepted-but-failed results are not counted.
 type CompleteResponse struct {
 	Accepted int `json:"accepted"`
+}
+
+// CheckpointRequest posts one job's mid-run state snapshot (POST
+// /jobs/checkpoint). The coordinator accepts it only from the job's current
+// lease holder, stores it on the job (so a re-lease after this worker dies
+// resumes from it), and journals it through a CheckpointStore when one is
+// configured — making long jobs durable across both worker and coordinator
+// loss.
+type CheckpointRequest struct {
+	WorkerID string `json:"worker_id"`
+	JobID    uint64 `json:"job_id"`
+	// Committed is the snapshot's committed-instruction count, for logs and
+	// fleet visibility; the authoritative value lives inside the snapshot.
+	Committed uint64 `json:"committed"`
+	// Snapshot is the envelope-encoded snapshot (internal/snapshot).
+	Snapshot []byte `json:"snapshot"`
+}
+
+// CheckpointResponse acknowledges a checkpoint. Accepted is false when the
+// posting worker no longer holds the job's lease — its run is now a zombie
+// whose eventual completion may still win (results are deterministic), but
+// its checkpoints no longer matter.
+type CheckpointResponse struct {
+	Accepted bool `json:"accepted"`
 }

@@ -41,6 +41,21 @@ type JobStore interface {
 	Close() error
 }
 
+// CheckpointStore is optionally implemented by job stores that can persist
+// mid-run execution checkpoints: the coordinator journals each accepted
+// POST /jobs/checkpoint through it, and Recover hands the latest checkpoint
+// per unfinished unit back (RecoveredCampaign.Checkpoints), so a lost
+// coordinator resumes long jobs from their last checkpoint instead of
+// from zero. Stores without it (or a nil Config.Store) simply re-run —
+// wasteful, never wrong, since execution is deterministic.
+type CheckpointStore interface {
+	// JobCheckpoint durably records the latest checkpoint for one in-flight
+	// unit, keyed like JobCompleted by the spec's content key. A later
+	// checkpoint for the same key supersedes the earlier one; a completion
+	// retires it.
+	JobCheckpoint(campaignID, specKey string, snap []byte) error
+}
+
 // RecoveredCampaign is one unfinished campaign replayed from a JobStore.
 type RecoveredCampaign struct {
 	ID        string
@@ -50,6 +65,11 @@ type RecoveredCampaign struct {
 	// Completed maps spec content keys to journaled results: these units
 	// are filled from the journal on resume, not re-run.
 	Completed map[string]*pipeline.Stats
+	// Checkpoints maps spec content keys to the latest journaled mid-run
+	// snapshot (envelope-encoded) of units that were in flight at the
+	// crash: re-dispatched jobs carry them so workers resume rather than
+	// restart. Keys in Completed never appear here.
+	Checkpoints map[string][]byte
 }
 
 // walRecord is the JSON payload inside each WAL frame. Replay is
@@ -58,7 +78,7 @@ type RecoveredCampaign struct {
 // (old segments replay before the compacted snapshot).
 type walRecord struct {
 	V    int    `json:"v"`
-	Type string `json:"t"` // "enqueue" | "done" | "finish"
+	Type string `json:"t"` // "enqueue" | "done" | "ckpt" | "finish"
 	ID   string `json:"id"`
 
 	// enqueue
@@ -66,9 +86,10 @@ type walRecord struct {
 	Priority  int                `json:"pri,omitempty"`
 	Specs     []campaign.RunSpec `json:"specs,omitempty"`
 
-	// done
+	// done, ckpt
 	Key   string          `json:"key,omitempty"`
 	Stats *pipeline.Stats `json:"stats,omitempty"`
+	Snap  []byte          `json:"snap,omitempty"` // ckpt: envelope-encoded snapshot
 
 	// finish
 	Error string `json:"err,omitempty"`
@@ -90,6 +111,7 @@ type JournalStore struct {
 type journalCampaign struct {
 	rec  walRecord // the enqueue record, replayed verbatim on compaction
 	done map[string]*pipeline.Stats
+	ckpt map[string][]byte // latest checkpoint per not-yet-done unit
 }
 
 // OpenJournal opens (or creates) a journal in dir and replays it into the
@@ -123,12 +145,22 @@ func (s *JournalStore) apply(payload []byte) error {
 	switch rec.Type {
 	case "enqueue":
 		if _, ok := s.live[rec.ID]; !ok {
-			s.live[rec.ID] = &journalCampaign{rec: rec, done: map[string]*pipeline.Stats{}}
+			s.live[rec.ID] = &journalCampaign{rec: rec, done: map[string]*pipeline.Stats{}, ckpt: map[string][]byte{}}
 		}
 	case "done":
 		if camp, ok := s.live[rec.ID]; ok && rec.Stats != nil {
 			if _, dup := camp.done[rec.Key]; !dup {
 				camp.done[rec.Key] = rec.Stats
+			}
+			delete(camp.ckpt, rec.Key) // a completion retires the unit's checkpoint
+		}
+	case "ckpt":
+		// Latest checkpoint wins; one journaled after the unit's completion
+		// (a zombie worker's late post replayed out of order cannot happen —
+		// appends are ordered — but a dup-done replay can) stays retired.
+		if camp, ok := s.live[rec.ID]; ok && len(rec.Snap) > 0 {
+			if _, done := camp.done[rec.Key]; !done {
+				camp.ckpt[rec.Key] = rec.Snap
 			}
 		}
 	case "finish":
@@ -154,7 +186,7 @@ func (s *JournalStore) CampaignEnqueued(id, requestID string, pri campaign.Prior
 	if err := s.append(rec); err != nil {
 		return err
 	}
-	s.live[id] = &journalCampaign{rec: rec, done: map[string]*pipeline.Stats{}}
+	s.live[id] = &journalCampaign{rec: rec, done: map[string]*pipeline.Stats{}, ckpt: map[string][]byte{}}
 	return nil
 }
 
@@ -173,6 +205,29 @@ func (s *JournalStore) JobCompleted(campaignID, specKey string, stats *pipeline.
 		return err
 	}
 	camp.done[specKey] = stats
+	delete(camp.ckpt, specKey)
+	return nil
+}
+
+// JobCheckpoint implements CheckpointStore: the latest checkpoint per unit
+// is kept live (superseded ones become dead log weight until the next
+// compaction rewrites the log with only the newest). A checkpoint for an
+// already-completed unit, or a finished campaign, is a stale zombie post
+// and is dropped without an append.
+func (s *JournalStore) JobCheckpoint(campaignID, specKey string, snap []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	camp, ok := s.live[campaignID]
+	if !ok {
+		return nil
+	}
+	if _, done := camp.done[specKey]; done {
+		return nil
+	}
+	if err := s.append(walRecord{Type: "ckpt", ID: campaignID, Key: specKey, Snap: snap}); err != nil {
+		return err
+	}
+	camp.ckpt[specKey] = snap
 	return nil
 }
 
@@ -220,6 +275,18 @@ func (s *JournalStore) compactLocked() error {
 			}
 			records = append(records, done)
 		}
+		ckeys := make([]string, 0, len(camp.ckpt))
+		for k := range camp.ckpt {
+			ckeys = append(ckeys, k)
+		}
+		sort.Strings(ckeys)
+		for _, k := range ckeys {
+			ckpt, err := json.Marshal(walRecord{V: walRecordVersion, Type: "ckpt", ID: id, Key: k, Snap: camp.ckpt[k]})
+			if err != nil {
+				return fmt.Errorf("cluster: encoding journal snapshot: %w", err)
+			}
+			records = append(records, ckpt)
+		}
 	}
 	return s.log.Rewrite(records)
 }
@@ -240,12 +307,17 @@ func (s *JournalStore) Recover() ([]RecoveredCampaign, error) {
 		for k, st := range camp.done {
 			done[k] = st
 		}
+		ckpt := make(map[string][]byte, len(camp.ckpt))
+		for k, snap := range camp.ckpt {
+			ckpt[k] = snap
+		}
 		out = append(out, RecoveredCampaign{
-			ID:        id,
-			RequestID: camp.rec.RequestID,
-			Priority:  campaign.Priority(camp.rec.Priority),
-			Specs:     camp.rec.Specs,
-			Completed: done,
+			ID:          id,
+			RequestID:   camp.rec.RequestID,
+			Priority:    campaign.Priority(camp.rec.Priority),
+			Specs:       camp.rec.Specs,
+			Completed:   done,
+			Checkpoints: ckpt,
 		})
 	}
 	return out, nil
@@ -258,4 +330,7 @@ func (s *JournalStore) WALStats() wal.Stats { return s.log.Stats() }
 // Close implements JobStore.
 func (s *JournalStore) Close() error { return s.log.Close() }
 
-var _ JobStore = (*JournalStore)(nil)
+var (
+	_ JobStore        = (*JournalStore)(nil)
+	_ CheckpointStore = (*JournalStore)(nil)
+)

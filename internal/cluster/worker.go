@@ -16,6 +16,7 @@ import (
 
 	"galsim/internal/campaign"
 	"galsim/internal/pipeline"
+	"galsim/internal/snapshot"
 	"galsim/internal/telemetry"
 	"galsim/internal/timeline"
 )
@@ -72,6 +73,14 @@ type Worker struct {
 	// spans and shipped back with the completion. 0 selects a small default;
 	// negative disables in-sim spans (execute/simulate spans still ship).
 	TimelineEvents int
+	// CheckpointEvery, when positive, makes long jobs crash-resumable: every
+	// N committed instructions the worker posts the job's full execution
+	// state to the coordinator (POST /jobs/checkpoint), and a job that
+	// arrives carrying a previous holder's checkpoint resumes from it
+	// instead of re-simulating the prefix. Results are byte-identical either
+	// way (the snapshot differential gate proves it); checkpointed jobs skip
+	// in-sim trace spans. Zero disables checkpointing.
+	CheckpointEvery uint64
 
 	m struct {
 		jobs       telemetry.Counter // label: result (ok|error)
@@ -219,7 +228,9 @@ func (w *Worker) pull(leaseCtx, jobCtx context.Context) {
 				err   error
 				spans []timeline.Span
 			)
-			if trID, parentSp, ok := timeline.ParseTraceParent(jb.TraceParent); ok {
+			if w.CheckpointEvery > 0 {
+				st, err = w.runCheckpointed(jobCtx, jb)
+			} else if trID, parentSp, ok := timeline.ParseTraceParent(jb.TraceParent); ok {
 				st, spans, err = w.runTraced(jobCtx, jb, trID, parentSp)
 			} else {
 				st, err = w.Engine.Run(jobCtx, jb.Spec)
@@ -281,6 +292,55 @@ func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
 		Cache:    w.Engine.Stats(),
 	}, &resp)
 	return resp, err
+}
+
+// runCheckpointed executes one job under the checkpoint regime: resume from
+// the job's attached checkpoint when it has a valid one (a checkpoint that
+// fails its typed validation is discarded for a cold run — never a partial
+// restore), and post a fresh checkpoint to the coordinator every
+// CheckpointEvery committed instructions. A rejected post (this worker lost
+// the lease) or an unreachable coordinator never fails the run: the
+// completion retry path settles who wins.
+func (w *Worker) runCheckpointed(ctx context.Context, jb Job) (pipeline.Stats, error) {
+	var resume *snapshot.Snapshot
+	if len(jb.Checkpoint) > 0 {
+		snap, err := snapshot.DecodeBytes(jb.Checkpoint)
+		if err != nil {
+			w.log().Warn("job checkpoint unusable; running cold", "worker", w.ID,
+				"job_id", jb.ID, "request_id", jb.RequestID, "error", err)
+		} else {
+			resume = snap
+			w.log().Info("resuming from checkpoint", "worker", w.ID, "job_id", jb.ID,
+				"request_id", jb.RequestID, "committed", snap.Committed)
+		}
+	}
+	onSnap := func(sn *snapshot.Snapshot) {
+		blob, err := sn.EncodeBytes()
+		if err != nil {
+			w.log().Warn("encoding checkpoint failed", "worker", w.ID, "job_id", jb.ID, "error", err)
+			return
+		}
+		var resp CheckpointResponse
+		err = w.post(ctx, "/jobs/checkpoint", CheckpointRequest{
+			WorkerID:  w.ID,
+			JobID:     jb.ID,
+			Committed: sn.Committed,
+			Snapshot:  blob,
+		}, &resp)
+		switch {
+		case err != nil:
+			w.log().Warn("posting checkpoint failed", "worker", w.ID, "job_id", jb.ID,
+				"request_id", jb.RequestID, "error", err)
+		case !resp.Accepted:
+			w.log().Warn("checkpoint rejected: lease no longer held", "worker", w.ID,
+				"job_id", jb.ID, "request_id", jb.RequestID)
+		default:
+			w.log().Debug("checkpoint posted", "worker", w.ID, "job_id", jb.ID,
+				"request_id", jb.RequestID, "committed", sn.Committed)
+		}
+	}
+	st, _, err := w.Engine.RunCheckpointed(ctx, jb.Spec, w.CheckpointEvery, onSnap, resume)
+	return st, err
 }
 
 // maxSimSpans bounds how many in-sim windows one traced job ships back:

@@ -1,0 +1,55 @@
+package iq
+
+import (
+	"fmt"
+
+	"galsim/internal/isa"
+)
+
+// State is an issue queue's snapshot form: waiting instructions as caller-
+// assigned record indices in insertion (program) order plus the raw
+// counters, including the occupancy accumulators the DVFS controller and
+// the interval sampler difference.
+type State struct {
+	Entries  []int  `json:"entries,omitempty"`
+	Inserts  uint64 `json:"inserts"`
+	Issues   uint64 `json:"issues"`
+	Flushes  uint64 `json:"flushes"`
+	OccSum   uint64 `json:"occ_sum"`
+	OccTicks uint64 `json:"occ_ticks"`
+}
+
+// CaptureState snapshots the queue, mapping each waiting record through
+// index.
+func (q *Queue) CaptureState(index func(*isa.Instr) int) State {
+	st := State{Inserts: q.inserts, Issues: q.issues, Flushes: q.flushes,
+		OccSum: q.occSum, OccTicks: q.occTicks}
+	for _, in := range q.entries {
+		st.Entries = append(st.Entries, index(in))
+	}
+	return st
+}
+
+// RestoreState reinstates a captured state into a fresh, empty queue of the
+// same capacity, bypassing Insert so the counters stay exactly as captured.
+func (q *Queue) RestoreState(st State, record func(int) *isa.Instr) error {
+	if len(q.entries) != 0 {
+		return fmt.Errorf("iq: queue %q: restore into non-empty queue (%d entries)", q.name, len(q.entries))
+	}
+	if len(st.Entries) > q.cap {
+		return fmt.Errorf("iq: queue %q: %d restored entries exceed capacity %d", q.name, len(st.Entries), q.cap)
+	}
+	for i, idx := range st.Entries {
+		in := record(idx)
+		if in == nil {
+			return fmt.Errorf("iq: queue %q: restored entry %d references unknown record %d", q.name, i, idx)
+		}
+		q.entries = append(q.entries, in)
+	}
+	q.inserts = st.Inserts
+	q.issues = st.Issues
+	q.flushes = st.Flushes
+	q.occSum = st.OccSum
+	q.occTicks = st.OccTicks
+	return nil
+}

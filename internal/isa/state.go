@@ -1,0 +1,11 @@
+package isa
+
+// RestoreFrom copies every simulation field of src into in, preserving in's
+// arena bookkeeping (reference count and generation). Snapshot restore uses
+// it to reinstate captured records into freshly allocated ones without
+// corrupting the arena's accounting.
+func (in *Instr) RestoreFrom(src *Instr) {
+	refs, gen := in.refs, in.gen
+	*in = *src
+	in.refs, in.gen = refs, gen
+}

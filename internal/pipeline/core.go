@@ -140,6 +140,13 @@ type Core struct {
 
 	commitHook func(*isa.Instr)
 
+	// Snapshot triggers (SnapshotAt) and, on a restored core, the absolute
+	// tick-event schedule to resume from (see snapshot.go).
+	snapTargets   []uint64
+	snapFn        func(uint64, *CoreState)
+	restoreWhen   []simtime.Time
+	restorePeriod []simtime.Duration
+
 	// Dynamic DVFS controller state, the per-clock-domain periodic tick
 	// events it retunes, and the scalable-domain scan list.
 	dvfs       dvfsState
@@ -676,6 +683,9 @@ func (c *Core) domainTick(g int) func(simtime.Time) {
 	globalGrid := c.topo.GlobalGrid
 	dc := c.domClocks[g]
 	return func(now simtime.Time) {
+		if hasDecode && c.snapFn != nil {
+			c.maybeSnapshot(g, now)
+		}
 		c.maybeRetune(g, now)
 		for _, d := range owned {
 			c.observeSquash(d, now)
@@ -723,6 +733,10 @@ func (c *Core) Run(n uint64) Stats {
 	if n == 0 {
 		panic("pipeline: Run of zero instructions")
 	}
+	if n <= c.stats.Committed {
+		panic(fmt.Sprintf("pipeline: Run target %d does not exceed the restored snapshot's %d committed instructions",
+			n, c.stats.Committed))
+	}
 	c.started = true
 	c.targetCommits = n
 
@@ -741,7 +755,13 @@ func (c *Core) Run(n uint64) Stats {
 		c.tickFns[g] = c.domainTick(g)
 	}
 	for g, dc := range c.domClocks {
-		c.tickEvents[g] = c.eng.SchedulePeriodic(dc.Phase(), dc.Period(), prio[g],
+		start, period := dc.Phase(), dc.Period()
+		if c.restoreWhen != nil {
+			// Restored core: resume the captured absolute event schedule
+			// instead of starting each clock at its initial phase.
+			start, period = c.restoreWhen[g], c.restorePeriod[g]
+		}
+		c.tickEvents[g] = c.eng.SchedulePeriodic(start, period, prio[g],
 			dc.Name()+"-clock", c.tickFns[g])
 	}
 

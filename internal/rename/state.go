@@ -1,0 +1,61 @@
+package rename
+
+import (
+	"fmt"
+
+	"galsim/internal/isa"
+)
+
+// State is the alias table's snapshot form. Free lists are captured in LIFO
+// order — allocation order determines which physical register each future
+// rename receives, so the order is as much machine state as the contents.
+type State struct {
+	IntMap       [isa.NumArchRegs]int `json:"int_map"`
+	FPMap        [isa.NumArchRegs]int `json:"fp_map"`
+	FreeInt      []int                `json:"free_int"`
+	FreeFP       []int                `json:"free_fp"`
+	IntAllocated int                  `json:"int_alloc"`
+	FPAllocated  int                  `json:"fp_alloc"`
+	Samples      uint64               `json:"samples"`
+	IntOccSum    uint64               `json:"int_occ_sum"`
+	FPOccSum     uint64               `json:"fp_occ_sum"`
+}
+
+// CaptureState snapshots the table.
+func (t *Table) CaptureState() State {
+	return State{
+		IntMap:       t.intMap,
+		FPMap:        t.fpMap,
+		FreeInt:      append([]int(nil), t.freeInt...),
+		FreeFP:       append([]int(nil), t.freeFP...),
+		IntAllocated: t.intAllocated,
+		FPAllocated:  t.fpAllocated,
+		Samples:      t.samples,
+		IntOccSum:    t.intOccSum,
+		FPOccSum:     t.fpOccSum,
+	}
+}
+
+// RestoreState reinstates a captured state into a table built with the same
+// register file sizes.
+func (t *Table) RestoreState(st State) error {
+	if len(st.FreeInt) > t.numInt-isa.NumArchRegs || len(st.FreeFP) > t.numFP-isa.NumArchRegs {
+		return fmt.Errorf("rename: restored free lists (%d int, %d fp) exceed this table's rename registers (%d int, %d fp)",
+			len(st.FreeInt), len(st.FreeFP), t.numInt-isa.NumArchRegs, t.numFP-isa.NumArchRegs)
+	}
+	for _, p := range append(append([]int{}, st.FreeInt...), st.FreeFP...) {
+		if p < 0 || p >= t.NumPhys() {
+			return fmt.Errorf("rename: restored free register %d outside physical space [0, %d)", p, t.NumPhys())
+		}
+	}
+	t.intMap = st.IntMap
+	t.fpMap = st.FPMap
+	t.freeInt = append(t.freeInt[:0], st.FreeInt...)
+	t.freeFP = append(t.freeFP[:0], st.FreeFP...)
+	t.intAllocated = st.IntAllocated
+	t.fpAllocated = st.FPAllocated
+	t.samples = st.Samples
+	t.intOccSum = st.IntOccSum
+	t.fpOccSum = st.FPOccSum
+	return nil
+}

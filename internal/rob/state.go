@@ -1,0 +1,57 @@
+package rob
+
+import (
+	"fmt"
+
+	"galsim/internal/isa"
+)
+
+// State is the ROB's snapshot form: in-flight instructions as caller-
+// assigned record indices (oldest first) plus the raw activity counters.
+type State struct {
+	Entries  []int  `json:"entries,omitempty"`
+	Pushes   uint64 `json:"pushes"`
+	Commits  uint64 `json:"commits"`
+	Squashes uint64 `json:"squashes"`
+	OccSum   uint64 `json:"occ_sum"`
+	OccTicks uint64 `json:"occ_ticks"`
+}
+
+// CaptureState snapshots the buffer, mapping each in-flight record through
+// index.
+func (r *ROB) CaptureState(index func(*isa.Instr) int) State {
+	st := State{Pushes: r.pushes, Commits: r.commits, Squashes: r.squashes,
+		OccSum: r.occSum, OccTicks: r.occTicks}
+	for i := 0; i < r.n; i++ {
+		st.Entries = append(st.Entries, index(r.buf[r.slot(i)]))
+	}
+	return st
+}
+
+// RestoreState reinstates a captured state into a fresh, empty buffer of
+// the same capacity. Entries bypass Push so counters (and each record's
+// historical ROBIndex, carried on the record itself) stay exactly as
+// captured.
+func (r *ROB) RestoreState(st State, record func(int) *isa.Instr) error {
+	if r.n != 0 {
+		return fmt.Errorf("rob: restore into non-empty buffer (%d entries)", r.n)
+	}
+	if len(st.Entries) > len(r.buf) {
+		return fmt.Errorf("rob: %d restored entries exceed capacity %d", len(st.Entries), len(r.buf))
+	}
+	r.head = 0
+	for i, idx := range st.Entries {
+		in := record(idx)
+		if in == nil {
+			return fmt.Errorf("rob: restored entry %d references unknown record %d", i, idx)
+		}
+		r.buf[i] = in
+	}
+	r.n = len(st.Entries)
+	r.pushes = st.Pushes
+	r.commits = st.Commits
+	r.squashes = st.Squashes
+	r.occSum = st.OccSum
+	r.occTicks = st.OccTicks
+	return nil
+}

@@ -10,9 +10,12 @@ import (
 	"galsim/internal/timeline"
 )
 
-// maxTrackedSweeps bounds the progress tracker: the oldest sweep is evicted
-// once the table is full, so an unauthenticated client hammering /sweep
-// cannot grow server memory through the tracker.
+// maxTrackedSweeps bounds the progress tracker: once the table is full the
+// oldest *settled* sweep is evicted first, so an unauthenticated client
+// hammering /sweep cannot grow server memory through the tracker — and
+// cannot push a still-running sweep's progress handle out of the API while
+// its owner is polling it. Only when every tracked sweep is still running
+// does the oldest running one go.
 const maxTrackedSweeps = 256
 
 // sweepStatus is one tracked sweep as served by GET /sweeps and
@@ -50,10 +53,28 @@ func (s *Server) trackSweep(ctx context.Context, units int) *sweepStatus {
 	s.sweeps[st.ID] = st
 	s.sweepIDs = append(s.sweepIDs, st.ID)
 	if len(s.sweepIDs) > maxTrackedSweeps {
-		delete(s.sweeps, s.sweepIDs[0])
-		s.sweepIDs = s.sweepIDs[1:]
+		s.evictSweepLocked()
 	}
 	return st
+}
+
+// evictSweepLocked drops one sweep from the tracker: the oldest settled
+// ("done"/"failed") sweep if any, else the oldest running one (the table
+// must stay bounded even when a client opens hundreds of concurrent
+// sweeps). sweepsMu must be held.
+func (s *Server) evictSweepLocked() {
+	victim := -1
+	for i, id := range s.sweepIDs {
+		if s.sweeps[id].State != "running" {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	delete(s.sweeps, s.sweepIDs[victim])
+	s.sweepIDs = append(s.sweepIDs[:victim], s.sweepIDs[victim+1:]...)
 }
 
 // sweepProgress records one progress snapshot for st.

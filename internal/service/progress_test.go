@@ -1,0 +1,81 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"galsim/internal/campaign"
+)
+
+// TestSweepEvictionPrefersSettled is the regression for the tracker evicting
+// still-running sweeps: with more concurrent sweeps than the table holds,
+// settled entries must go first, so a client polling a live sweep's progress
+// never gets 404 just because later sweeps arrived.
+func TestSweepEvictionPrefersSettled(t *testing.T) {
+	srv := New(campaign.NewEngine(1))
+	ctx := context.Background()
+
+	// Interleave: 150 sweeps that settle immediately, then 300 concurrent
+	// (still-running) ones — 450 total against a 256-entry table.
+	for i := 0; i < 150; i++ {
+		st := srv.trackSweep(ctx, 1)
+		srv.sweepDone(st, nil)
+	}
+	running := make([]*sweepStatus, 0, 300)
+	for i := 0; i < 300; i++ {
+		running = append(running, srv.trackSweep(ctx, 1))
+	}
+
+	srv.sweepsMu.Lock()
+	defer srv.sweepsMu.Unlock()
+	if got := len(srv.sweepIDs); got != maxTrackedSweeps {
+		t.Fatalf("tracker holds %d sweeps, want the %d bound", got, maxTrackedSweeps)
+	}
+	if len(srv.sweepIDs) != len(srv.sweeps) {
+		t.Fatalf("id list (%d) and map (%d) out of sync", len(srv.sweepIDs), len(srv.sweeps))
+	}
+	// All 150 settled sweeps must have been evicted before any running one.
+	for _, id := range srv.sweepIDs {
+		if srv.sweeps[id].State != "running" {
+			t.Fatalf("settled sweep %s survived while running sweeps were evicted", id)
+		}
+	}
+	// The table overflows by 300-256=44 running sweeps: the oldest 44 running
+	// ones are the only legitimate running victims.
+	for _, st := range running[44:] {
+		if _, ok := srv.sweeps[st.ID]; !ok {
+			t.Errorf("running sweep %s evicted while older settled/running entries were eligible", st.ID)
+		}
+	}
+}
+
+// TestSweepEvictionAllRunningStaysBounded pins the fallback: when every
+// tracked sweep is still running the table still cannot grow past its bound.
+func TestSweepEvictionAllRunningStaysBounded(t *testing.T) {
+	srv := New(campaign.NewEngine(1))
+	ctx := context.Background()
+	var all []*sweepStatus
+	for i := 0; i < 300; i++ {
+		all = append(all, srv.trackSweep(ctx, 1))
+	}
+	srv.sweepsMu.Lock()
+	defer srv.sweepsMu.Unlock()
+	if got := len(srv.sweepIDs); got != maxTrackedSweeps {
+		t.Fatalf("tracker holds %d sweeps, want %d", got, maxTrackedSweeps)
+	}
+	// Oldest running sweeps were evicted; the newest survive in order.
+	for i, st := range all[len(all)-maxTrackedSweeps:] {
+		if want, got := st.ID, srv.sweepIDs[i]; want != got {
+			t.Fatalf("sweepIDs[%d] = %s, want %s", i, got, want)
+		}
+	}
+	// Settling an evicted sweep must stay harmless (the handle outlives the
+	// table entry).
+	srv.sweepsMu.Unlock()
+	srv.sweepDone(all[0], fmt.Errorf("late failure"))
+	srv.sweepsMu.Lock()
+	if all[0].State != "failed" {
+		t.Errorf("evicted sweep handle state = %s, want failed", all[0].State)
+	}
+}

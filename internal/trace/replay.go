@@ -149,8 +149,9 @@ type ReplaySource struct {
 	synthPC uint64
 	wpNext  uint64 // the pc the recorded source would fetch next in-excursion
 
-	served  uint64 // correct-path instructions delivered
-	wrapped uint64 // times the stream restarted
+	served    uint64 // correct-path instructions delivered
+	wrapped   uint64 // times the stream restarted
+	discarded uint64 // records consumed since the last rewind (snapshot position)
 }
 
 var (
@@ -191,6 +192,7 @@ func (s *ReplaySource) rewind() {
 	}
 	s.r = r
 	s.buf = s.buf[:0]
+	s.discarded = 0
 }
 
 // peekAt returns the i-th undelivered record (0 = next), decoding ahead as
@@ -216,6 +218,7 @@ func (s *ReplaySource) pop() Record {
 	}
 	out := *rec
 	s.buf = s.buf[1:]
+	s.discarded++
 	return out
 }
 
@@ -251,6 +254,7 @@ func (s *ReplaySource) Next() *isa.Instr {
 	in := s.newInstr(rec.PC, rec.Class)
 	rec.fillInstr(in)
 	s.buf = s.buf[i+1:]
+	s.discarded += uint64(i + 1)
 	s.served++
 	return in
 }

@@ -54,6 +54,11 @@ type Generator struct {
 	rng  *rand.Rand
 	wp   *rand.Rand // separate stream for wrong-path choices
 
+	// rngSrc/wpSrc are the counting wrappers underneath rng/wp; the draw
+	// counts are the streams' snapshot identity (see state.go).
+	rngSrc *countingSource
+	wpSrc  *countingSource
+
 	program   map[uint64]*staticInstr
 	siChunks  [][]staticInstr // slab storage behind program (stable pointers)
 	classTile []isa.Class     // class layout pattern, indexed by (pc/4) % len
@@ -93,11 +98,15 @@ func NewGenerator(p Profile, seed int64) *Generator {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	rngSrc := newCountingSource(seed)
+	wpSrc := newCountingSource(seed ^ 0x5DEECE66D)
 	g := &Generator{
-		prof: p,
-		seed: seed,
-		rng:  rand.New(rand.NewSource(seed)),
-		wp:   rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
+		prof:   p,
+		seed:   seed,
+		rng:    rand.New(rngSrc),
+		wp:     rand.New(wpSrc),
+		rngSrc: rngSrc,
+		wpSrc:  wpSrc,
 		// Pre-size for the full static program so steady-state
 		// materialization does not grow the table.
 		program: make(map[uint64]*staticInstr, p.CodeFootprint/4),
