@@ -28,7 +28,19 @@
 //     report);
 //   - snapshot/encode and snapshot/decode: envelope round-trip cost of a
 //     warmed full-machine snapshot, the per-checkpoint price a fleet
-//     worker pays on long jobs.
+//     worker pays on long jobs;
+//   - explore/evolve-cold and explore/evolve-warm: a seeded evolutionary
+//     design-space search (galsim-explore's engine) on a cold engine,
+//     without and with warm-up prefix sharing, reported as candidate
+//     evaluations per second plus the generation cache-hit rate (the
+//     fraction of sweep units served from the content-addressed cache —
+//     duplicate mutants and builtin-equal candidates are free).
+//
+// Every report stamps the canonical machine digests of the machines the
+// benchmarks exercise (and each single-machine measurement carries its
+// machine's name and digest), so BENCH artifacts are provenance-comparable
+// across PRs: a digest change means the machine itself changed, not just
+// the code under it.
 //
 // When -baseline names a previous output file, the report embeds it and
 // computes per-benchmark speedup (baseline ns/op ÷ current ns/op) and the
@@ -47,20 +59,35 @@ import (
 	"time"
 
 	"galsim/internal/campaign"
+	"galsim/internal/explore"
+	"galsim/internal/machine"
 	"galsim/internal/pipeline"
 	"galsim/internal/snapshot"
 	"galsim/internal/timeline"
 	"galsim/internal/workload"
 )
 
-// Measurement is one benchmark's result.
+// Measurement is one benchmark's result. Machine/MachineDigest identify
+// the machine a single-machine benchmark pins (multi-machine benchmarks
+// leave them empty; see Report.Machines for the full set).
 type Measurement struct {
 	Name            string  `json:"name"`
+	Machine         string  `json:"machine,omitempty"`
+	MachineDigest   string  `json:"machine_digest,omitempty"`
 	Iterations      int     `json:"iterations"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	SimInstrsPerSec float64 `json:"sim_instrs_per_sec,omitempty"`
+	EvalsPerSec     float64 `json:"evals_per_sec,omitempty"`
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// MachineStamp records one machine's provenance: its name and canonical
+// content digest (machine.Spec.Digest).
+type MachineStamp struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
 }
 
 // Report is the file schema.
@@ -71,6 +98,11 @@ type Report struct {
 	GOOS      string    `json:"goos"`
 	GOARCH    string    `json:"goarch"`
 	NumCPU    int       `json:"num_cpu"`
+
+	// Machines stamps the canonical digest of every builtin machine the
+	// benchmarks exercise, so reports are comparable across PRs: a digest
+	// change means the machine changed, not just the code under it.
+	Machines []MachineStamp `json:"machines,omitempty"`
 
 	Benchmarks []Measurement `json:"benchmarks"`
 
@@ -83,6 +115,20 @@ type Report struct {
 	// 1 - (timeline/on ÷ timeline/off sim-instrs/s). Positive = slower with
 	// the tracer attached (flight ring, detail mode).
 	TimelineRegression float64 `json:"timeline_regression,omitempty"`
+
+	// ExploreEvalsPerSec and ExploreCacheHitRate summarize the
+	// explore/evolve-cold benchmark: candidate evaluations per second and
+	// the fraction of its sweep units served from the content-addressed
+	// cache (duplicate mutants and builtin-equal candidates are free).
+	ExploreEvalsPerSec  float64 `json:"explore_evals_per_sec,omitempty"`
+	ExploreCacheHitRate float64 `json:"explore_cache_hit_rate,omitempty"`
+
+	// ExploreWarmSharingRatio is explore/evolve-warm evals/s over
+	// explore/evolve-cold evals/s: search throughput with warm-up prefix
+	// sharing enabled versus without. Distinct candidate machines never
+	// share a warm prefix, so a value near 1.0 is the expected result —
+	// it verifies the warm path costs nothing when it cannot share.
+	ExploreWarmSharingRatio float64 `json:"explore_warm_sharing_ratio,omitempty"`
 
 	// WarmSharingSpeedup is sweep/grid-warm throughput over sweep/grid-cold
 	// throughput: how much faster a convergence-grid sweep gets when grid
@@ -107,6 +153,12 @@ func measure(name string, r testing.BenchmarkResult) Measurement {
 	}
 	if v, ok := r.Extra["sim-instrs/s"]; ok {
 		m.SimInstrsPerSec = v
+	}
+	if v, ok := r.Extra["evals/s"]; ok {
+		m.EvalsPerSec = v
+	}
+	if v, ok := r.Extra["cache-hit-rate"]; ok {
+		m.CacheHitRate = v
 	}
 	return m
 }
@@ -235,6 +287,46 @@ func benchSweepGrid(warmup uint64) func(b *testing.B) {
 	}
 }
 
+// benchExplore is the design-space-search pair: a seeded evolutionary
+// search (the galsim-explore engine) scored on a fresh serial campaign
+// engine per iteration, without and with warm-up prefix sharing. It
+// reports candidate evaluations per second and the generation cache-hit
+// rate — the fraction of sweep units served from the content-addressed
+// cache, where duplicate mutants and builtin-equal candidates become
+// free. The warm variant sets Sweep.Warmup on every generation; distinct
+// candidate machines never share a warm prefix, so its evals/s should
+// track the cold variant's (see Report.ExploreWarmSharingRatio).
+func benchExplore(warmup uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		spec := explore.SearchSpec{
+			Name:         "bench",
+			Seed:         7,
+			Strategy:     explore.StrategyEvolutionary,
+			Workloads:    []string{"gcc"},
+			Instructions: 4_000,
+			Warmup:       warmup,
+			Budget:       explore.BudgetSpec{Population: 6, MaxGenerations: 3},
+		}
+		var evals, units, hits int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := &explore.Explorer{Evaluator: explore.BackendEvaluator{Backend: campaign.NewEngine(1)}}
+			res, err := x.Run(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals += res.Evaluations
+			units += res.Exec.Units
+			hits += res.Exec.CacheHits
+		}
+		b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+		if units > 0 {
+			b.ReportMetric(float64(hits)/float64(units), "cache-hit-rate")
+		}
+	}
+}
+
 // warmedSnapshot runs the GALS gcc point for instrs committed instructions
 // and returns the captured full-machine snapshot, the subject of the
 // snapshot encode/decode benchmarks.
@@ -318,21 +410,33 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 	}
 
+	digests := map[string]string{}
+	for _, ms := range machine.Builtins() {
+		digests[ms.Name] = ms.Digest()
+		rep.Machines = append(rep.Machines, MachineStamp{Name: ms.Name, Digest: ms.Digest()})
+	}
+
+	// The machine column names the single builtin a benchmark pins (its
+	// stamp lands on the measurement); multi-machine and search benchmarks
+	// leave it empty and are covered by Report.Machines.
 	benches := []struct {
-		name string
-		fn   func(b *testing.B)
+		name    string
+		machine string
+		fn      func(b *testing.B)
 	}{
-		{"throughput/gals", benchThroughput(pipeline.GALS, *instrs)},
-		{"throughput/base", benchThroughput(pipeline.Base, *instrs)},
-		{"sweep/serial", benchSweep(*sweepN)},
-		{"sampler/off", benchSampler(0, *instrs)},
-		{"sampler/on", benchSampler(*sampleIvl, *instrs)},
-		{"timeline/off", benchTimeline(false, *instrs)},
-		{"timeline/on", benchTimeline(true, *instrs)},
-		{"sweep/grid-cold", benchSweepGrid(0)},
-		{"sweep/grid-warm", benchSweepGrid(*warmup)},
-		{"snapshot/encode", benchSnapshotEncode(*instrs)},
-		{"snapshot/decode", benchSnapshotDecode(*instrs)},
+		{"throughput/gals", "gals", benchThroughput(pipeline.GALS, *instrs)},
+		{"throughput/base", "base", benchThroughput(pipeline.Base, *instrs)},
+		{"sweep/serial", "", benchSweep(*sweepN)},
+		{"sampler/off", "gals", benchSampler(0, *instrs)},
+		{"sampler/on", "gals", benchSampler(*sampleIvl, *instrs)},
+		{"timeline/off", "gals", benchTimeline(false, *instrs)},
+		{"timeline/on", "gals", benchTimeline(true, *instrs)},
+		{"sweep/grid-cold", "", benchSweepGrid(0)},
+		{"sweep/grid-warm", "", benchSweepGrid(*warmup)},
+		{"snapshot/encode", "gals", benchSnapshotEncode(*instrs)},
+		{"snapshot/decode", "gals", benchSnapshotDecode(*instrs)},
+		{"explore/evolve-cold", "", benchExplore(0)},
+		{"explore/evolve-warm", "", benchExplore(2_000)},
 	}
 	if *repeat < 1 {
 		*repeat = 1
@@ -345,6 +449,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "round %d/%d...\n", round+1, *repeat)
 		for i, bb := range benches {
 			m := measure(bb.name, testing.Benchmark(bb.fn))
+			if bb.machine != "" {
+				m.Machine = bb.machine
+				m.MachineDigest = digests[bb.machine]
+			}
 			if round == 0 || m.NsPerOp < best[i].NsPerOp {
 				best[i] = m
 			}
@@ -356,6 +464,7 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, m)
 	}
 	var samplerOff, samplerOn, tlOff, tlOn, gridCold, gridWarm float64
+	var exploreCold, exploreWarm float64
 	for _, m := range rep.Benchmarks {
 		switch m.Name {
 		case "sampler/off":
@@ -370,6 +479,12 @@ func main() {
 			gridCold = m.SimInstrsPerSec
 		case "sweep/grid-warm":
 			gridWarm = m.SimInstrsPerSec
+		case "explore/evolve-cold":
+			exploreCold = m.EvalsPerSec
+			rep.ExploreEvalsPerSec = m.EvalsPerSec
+			rep.ExploreCacheHitRate = m.CacheHitRate
+		case "explore/evolve-warm":
+			exploreWarm = m.EvalsPerSec
 		}
 	}
 	if samplerOff > 0 {
@@ -383,6 +498,11 @@ func main() {
 	if gridCold > 0 {
 		rep.WarmSharingSpeedup = gridWarm / gridCold
 		fmt.Fprintf(os.Stderr, "warm sharing speedup: %.2fx\n", rep.WarmSharingSpeedup)
+	}
+	if exploreCold > 0 {
+		rep.ExploreWarmSharingRatio = exploreWarm / exploreCold
+		fmt.Fprintf(os.Stderr, "explore: %.1f evals/s, cache-hit rate %.2f, warm/cold ratio %.2fx\n",
+			rep.ExploreEvalsPerSec, rep.ExploreCacheHitRate, rep.ExploreWarmSharingRatio)
 	}
 
 	if *baseline != "" {

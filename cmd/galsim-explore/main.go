@@ -1,0 +1,281 @@
+// Command galsim-explore searches the machine design space: it reads a
+// declarative JSON SearchSpec (strategy, search space over clock-domain
+// partitionings / frequencies / DVFS policy / link geometry, budget,
+// fitness weights), scores generations of candidate machines through the
+// campaign engine — locally, or on a galsim-fleet via -backend — and
+// emits the Pareto frontier with dominance ranks plus the best design's
+// full machine spec.
+//
+// The search is fully deterministic: the same spec and seed produce
+// byte-identical result JSON on any backend at any worker count, so a
+// frontier artifact is reproducible and diffable across PRs.
+//
+// Examples:
+//
+//	galsim-explore -spec search.json
+//	galsim-explore -spec search.json -format json -o frontier.json
+//	galsim-explore -spec search.json -best-machine best.json
+//	galsim-explore -spec search.json -backend http://fleet:9090 -api-key team-a
+//	echo '{"strategy":"grid","instructions":20000}' | galsim-explore -spec -
+//
+// With -backend, each generation is POSTed as one /sweep to the fleet
+// front end, so the fleet's progress tracker (GET /sweeps) shows every
+// generation live, and its workers' shared caches dedupe repeated
+// designs across searches.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"galsim/internal/campaign"
+	"galsim/internal/explore"
+	"galsim/internal/report"
+	"galsim/internal/service"
+	"galsim/internal/telemetry"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "search spec JSON file (\"-\" = stdin; required)")
+		backend   = flag.String("backend", "", "galsimd/galsim-fleet base URL to evaluate generations on (default: in-process engine)")
+		apiKey    = flag.String("api-key", "", "tenant API key for an admission-gated -backend")
+		workers   = flag.Int("workers", 0, "local simulation worker pool width (0 = GOMAXPROCS; ignored with -backend)")
+		outPath   = flag.String("o", "", "write the full search result JSON here (\"-\" = stdout)")
+		bestPath  = flag.String("best-machine", "", "write the best design's machine spec JSON here")
+		format    = flag.String("format", "text", "stdout rendering: text (frontier table) | json (full result)")
+		metrics   = flag.String("metrics", "", "serve galsim_explore_* metrics at this address while searching (e.g. :9091)")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log encoding: text|json")
+	)
+	flag.Parse()
+
+	log, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+		os.Exit(2)
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "galsim-explore: -spec is required (a search spec JSON file, or - for stdin)")
+		os.Exit(2)
+	}
+	var data []byte
+	if *specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+		os.Exit(2)
+	}
+	spec, err := explore.Parse(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+		os.Exit(2)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+		os.Exit(2)
+	}
+
+	reg := telemetry.NewRegistry()
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		srv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Error("metrics server failed", "err", err)
+			}
+		}()
+		defer srv.Close()
+		log.Info("serving metrics", "addr", *metrics)
+	}
+
+	x := &explore.Explorer{Metrics: reg, Log: log}
+	if *backend != "" {
+		x.Evaluator = &httpEvaluator{
+			base:   strings.TrimRight(*backend, "/"),
+			apiKey: *apiKey,
+			client: &http.Client{Timeout: 30 * time.Minute},
+			log:    log,
+		}
+	} else {
+		x.Evaluator = explore.BackendEvaluator{Backend: campaign.NewEngine(*workers)}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := x.Run(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+		os.Exit(1)
+	}
+
+	resJSON, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+		os.Exit(1)
+	}
+	resJSON = append(resJSON, '\n')
+	if *outPath != "" && *outPath != "-" {
+		if err := os.WriteFile(*outPath, resJSON, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+			os.Exit(1)
+		}
+	}
+	if *bestPath != "" && res.Best.Machine != nil {
+		b, err := json.MarshalIndent(res.Best.Machine, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*bestPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galsim-explore:", err)
+			os.Exit(1)
+		}
+	}
+	switch *format {
+	case "json":
+		if *outPath == "" || *outPath == "-" {
+			os.Stdout.Write(resJSON)
+		}
+	case "text":
+		renderText(os.Stdout, res)
+	default:
+		fmt.Fprintf(os.Stderr, "galsim-explore: unknown -format %q (text|json)\n", *format)
+		os.Exit(2)
+	}
+}
+
+// renderText prints the frontier as a fixed-width table plus a summary of
+// the best design.
+func renderText(w io.Writer, res *explore.Result) {
+	objs := res.Spec.Fitness.Objectives
+	tbl := &report.Table{
+		ID:    "Pareto frontier",
+		Title: fmt.Sprintf("%d generations, %d evaluations, %d distinct designs", res.Generations, res.Evaluations, len(res.Points)),
+		Note: fmt.Sprintf("relative to %s (digest %.12s); lower is better, fitness = weighted mean",
+			res.BaselineMachine, res.BaselineDigest),
+		Headers: append(append([]string{"machine", "domains", "gen"}, relHeaders(objs)...), "fitness", "digest"),
+	}
+	for _, p := range res.Frontier {
+		cells := []string{p.MachineName, strconv.Itoa(p.Domains), strconv.Itoa(p.Generation)}
+		for _, o := range objs {
+			cells = append(cells, report.F(p.Relative[o]))
+		}
+		cells = append(cells, report.F(p.Fitness), p.MachineDigest[:12])
+		tbl.AddRow(cells...)
+	}
+	tbl.Render(w)
+	fmt.Fprintf(w, "\nbest: %s (fitness %s", res.Best.MachineName, report.F(res.Best.Fitness))
+	for _, o := range objs {
+		fmt.Fprintf(w, ", %s %s", o, report.F(res.Best.Relative[o]))
+	}
+	fmt.Fprintln(w, ")")
+	if res.Exhausted {
+		fmt.Fprintln(w, "search space exhausted before the evaluation budget")
+	}
+}
+
+func relHeaders(objs []string) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = "rel-" + o
+	}
+	return out
+}
+
+// httpEvaluator scores generations on a remote galsimd or galsim-fleet
+// front end: one POST /sweep per generation. Unit results come back in
+// expansion order, so the artifact stays byte-identical to a local run;
+// the remote's progress tracker exposes each generation under GET /sweeps.
+type httpEvaluator struct {
+	base   string
+	apiKey string
+	client *http.Client
+	log    interface {
+		Warn(msg string, args ...any)
+	}
+}
+
+// busyRetries bounds retries against an admission-gated backend that
+// answers 429 with Retry-After.
+const busyRetries = 10
+
+func (h *httpEvaluator) EvaluateSweep(ctx context.Context, s campaign.Sweep, fn campaign.ProgressFunc) ([]campaign.UnitResult, error) {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= busyRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/sweep", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if h.apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+h.apiKey)
+		}
+		resp, err := h.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			delay := retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("backend busy (429)")
+			h.log.Warn("backend busy, retrying generation", "attempt", attempt+1, "delay", delay)
+			select {
+			case <-time.After(delay):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return nil, fmt.Errorf("backend: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		var out service.SweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("backend: decode sweep response: %w", err)
+		}
+		if fn != nil {
+			fn(campaign.Progress{Total: out.Units, Completed: out.Units})
+		}
+		return out.Results, nil
+	}
+	return nil, fmt.Errorf("backend stayed busy after %d retries: %w", busyRetries, lastErr)
+}
+
+// retryAfter parses a Retry-After header, defaulting to a second.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 && n <= 300 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return time.Second
+}

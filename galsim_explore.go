@@ -1,0 +1,69 @@
+package galsim
+
+import (
+	"context"
+
+	"galsim/internal/explore"
+)
+
+// SearchSpec is a declarative machine design-space search: a strategy
+// (grid, random, hillclimb, evolutionary), a search space over MachineSpec
+// (clock-domain partitionings, per-domain frequencies, DVFS policy,
+// synchronization-FIFO geometry), an evaluation budget, and a
+// multi-objective fitness (energy, delay, power — weighted scalarization
+// for selection, Pareto dominance for output). Its JSON form is the
+// galsim-explore -spec file format. The zero value is usable: an
+// evolutionary search over partitionings of the paper's pipeline on gcc.
+type SearchSpec = explore.SearchSpec
+
+// SearchSpace is the space a SearchSpec searches.
+type SearchSpace = explore.SpaceSpec
+
+// SearchBudget bounds a search.
+type SearchBudget = explore.BudgetSpec
+
+// SearchFitness selects and weights a search's objectives.
+type SearchFitness = explore.FitnessSpec
+
+// SearchLimitError reports a SearchSpec exceeding an anti-abuse ceiling
+// (population, generations, evaluations, or grid-space size); it is
+// errors.As-able.
+type SearchLimitError = explore.LimitError
+
+// ExploreResult is a finished search: the Pareto frontier (with dominance
+// ranks and full machine specs), the best design by scalarized fitness,
+// and every distinct design evaluated. Its JSON form is deterministic:
+// the same canonical spec and seed yield byte-identical bytes on any
+// backend at any worker count.
+type ExploreResult = explore.Result
+
+// ExplorePoint is one evaluated design in an ExploreResult.
+type ExplorePoint = explore.Point
+
+// ExploreProgress is a point-in-time view of a running search.
+type ExploreProgress = explore.Progress
+
+// ParseSearchSpec decodes a JSON search spec (the galsim-explore -spec
+// format), rejecting unknown fields so typos fail loudly.
+func ParseSearchSpec(data []byte) (SearchSpec, error) {
+	return explore.Parse(data)
+}
+
+// Explore runs a design-space search on the shared in-process engine and
+// returns the Pareto frontier and best design. Same spec + same seed =
+// byte-identical result.
+func Explore(ctx context.Context, spec SearchSpec) (*ExploreResult, error) {
+	return ExploreOn(ctx, LocalBackend(), spec, nil)
+}
+
+// ExploreOn runs a design-space search on the given backend — the local
+// engine or a cluster coordinator — invoking fn (when non-nil) with
+// progress snapshots after every generation and while one executes. The
+// backend only affects speed, never the result bytes.
+func ExploreOn(ctx context.Context, b Backend, spec SearchSpec, fn func(ExploreProgress)) (*ExploreResult, error) {
+	x := &explore.Explorer{Evaluator: explore.BackendEvaluator{Backend: b}}
+	if fn != nil {
+		x.Progress = fn
+	}
+	return x.Run(ctx, spec)
+}

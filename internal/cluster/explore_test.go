@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"galsim/internal/campaign"
+	"galsim/internal/explore"
+)
+
+// TestExploreFleetDeterminism is the distributed half of the explorer's
+// determinism contract: the same SearchSpec and seed must produce a
+// byte-identical search Result whether generations are scored on the
+// local engine or sharded across a three-worker fleet. The coordinator
+// merges by unit index and the explorer consumes results in expansion
+// order, so nothing about scheduling may leak into the artifact.
+func TestExploreFleetDeterminism(t *testing.T) {
+	spec := explore.SearchSpec{
+		Name:         "fleet-differential",
+		Seed:         21,
+		Strategy:     explore.StrategyEvolutionary,
+		Workloads:    []string{"gcc", "swim"},
+		Instructions: 2000,
+		Space:        explore.SpaceSpec{DVFS: true},
+		Budget:       explore.BudgetSpec{Population: 5, MaxGenerations: 2},
+	}
+	run := func(b campaign.Backend) []byte {
+		t.Helper()
+		x := &explore.Explorer{Evaluator: explore.BackendEvaluator{Backend: b}}
+		res, err := x.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	local := run(campaign.NewEngine(1))
+	f := startFleet(t, Config{}, 3, 2)
+	fleet := run(f.coord)
+	if !bytes.Equal(local, fleet) {
+		t.Fatalf("fleet search result differs from local reference:\nlocal: %d bytes\nfleet: %d bytes",
+			len(local), len(fleet))
+	}
+}

@@ -1,0 +1,122 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"galsim/internal/campaign"
+)
+
+// objectiveValues aggregates one candidate's per-workload summaries into
+// the named objectives, in the given order. Delay and energy sum across
+// workloads; power takes the worst workload's average draw (the grid-
+// provisioning proxy for peak power). Aggregation order is the workload
+// order, so results are bit-stable.
+func objectiveValues(names []string, sums []campaign.Summary) []float64 {
+	out := make([]float64, len(names))
+	for i, name := range names {
+		switch name {
+		case ObjDelay:
+			for _, s := range sums {
+				out[i] += s.SimSeconds
+			}
+		case ObjEnergy:
+			for _, s := range sums {
+				out[i] += s.EnergyJoules
+			}
+		case ObjPower:
+			for _, s := range sums {
+				if s.PowerWatts > out[i] {
+					out[i] = s.PowerWatts
+				}
+			}
+		default:
+			panic(fmt.Sprintf("explore: unvalidated objective %q", name))
+		}
+	}
+	return out
+}
+
+// relativeValues normalizes objectives against the baseline machine's.
+// Baselines are validated positive before the search starts.
+func relativeValues(vals, base []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i := range vals {
+		out[i] = vals[i] / base[i]
+	}
+	return out
+}
+
+// scalarize folds relative objectives into the selection fitness: the
+// weighted mean, lower is better. The baseline machine scores exactly 1.
+func scalarize(rel, weights []float64) float64 {
+	var num, den float64
+	for i := range rel {
+		num += weights[i] * rel[i]
+		den += weights[i]
+	}
+	return num / den
+}
+
+// weightVector resolves the spec's weight map against its objective
+// order; missing entries weigh 1.
+func weightVector(f FitnessSpec) []float64 {
+	out := make([]float64, len(f.Objectives))
+	for i, name := range f.Objectives {
+		out[i] = 1
+		if w, ok := f.Weights[name]; ok {
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// dominates reports Pareto dominance: a is at least as good everywhere
+// and strictly better somewhere (lower is better on every objective).
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// paretoRanks assigns each point its non-dominated-sorting rank: 0 for
+// the frontier, and in general the length of the longest dominance chain
+// above the point (equivalent to iterative frontier peeling, computed as
+// a DP over a topological order — O(n²) instead of peeling's worst-case
+// O(n³)). Points are rows of relative objective values.
+func paretoRanks(points [][]float64) []int {
+	n := len(points)
+	ranks := make([]int, n)
+	// Topological order: dominance implies a strictly smaller coordinate
+	// sum, so sorting by sum puts every dominator before its dominatees.
+	order := make([]int, n)
+	sums := make([]float64, n)
+	for i, p := range points {
+		order[i] = i
+		for _, v := range p {
+			sums[i] += v
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		if sums[a] != sums[b] {
+			return sums[a] < sums[b]
+		}
+		return a < b
+	})
+	for oi, i := range order {
+		for _, j := range order[:oi] {
+			if ranks[j]+1 > ranks[i] && dominates(points[j], points[i]) {
+				ranks[i] = ranks[j] + 1
+			}
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,50 @@
+package explore
+
+import (
+	"testing"
+)
+
+// FuzzSearchSpec drives the whole untrusted-input surface: parse →
+// canonicalize → validate must never panic on arbitrary bytes, and for
+// every spec that validates, the genome machinery (random draws,
+// mutation, crossover, builtin seeds) must only ever produce machines
+// that pass machine.Spec validation — the guarantee that lets the
+// explorer hand candidates straight to a backend.
+func FuzzSearchSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"strategy":"grid","seed":7}`))
+	f.Add([]byte(`{"strategy":"evolutionary","workloads":["gcc","swim"],"space":{"dvfs":true,"frequencies_ghz":[0.5,1,2]},"budget":{"population":8,"max_generations":4}}`))
+	f.Add([]byte(`{"space":{"link_depths":[4,64],"sync_edges":[1,8]},"fitness":{"objectives":["delay","power"],"weights":{"delay":2}}}`))
+	f.Add([]byte(`{"strategy":"hillclimb","budget":{"population":512,"max_generations":4096,"max_evaluations":65536}}`))
+	f.Add([]byte(`{"space":{"frequencies_ghz":[0.009]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		c := spec.Canonical()
+		if err := c.Validate(); err != nil {
+			return
+		}
+		space := c.Space
+		r := newRng(c.Seed)
+		check := func(g genome, what string) {
+			ms := g.spec(space)
+			if err := ms.Validate(); err != nil {
+				t.Fatalf("%s genome builds invalid machine %q: %v", what, ms.Name, err)
+			}
+		}
+		check(baseGenome(space), "base")
+		check(galsGenome(space), "gals")
+		a := randomGenome(r, space)
+		b := randomGenome(r, space)
+		check(a, "random")
+		check(b, "random")
+		for i := 0; i < 8; i++ {
+			a = mutate(r, a, space)
+			check(a, "mutant")
+		}
+		check(crossover(r, a, b, space), "crossover")
+		check(crossover(r, galsGenome(space), a, space), "crossover")
+	})
+}

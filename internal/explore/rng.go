@@ -1,0 +1,27 @@
+package explore
+
+// rng is a splitmix64 generator: tiny, fast, and — unlike math/rand —
+// guaranteed stable across Go releases, which the byte-identical-result
+// contract depends on. Modulo bias in intn is irrelevant for search-move
+// selection and accepted for the same reason.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng { return &rng{s: uint64(seed)} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("explore: intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) coin() bool { return r.next()&1 == 1 }

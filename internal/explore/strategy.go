@@ -1,0 +1,236 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// evaluated is one scored genome in the search history.
+type evaluated struct {
+	g   genome
+	key string
+	fit float64
+}
+
+// history records every evaluation, in order, for strategy feedback.
+type history struct {
+	seen map[string]bool
+	all  []evaluated
+}
+
+func newHistory() *history { return &history{seen: map[string]bool{}} }
+
+func (h *history) add(g genome, fit float64) {
+	key := g.key()
+	h.all = append(h.all, evaluated{g: g, key: key, fit: fit})
+	h.seen[key] = true
+}
+
+// best returns the lowest-fitness evaluation (ties to the earliest).
+func (h *history) best() (evaluated, bool) {
+	if len(h.all) == 0 {
+		return evaluated{}, false
+	}
+	best := h.all[0]
+	for _, e := range h.all[1:] {
+		if e.fit < best.fit {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// top returns the n best distinct genomes, sorted by (fitness, key) — a
+// total order, so selection pools are identical across runs.
+func (h *history) top(n int) []evaluated {
+	byKey := map[string]evaluated{}
+	var keys []string
+	for _, e := range h.all {
+		if _, ok := byKey[e.key]; !ok {
+			byKey[e.key] = e
+			keys = append(keys, e.key)
+		}
+	}
+	out := make([]evaluated, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].fit != out[j].fit {
+			return out[i].fit < out[j].fit
+		}
+		return out[i].key < out[j].key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// strategy proposes the next batch of candidates. A nil/empty return
+// means the strategy has exhausted its space (grid walked out, hill-climb
+// converged); the search stops there and marks the result exhausted.
+type strategy interface {
+	propose(r *rng, h *history, n int) []genome
+}
+
+func newStrategy(spec SearchSpec) (strategy, error) {
+	switch spec.Strategy {
+	case StrategyGrid:
+		return &gridStrategy{it: newGridIter(spec.Space)}, nil
+	case StrategyRandom:
+		return &randomStrategy{space: spec.Space}, nil
+	case StrategyHillClimb:
+		return &hillClimb{space: spec.Space}, nil
+	case StrategyEvolutionary:
+		return &evolutionary{space: spec.Space, pool: spec.Budget.Population}, nil
+	default:
+		return nil, fmt.Errorf("explore: unknown strategy %q (strategies: %v)", spec.Strategy, StrategyNames())
+	}
+}
+
+// gridStrategy exhaustively walks the whole space in a fixed order.
+type gridStrategy struct{ it *gridIter }
+
+func (s *gridStrategy) propose(r *rng, h *history, n int) []genome {
+	var out []genome
+	for len(out) < n {
+		g, ok := s.it.next()
+		if !ok {
+			break
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// randomStrategy samples independently, retrying a bounded number of
+// times to avoid re-proposing evaluated genomes (duplicates that slip
+// through are cheap — the result cache already holds them — but they
+// spend budget).
+type randomStrategy struct{ space SpaceSpec }
+
+const dedupRetries = 32
+
+func (s *randomStrategy) propose(r *rng, h *history, n int) []genome {
+	out := make([]genome, 0, n)
+	batch := map[string]bool{}
+	for len(out) < n {
+		g := randomGenome(r, s.space)
+		for try := 0; try < dedupRetries; try++ {
+			key := g.key()
+			if !h.seen[key] && !batch[key] {
+				break
+			}
+			g = randomGenome(r, s.space)
+		}
+		batch[g.key()] = true
+		out = append(out, g)
+	}
+	return out
+}
+
+// hillClimb starts from the paper's GALS machine and greedily walks the
+// single-move neighborhood: each generation evaluates the next slice of
+// the current best's unevaluated neighbors, recentering whenever the best
+// improves. It converges (returns nothing) once the neighborhood of the
+// best point is fully evaluated without finding an improvement.
+type hillClimb struct {
+	space  SpaceSpec
+	init   bool
+	center evaluated // zero-valued until the first recenter
+	nbrs   []genome
+	i      int
+}
+
+func (s *hillClimb) propose(r *rng, h *history, n int) []genome {
+	if !s.init {
+		s.init = true
+		start := galsGenome(s.space)
+		s.center = evaluated{g: start, key: start.key()}
+		s.nbrs = neighbors(start, s.space)
+		out := []genome{start}
+		for s.i < len(s.nbrs) && len(out) < n {
+			out = append(out, s.nbrs[s.i])
+			s.i++
+		}
+		return out
+	}
+	if best, ok := h.best(); ok && best.key != s.center.key {
+		s.center = best
+		s.nbrs = neighbors(best.g, s.space)
+		s.i = 0
+	}
+	var out []genome
+	for s.i < len(s.nbrs) && len(out) < n {
+		g := s.nbrs[s.i]
+		s.i++
+		if !h.seen[g.key()] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// evolutionary seeds generation zero with both builtins plus random
+// fill, then breeds: tournament selection over the top-of-history pool,
+// optional crossover, and one to three mutation moves per child.
+type evolutionary struct {
+	space SpaceSpec
+	pool  int
+}
+
+func (s *evolutionary) propose(r *rng, h *history, n int) []genome {
+	out := make([]genome, 0, n)
+	batch := map[string]bool{}
+	add := func(g genome) {
+		batch[g.key()] = true
+		out = append(out, g)
+	}
+	if len(h.all) == 0 {
+		add(galsGenome(s.space))
+		if n > 1 {
+			add(baseGenome(s.space))
+		}
+		for len(out) < n {
+			g := randomGenome(r, s.space)
+			for try := 0; try < dedupRetries && batch[g.key()]; try++ {
+				g = randomGenome(r, s.space)
+			}
+			add(g)
+		}
+		return out
+	}
+	pool := h.top(s.pool)
+	for len(out) < n {
+		var g genome
+		for try := 0; try < dedupRetries; try++ {
+			p := s.tournament(r, pool)
+			if len(pool) >= 2 && r.coin() {
+				q := s.tournament(r, pool)
+				g = crossover(r, p.g, q.g, s.space)
+			} else {
+				g = p.g
+			}
+			for moves := 1 + r.intn(3); moves > 0; moves-- {
+				g = mutate(r, g, s.space)
+			}
+			if key := g.key(); !h.seen[key] && !batch[key] {
+				break
+			}
+		}
+		add(g)
+	}
+	return out
+}
+
+// tournament picks the fitter of two uniform draws (ties to the earlier
+// pool slot; the pool is totally ordered already).
+func (s *evolutionary) tournament(r *rng, pool []evaluated) evaluated {
+	i, j := r.intn(len(pool)), r.intn(len(pool))
+	if j < i {
+		i = j
+	}
+	// pool is sorted best-first, so the smaller index is at least as fit.
+	return pool[i]
+}
